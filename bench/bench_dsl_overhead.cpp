@@ -1,0 +1,174 @@
+// E-MB: §VI-A "The performance overhead of the user-defined consistency
+// mechanism" — compile and compute cost of predicates with 1..5 operators
+// and 5..20 operands.
+//
+// Paper: max ~30 ms compilation (libgccjit) and ~0.2 ms computation with 5
+// KTH_MIN operators and 20 operands. Our substitute pipeline (bytecode +
+// specialization, DESIGN.md §3) compiles in microseconds and evaluates in
+// nanoseconds; the shape (cost grows with operators x operands) is the
+// reproduced result.
+//
+// Also runs E-AB2, the execution-strategy ablation (interpreter vs bytecode
+// vs specialized), as google-benchmark microbenchmarks.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <sstream>
+
+#include "backup/backup_service.hpp"
+#include "bench_common.hpp"
+#include "control/ack_table.hpp"
+#include "control/stability_types.hpp"
+#include "dsl/predicate.hpp"
+
+using namespace stab;
+using namespace stab::bench;
+
+namespace {
+
+Topology big_topology(size_t n) {
+  Topology topo;
+  for (size_t i = 0; i < n; ++i)
+    topo.add_node("n" + std::to_string(i + 1), "az" + std::to_string(i / 4));
+  return topo;
+}
+
+/// A predicate with `ops` KTH_MIN operators over `operands` WAN nodes:
+/// nested KTH_MIN calls, the innermost listing the operands — mirroring the
+/// paper's "1 to 5 operators and 5 to 20 operands" sweep.
+std::string make_predicate(int ops, int operands) {
+  std::ostringstream inner;
+  inner << "KTH_MIN(2";
+  for (int i = 1; i <= operands; ++i) inner << ",$" << i;
+  inner << ")";
+  std::string pred = inner.str();
+  for (int o = 1; o < ops; ++o) pred = "KTH_MIN(1," + pred + ",$1)";
+  return pred;
+}
+
+dsl::PredicateContext make_ctx(const Topology& topo,
+                               StabilityTypeRegistry& types) {
+  dsl::PredicateContext ctx;
+  ctx.topology = &topo;
+  ctx.self = 0;
+  ctx.resolve_type = [&types](const std::string& name) {
+    return std::optional<StabilityTypeId>(types.get_or_register(name));
+  };
+  return ctx;
+}
+
+void paper_style_sweep() {
+  print_header("bench_dsl_overhead — DSL compile & compute cost",
+               "the §VI-A microbenchmark (1-5 operators x 5-20 operands)");
+
+  Topology topo = big_topology(20);
+  StabilityTypeRegistry types;
+  auto ctx = make_ctx(topo, types);
+
+  AckTable acks(20);
+  Rng rng(1);
+  for (NodeId n = 0; n < 20; ++n)
+    acks.update(StabilityTypeRegistry::kReceived, n, rng.next_range(0, 1000));
+
+  std::printf("\n%8s %9s | %12s %12s\n", "ops", "operands", "compile (us)",
+              "eval (ns)");
+  for (int ops : {1, 2, 3, 4, 5}) {
+    for (int operands : {5, 10, 15, 20}) {
+      std::string src = make_predicate(ops, operands);
+      // compile cost (averaged)
+      constexpr int kCompiles = 200;
+      auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < kCompiles; ++i) {
+        auto p = dsl::Predicate::compile(src, ctx);
+        benchmark::DoNotOptimize(p);
+      }
+      double compile_us = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count() /
+                          kCompiles;
+      // eval cost
+      auto p = dsl::Predicate::compile(src, ctx);
+      constexpr int kEvals = 200000;
+      int64_t acc = 0;
+      t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < kEvals; ++i) acc += p.value().eval(acks);
+      double eval_ns = std::chrono::duration<double, std::nano>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count() /
+                       kEvals;
+      benchmark::DoNotOptimize(acc);
+      std::printf("%8d %9d | %12.2f %12.1f\n", ops, operands, compile_us,
+                  eval_ns);
+    }
+  }
+  std::printf(
+      "\nPaper (libgccjit): max ~30 ms compile / ~0.2 ms eval at 5 ops x 20\n"
+      "operands. Substitute pipeline keeps the same growth shape at ~1000x\n"
+      "lower absolute cost (no external compiler invocation).\n\n");
+}
+
+// --- E-AB2: execution-strategy ablation (google-benchmark) ------------------
+
+struct AblationFixture {
+  AblationFixture() : topo(ec2_topology()), acks(8) {
+    ctx = make_ctx(topo, types);
+    Rng rng(7);
+    for (StabilityTypeId t = 0; t < 2; ++t)
+      for (NodeId n = 0; n < 8; ++n) acks.update(t, n, rng.next_range(0, 500));
+  }
+  Topology topo;
+  StabilityTypeRegistry types;
+  dsl::PredicateContext ctx;
+  AckTable acks;
+};
+
+void bench_eval(benchmark::State& state, dsl::EvalMode mode,
+                const char* src) {
+  static AblationFixture fixture;
+  auto p = dsl::Predicate::compile(src, fixture.ctx, mode);
+  if (!p.is_ok()) {
+    state.SkipWithError(p.message().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    int64_t v = p.value().eval(fixture.acks);
+    benchmark::DoNotOptimize(v);
+  }
+}
+
+const char* kMajority = "KTH_MAX(SIZEOF($ALLWNODES)/2+1,($ALLWNODES-$MYWNODE))";
+const char* kRegions =
+    "KTH_MAX(2,MAX($AZ_North_Virginia),MAX($AZ_Oregon),MAX($AZ_Ohio))";
+const char* kNested =
+    "MIN(MIN($MYAZWNODES-$MYWNODE),MAX($ALLWNODES-$MYAZWNODES),"
+    "KTH_MAX(2,$ALLWNODES.persisted))";
+
+}  // namespace
+
+BENCHMARK_CAPTURE(bench_eval, majority_interpreter,
+                  dsl::EvalMode::kInterpreter, kMajority);
+BENCHMARK_CAPTURE(bench_eval, majority_bytecode, dsl::EvalMode::kBytecode,
+                  kMajority);
+BENCHMARK_CAPTURE(bench_eval, majority_specialized,
+                  dsl::EvalMode::kSpecialized, kMajority);
+BENCHMARK_CAPTURE(bench_eval, regions_interpreter,
+                  dsl::EvalMode::kInterpreter, kRegions);
+BENCHMARK_CAPTURE(bench_eval, regions_bytecode, dsl::EvalMode::kBytecode,
+                  kRegions);
+BENCHMARK_CAPTURE(bench_eval, regions_specialized,
+                  dsl::EvalMode::kSpecialized, kRegions);
+BENCHMARK_CAPTURE(bench_eval, nested_interpreter, dsl::EvalMode::kInterpreter,
+                  kNested);
+BENCHMARK_CAPTURE(bench_eval, nested_bytecode, dsl::EvalMode::kBytecode,
+                  kNested);
+BENCHMARK_CAPTURE(bench_eval, nested_specialized,
+                  dsl::EvalMode::kSpecialized, kNested);
+
+int main(int argc, char** argv) {
+  paper_style_sweep();
+  std::printf("E-AB2 ablation: tree-walking interpreter vs bytecode VM vs\n"
+              "specialized fast path, on the Table III predicate shapes:\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// E-T1 / E-F2: Table I (EC2 network status between North California and the
+// other regions) and Fig 2 (the 4-region / 8-node topology).
+//
+// Validates the simulated substrate: configured link parameters are probed
+// through the simulator exactly the way the paper measured the emulated
+// network — ping RTT and a bulk transfer for throughput — and printed next
+// to Table I's values.
+#include "bench_common.hpp"
+
+using namespace stab;
+using namespace stab::bench;
+
+namespace {
+
+struct Probe {
+  double rtt_ms;
+  double thp_mbps;
+};
+
+/// Ping + bulk-transfer probe from `src` to `dst` on a fresh simulation.
+Probe probe_link(const Topology& topo, NodeId src, NodeId dst) {
+  Probe out{};
+  {  // RTT: tiny frame there and back through raw transports.
+    sim::Simulator sim;
+    SimCluster cluster(topo, sim);
+    TimePoint pong_at = kTimeZero;
+    cluster.transport(dst).set_receive_handler(
+        [&](NodeId from, Bytes, uint64_t) {
+          cluster.transport(dst).send(from, to_bytes("pong"));
+        });
+    cluster.transport(src).set_receive_handler(
+        [&](NodeId, Bytes, uint64_t) { pong_at = sim.now(); });
+    cluster.transport(src).send(dst, to_bytes("ping"));
+    sim.run();
+    out.rtt_ms = to_ms(pong_at);
+  }
+  {  // Throughput: 32 MB bulk transfer, measure delivered bytes / time.
+    sim::Simulator sim;
+    SimCluster cluster(topo, sim);
+    const uint64_t total = 32ULL << 20;
+    const uint64_t chunk = 64 * 1024;
+    uint64_t received = 0;
+    TimePoint last = kTimeZero;
+    cluster.transport(dst).set_receive_handler(
+        [&](NodeId, Bytes, uint64_t wire) {
+          received += wire;
+          last = sim.now();
+        });
+    for (uint64_t off = 0; off < total; off += chunk)
+      cluster.transport(src).send(dst, Bytes(), chunk);
+    sim.run();
+    out.thp_mbps = received * 8.0 / 1e6 / to_sec(last);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_header("bench_table1_network — emulated EC2 WAN substrate",
+               "Table I and Fig 2 of the paper");
+
+  Topology topo = ec2_topology();
+  std::printf("\nFig 2 topology (reconstructed region membership):\n%s\n",
+              topo.describe().c_str());
+
+  std::printf("Table I: network status between North California (node 1) "
+              "and other regions\n");
+  std::printf("  paper values are RTT and HALF-throttled throughput; the\n"
+              "  simulator is configured from them, probes must match.\n\n");
+  std::printf("%-22s %14s %14s | %14s %14s\n", "peer",
+              "paper Lat(ms)", "paper Thp(Mb)", "probe RTT(ms)",
+              "probe Thp(Mb)");
+
+  struct Row {
+    const char* label;
+    NodeId dst;
+    double paper_rtt;
+    double paper_thp;
+  };
+  const Row rows[] = {
+      {"North California (n2)", 1, 3.7, 333.5},
+      {"Ohio (n8)", 7, 53.87, 44.5},
+      {"Oregon (n7)", 6, 23.29, 56.5},
+      {"North Virginia (n3)", 2, 64.12, 37.0},
+  };
+  bool all_ok = true;
+  for (const Row& row : rows) {
+    Probe p = probe_link(topo, 0, row.dst);
+    bool ok = std::abs(p.rtt_ms - row.paper_rtt) < 0.5 &&
+              std::abs(p.thp_mbps - row.paper_thp) / row.paper_thp < 0.02;
+    all_ok = all_ok && ok;
+    std::printf("%-22s %14.2f %14.1f | %14.2f %14.1f  %s\n", row.label,
+                row.paper_rtt, row.paper_thp, p.rtt_ms, p.thp_mbps,
+                ok ? "match" : "MISMATCH");
+  }
+  std::printf("\nsubstrate check: %s\n", all_ok ? "PASS" : "FAIL");
+  return all_ok ? 0 : 1;
+}

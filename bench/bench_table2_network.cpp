@@ -1,0 +1,77 @@
+// E-T2: Table II — network performance between Utah1 and the other
+// CloudLab servers, probed through the simulated substrate.
+#include "bench_common.hpp"
+
+using namespace stab;
+using namespace stab::bench;
+
+namespace {
+
+double probe_rtt_ms(const Topology& topo, NodeId src, NodeId dst) {
+  sim::Simulator sim;
+  SimCluster cluster(topo, sim);
+  TimePoint pong_at = kTimeZero;
+  cluster.transport(dst).set_receive_handler([&](NodeId from, Bytes, uint64_t) {
+    cluster.transport(dst).send(from, to_bytes("pong"));
+  });
+  cluster.transport(src).set_receive_handler(
+      [&](NodeId, Bytes, uint64_t) { pong_at = sim.now(); });
+  cluster.transport(src).send(dst, to_bytes("ping"));
+  sim.run();
+  return to_ms(pong_at);
+}
+
+double probe_thp_mbps(const Topology& topo, NodeId src, NodeId dst) {
+  sim::Simulator sim;
+  SimCluster cluster(topo, sim);
+  const uint64_t total = 256ULL << 20;  // large, to dwarf latency
+  uint64_t received = 0;
+  TimePoint last = kTimeZero;
+  cluster.transport(dst).set_receive_handler(
+      [&](NodeId, Bytes, uint64_t wire) {
+        received += wire;
+        last = sim.now();
+      });
+  for (uint64_t off = 0; off < total; off += 256 * 1024)
+    cluster.transport(src).send(dst, Bytes(), 256 * 1024);
+  sim.run();
+  return received * 8.0 / 1e6 / to_sec(last);
+}
+
+}  // namespace
+
+int main() {
+  print_header("bench_table2_network — CloudLab WAN substrate",
+               "Table II of the paper");
+
+  Topology topo = cloudlab_topology();
+  std::printf("\nTable II: network performance between Utah1 and others\n\n");
+  std::printf("%-14s %12s %12s | %12s %12s\n", "server", "paper Thp",
+              "paper Lat", "probe Thp", "probe RTT");
+
+  struct Row {
+    const char* label;
+    NodeId dst;
+    double paper_thp;
+    double paper_lat;
+  };
+  const Row rows[] = {
+      {"Utah2", cloudlab::kUtah2, 9246.99, 0.124},
+      {"Wisconsin", cloudlab::kWisconsin, 361.82, 35.612},
+      {"Clemson", cloudlab::kClemson, 416.27, 50.918},
+      {"Massachusetts", cloudlab::kMassachusetts, 437.11, 48.083},
+  };
+  bool all_ok = true;
+  for (const Row& row : rows) {
+    double rtt = probe_rtt_ms(topo, cloudlab::kUtah1, row.dst);
+    double thp = probe_thp_mbps(topo, cloudlab::kUtah1, row.dst);
+    bool ok = std::abs(rtt - row.paper_lat) < 0.5 &&
+              std::abs(thp - row.paper_thp) / row.paper_thp < 0.02;
+    all_ok = all_ok && ok;
+    std::printf("%-14s %12.2f %12.3f | %12.2f %12.3f  %s\n", row.label,
+                row.paper_thp, row.paper_lat, thp, rtt,
+                ok ? "match" : "MISMATCH");
+  }
+  std::printf("\nsubstrate check: %s\n", all_ok ? "PASS" : "FAIL");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+// Pub/sub with dynamic predicate reconfiguration (paper §V-B + §VI-D) on
+// the CloudLab topology: as the subscriber on the slowest site comes and
+// goes, the publisher's reliable-broadcast predicate is swapped at runtime
+// and the user-visible latency follows.
+//
+// Build & run:  ./build/examples/pubsub_reconfig
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "net/sim_transport.hpp"
+#include "pubsub/broker.hpp"
+
+using namespace stab;
+
+int main() {
+  Topology topo = cloudlab_topology();
+  sim::Simulator sim;
+  SimCluster cluster(topo, sim);
+
+  std::vector<std::unique_ptr<Stabilizer>> stabs;
+  std::vector<std::unique_ptr<pubsub::Broker>> brokers;
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    StabilizerOptions opts;
+    opts.topology = topo;
+    opts.self = n;
+    stabs.push_back(std::make_unique<Stabilizer>(opts, cluster.transport(n)));
+    brokers.push_back(std::make_unique<pubsub::Broker>(*stabs.back()));
+  }
+  pubsub::Broker& publisher = *brokers[cloudlab::kUtah1];
+  pubsub::Broker& wi = *brokers[cloudlab::kWisconsin];
+  pubsub::Broker& ma = *brokers[cloudlab::kMassachusetts];
+  pubsub::Broker& clem = *brokers[cloudlab::kClemson];  // slowest site
+
+  std::printf("pubsub_reconfig: publisher at Utah1; subscribers at\n"
+              "Wisconsin (35.6ms RTT), Massachusetts (48.1ms), and —\n"
+              "intermittently — Clemson (50.9ms, the slowest site)\n\n");
+
+  wi.subscribe([](NodeId, SeqNum, BytesView) {});
+  ma.subscribe([](NodeId, SeqNum, BytesView) {});
+  sim.run();  // propagate SUBs
+
+  auto publish_and_measure = [&](const char* phase) {
+    Series lat;
+    for (int i = 0; i < 20; ++i) {
+      TimePoint start = sim.now();
+      SeqNum seq = publisher.publish(Bytes(8 * 1024, 0x42));
+      publisher.wait_reliable(
+          seq, [&, start](SeqNum) { lat.add(to_ms(sim.now() - start)); });
+      sim.run_until(sim.now() + millis(12));  // 80 msg/s pace (approx)
+    }
+    sim.run();
+    std::printf("  %-28s predicate %-14s mean latency %6.2f ms\n", phase,
+                publisher.current_predicate_source().c_str(), lat.mean());
+  };
+
+  publish_and_measure("without Clemson:");
+
+  uint64_t clem_sub = clem.subscribe([](NodeId, SeqNum, BytesView) {});
+  sim.run();
+  publish_and_measure("Clemson subscribes:");
+
+  clem.unsubscribe(clem_sub);
+  sim.run();
+  publish_and_measure("Clemson unsubscribes:");
+
+  std::printf(
+      "\nThe predicate is rebuilt via change_predicate() at each\n"
+      "subscription change; no publisher ever waits for a site that has no\n"
+      "subscribers (the Fig 8 experiment mechanizes exactly this).\n");
+  return 0;
+}

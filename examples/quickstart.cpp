@@ -1,0 +1,79 @@
+// Quickstart: a three-node geo-replicated cluster with user-defined
+// consistency, on the deterministic simulator.
+//
+// What it shows:
+//   1. Describe a topology (three data centers, WAN latencies).
+//   2. Start one Stabilizer per node.
+//   3. Define consistency models as stability-frontier predicates in the
+//      DSL — from "any remote copy" to "every remote copy".
+//   4. Send data and watch each frontier advance at a different time: the
+//      consistency model decides how long the client waits, not the system.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/stabilizer.hpp"
+#include "net/sim_transport.hpp"
+
+using namespace stab;
+
+int main() {
+  // --- 1. Topology: three data centers with asymmetric WAN latencies -------
+  Topology topo;
+  topo.add_node("frankfurt", "eu");
+  topo.add_node("dublin", "eu");
+  topo.add_node("oregon", "us");
+  LinkSpec fast, slow;
+  fast.latency = from_ms(12);   // Frankfurt <-> Dublin
+  slow.latency = from_ms(75);   // Europe <-> Oregon
+  topo.set_link_bidir(0, 1, fast);
+  topo.set_link_bidir(0, 2, slow);
+  topo.set_link_bidir(1, 2, slow);
+
+  // --- 2. One Stabilizer per WAN node on a shared simulator ----------------
+  sim::Simulator sim;
+  SimCluster cluster(topo, sim);
+  std::vector<std::unique_ptr<Stabilizer>> nodes;
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    StabilizerOptions opts;
+    opts.topology = topo;
+    opts.self = n;
+    nodes.push_back(std::make_unique<Stabilizer>(opts, cluster.transport(n)));
+  }
+  Stabilizer& frankfurt = *nodes[0];
+
+  // --- 3. Consistency models as DSL predicates ------------------------------
+  // "one copy anywhere", "a copy in my AZ plus one remote region",
+  // "a majority of all nodes", "every remote node".
+  frankfurt.register_predicate("any_copy", "MAX($ALLWNODES-$MYWNODE)");
+  frankfurt.register_predicate(
+      "az_plus_remote",
+      "MIN(MIN($MYAZWNODES-$MYWNODE),MAX($ALLWNODES-$MYAZWNODES))");
+  frankfurt.register_predicate(
+      "majority", "KTH_MAX(SIZEOF($ALLWNODES)/2+1,$ALLWNODES)");
+  frankfurt.register_predicate("all_remote", "MIN($ALLWNODES-$MYWNODE)");
+
+  // --- 4. Send one message; watch each frontier reach it --------------------
+  std::printf("quickstart: frankfurt sends one message to its mirrors\n\n");
+  SeqNum seq = frankfurt.send(to_bytes("hello, planet"));
+  for (const char* key :
+       {"any_copy", "az_plus_remote", "majority", "all_remote"}) {
+    frankfurt.waitfor(seq, key, [&, key](SeqNum frontier) {
+      std::printf("  t=%6.1f ms  predicate %-15s satisfied (frontier=%lld)\n",
+                  to_ms(sim.now()), key,
+                  static_cast<long long>(frontier));
+    });
+  }
+  sim.run();
+
+  std::printf(
+      "\nDublin (12 ms away) satisfies the weak predicates early; Oregon\n"
+      "(75 ms away) gates the strong ones. Same data plane, four different\n"
+      "user-defined consistency models.\n");
+
+  // Receivers see the data too:
+  for (NodeId n = 1; n < 3; ++n)
+    std::printf("node %u delivered through seq %lld\n", n,
+                static_cast<long long>(nodes[n]->delivered_through(0)));
+  return 0;
+}

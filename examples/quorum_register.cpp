@@ -1,0 +1,70 @@
+// Gifford's quorum protocol from Stabilizer predicates (paper §IV-B),
+// reproducing the Fig 3 setup: quorum servers at Utah1 / Wisconsin /
+// Clemson, writer at Utah2, reader at Utah1, Nr = Nw = 2.
+//
+// Build & run:  ./build/examples/quorum_register
+#include <cstdio>
+
+#include "net/sim_transport.hpp"
+#include "quorum/quorum_kv.hpp"
+
+using namespace stab;
+using namespace stab::quorum;
+
+int main() {
+  Topology topo = cloudlab_topology();
+  sim::Simulator sim;
+  SimCluster cluster(topo, sim);
+
+  QuorumOptions q;
+  q.servers = {cloudlab::kUtah1, cloudlab::kWisconsin, cloudlab::kClemson};
+  q.read_quorum = 2;
+  q.write_quorum = 2;
+
+  std::vector<std::unique_ptr<Stabilizer>> stabs;
+  std::vector<std::unique_ptr<QuorumNode>> nodes;
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    StabilizerOptions opts;
+    opts.topology = topo;
+    opts.self = n;
+    stabs.push_back(std::make_unique<Stabilizer>(opts, cluster.transport(n)));
+    nodes.push_back(std::make_unique<QuorumNode>(*stabs.back(), q));
+  }
+  QuorumNode& writer = *nodes[cloudlab::kUtah2];
+  QuorumNode& reader = *nodes[cloudlab::kUtah1];
+
+  std::printf("quorum_register: N=3 servers, Nr=Nw=2 (Nr+Nw>N)\n");
+  std::printf("write predicate: %s\n\n", writer.write_predicate().c_str());
+
+  TimePoint t0 = sim.now();
+  writer.write("account:7", to_bytes("balance=100"), [&](uint64_t version) {
+    std::printf("  t=%6.1f ms  write committed at %zu servers (version %llu)\n",
+                to_ms(sim.now() - t0), q.write_quorum,
+                static_cast<unsigned long long>(version));
+    // Quorum read: completes on the 2nd response — the reader itself plus
+    // the faster of Wisconsin/Clemson, i.e. ~RTT(Wisconsin) = 35.6 ms.
+    TimePoint r0 = sim.now();
+    reader.read("account:7", [&, r0](ReadResult result) {
+      std::printf("  t=%6.1f ms  quorum read -> '%s' after %.2f ms "
+                  "(%zu responses)\n",
+                  to_ms(sim.now() - t0),
+                  to_string(result.value).c_str(),
+                  to_ms(sim.now() - r0), result.responses);
+      std::printf(
+          "\nRead latency tracks the 2nd-fastest quorum member "
+          "(Wisconsin,\nRTT 35.6 ms) — the Fig 3 result.\n");
+    });
+  });
+  sim.run();
+
+  // Overwrite and read again: the reader always sees the latest committed
+  // write (quorum intersection).
+  writer.write("account:7", to_bytes("balance=250"), [&](uint64_t) {
+    reader.read("account:7", [&](ReadResult result) {
+      std::printf("after second write, read sees: '%s'\n",
+                  to_string(result.value).c_str());
+    });
+  });
+  sim.run();
+  return 0;
+}

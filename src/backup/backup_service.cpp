@@ -1,0 +1,87 @@
+#include "backup/backup_service.hpp"
+
+#include <sstream>
+
+namespace stab::backup {
+
+BackupService::BackupService(kv::WanKV& kv, std::string pool_prefix)
+    : kv_(kv), pool_prefix_(std::move(pool_prefix)) {}
+
+Result<BackupResult> BackupService::backup_file(const std::string& name,
+                                                BytesView content,
+                                                uint64_t virtual_size) {
+  auto put = kv_.put(key_for(pool_prefix_, name), content, virtual_size);
+  if (!put.is_ok()) return Result<BackupResult>::error(put.message());
+  BackupResult out;
+  out.file_key = key_for(pool_prefix_, name);
+  out.version = put.value().version;
+  out.first_seq = put.value().first_seq;
+  out.last_seq = put.value().last_seq;
+  out.chunks = static_cast<uint64_t>(put.value().last_seq -
+                                     put.value().first_seq + 1);
+  return out;
+}
+
+Status BackupService::wait_stable(const BackupResult& result,
+                                  const std::string& predicate_key,
+                                  Stabilizer::WaiterFn fn) {
+  return kv_.stabilizer().waitfor(result.last_seq, predicate_key,
+                                  std::move(fn));
+}
+
+bool BackupService::is_stable(const BackupResult& result,
+                              const std::string& predicate_key) const {
+  return const_cast<kv::WanKV&>(kv_).get_stability_frontier(predicate_key) >=
+         result.last_seq;
+}
+
+std::optional<Bytes> BackupService::fetch(const std::string& owner_prefix,
+                                          const std::string& name) const {
+  auto v = kv_.get(key_for(owner_prefix, name));
+  if (!v) return std::nullopt;
+  return v->value;
+}
+
+std::map<std::string, std::string> BackupService::standard_predicates(
+    const Topology& topology, NodeId self) {
+  std::map<std::string, std::string> out;
+  // Node-granularity family (Table III): quantify over remote WAN nodes.
+  out["OneWNode"] = "MAX($ALLWNODES-$MYWNODE)";
+  out["MajorityWNodes"] =
+      "KTH_MAX(SIZEOF($ALLWNODES)/2+1,($ALLWNODES-$MYWNODE))";
+  out["AllWNodes"] = "MIN($ALLWNODES-$MYWNODE)";
+
+  // Region-granularity family: one MAX($AZ_x) term per remote region ("if
+  // an ACK from any WAN node in a region is received, the message is
+  // acknowledged by that region").
+  const std::string my_az = topology.az_of(self);
+  std::vector<std::string> remote_azs;
+  for (const std::string& az : topology.az_names())
+    if (az != my_az) remote_azs.push_back(az);
+  if (!remote_azs.empty()) {
+    std::ostringstream terms;
+    for (size_t i = 0; i < remote_azs.size(); ++i) {
+      if (i) terms << ",";
+      terms << "MAX($AZ_" << remote_azs[i] << ")";
+    }
+    size_t majority = remote_azs.size() / 2 + 1;
+    out["OneRegion"] = "MAX(" + terms.str() + ")";
+    out["MajorityRegions"] =
+        "KTH_MAX(" + std::to_string(majority) + "," + terms.str() + ")";
+    out["AllRegions"] = "MIN(" + terms.str() + ")";
+  }
+  return out;
+}
+
+Status BackupService::register_standard_predicates() {
+  auto preds = standard_predicates(kv_.stabilizer().topology(),
+                                   kv_.stabilizer().self());
+  for (const auto& [key, source] : preds) {
+    if (kv_.stabilizer().has_predicate(key)) continue;
+    Status st = kv_.register_predicate(key, source);
+    if (!st.is_ok()) return st;
+  }
+  return Status::ok();
+}
+
+}  // namespace stab::backup

@@ -1,0 +1,71 @@
+// Dropbox-like file backup service over the WAN K/V store (paper §V-A).
+//
+// Files are stored as K/V entries under the owning site's pool and
+// geo-replicated by Stabilizer; the application picks per-upload stability
+// semantics from the six standard predicates of Table III (OneWNode,
+// OneRegion, MajorityWNodes, MajorityRegions, AllWNodes, AllRegions) or any
+// custom DSL predicate — "with a traditional Dropbox, the actual semantics
+// of uploading a file are unspecified, and fine-grained control is not
+// possible."
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "kv/wan_kv.hpp"
+
+namespace stab::backup {
+
+struct BackupResult {
+  std::string file_key;
+  uint64_t version = 0;
+  SeqNum first_seq = kNoSeq;
+  SeqNum last_seq = kNoSeq;
+  uint64_t chunks = 0;  // 8 KB messages the file was split into
+};
+
+class BackupService {
+ public:
+  /// `pool_prefix` namespaces this site's files in the K/V store; it must
+  /// map to the local node under the KV's owner function.
+  BackupService(kv::WanKV& kv, std::string pool_prefix);
+
+  /// Uploads a file. Locally stable on return; use wait_stable for more.
+  /// `virtual_size` replays trace records without materializing bytes.
+  Result<BackupResult> backup_file(const std::string& name, BytesView content,
+                                   uint64_t virtual_size = 0);
+
+  /// Fires `fn` once the upload satisfies the predicate.
+  Status wait_stable(const BackupResult& result,
+                     const std::string& predicate_key,
+                     Stabilizer::WaiterFn fn);
+  bool is_stable(const BackupResult& result,
+                 const std::string& predicate_key) const;
+
+  /// Fetches a file (local pool or mirror).
+  std::optional<Bytes> fetch(const std::string& owner_prefix,
+                             const std::string& name) const;
+
+  /// The six Table III predicates, generated for this topology/node: the
+  /// *WNode* family quantifies over remote nodes, the *Region* family over
+  /// remote availability zones.
+  static std::map<std::string, std::string> standard_predicates(
+      const Topology& topology, NodeId self);
+
+  /// Registers all standard predicates with the underlying Stabilizer.
+  Status register_standard_predicates();
+
+  kv::WanKV& kv() { return kv_; }
+
+ private:
+  std::string key_for(const std::string& prefix,
+                      const std::string& name) const {
+    return prefix + "/" + name;
+  }
+
+  kv::WanKV& kv_;
+  std::string pool_prefix_;
+};
+
+}  // namespace stab::backup

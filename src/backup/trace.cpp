@@ -1,0 +1,122 @@
+#include "backup/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace stab::backup {
+
+std::vector<TraceRecord> generate_dropbox_trace(const TraceParams& params) {
+  Rng rng(params.seed);
+  std::vector<TraceRecord> trace;
+
+  // 1. Plant the huge files, one per burst window (this is what creates the
+  //    three spikes the paper sees in Fig 5).
+  std::vector<Duration> burst_centers;
+  for (int b = 0; b < params.num_bursts; ++b) {
+    double frac = (b + 1.0) / (params.num_bursts + 1.0);  // spread across run
+    burst_centers.push_back(std::chrono::duration_cast<Duration>(
+        params.duration * frac));
+  }
+  uint64_t remaining = params.total_bytes;
+  for (int h = 0; h < params.num_huge_files; ++h) {
+    Duration center = burst_centers[h % burst_centers.size()];
+    // Vary sizes a little so the spikes differ like the paper's.
+    uint64_t size = params.huge_file_bytes +
+                    static_cast<uint64_t>(rng.next_range(-15, 25)) * 1000000ULL;
+    size = std::min(size, remaining);
+    trace.push_back(TraceRecord{center, size});
+    remaining -= size;
+  }
+
+  // 2. Fill the rest with log-normal sized files until the byte budget runs
+  //    out; arrival times are a mixture of burst-clustered and uniform.
+  while (remaining > 0) {
+    uint64_t size = static_cast<uint64_t>(
+        rng.next_lognormal(params.lognormal_mu, params.lognormal_sigma));
+    size = std::clamp<uint64_t>(size, 1024, 64ULL << 20);
+    size = std::min(size, remaining);
+    Duration at;
+    if (rng.next_double() < params.burst_fraction) {
+      Duration center =
+          burst_centers[rng.next_below(burst_centers.size())];
+      double offset = rng.next_normal() * to_sec(params.burst_width) / 2.0;
+      at = center + from_sec(offset);
+    } else {
+      at = from_sec(rng.next_double() * to_sec(params.duration));
+    }
+    if (at < Duration::zero()) at = Duration::zero();
+    if (at > params.duration) at = params.duration;
+    trace.push_back(TraceRecord{at, size});
+    remaining -= size;
+  }
+
+  std::sort(trace.begin(), trace.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              return a.at < b.at;
+            });
+  return trace;
+}
+
+TraceStats summarize(const std::vector<TraceRecord>& trace, size_t buckets) {
+  TraceStats stats;
+  stats.num_records = trace.size();
+  stats.bucket_bytes.assign(buckets, 0);
+  if (trace.empty()) return stats;
+  Duration span = trace.back().at;
+  if (span <= Duration::zero()) span = Duration(1);
+  stats.duration = span;
+  std::vector<uint64_t> sizes;
+  sizes.reserve(trace.size());
+  for (const TraceRecord& r : trace) {
+    stats.total_bytes += r.size_bytes;
+    stats.max_bytes = std::max(stats.max_bytes, r.size_bytes);
+    sizes.push_back(r.size_bytes);
+    size_t bucket = std::min<size_t>(
+        buckets - 1,
+        static_cast<size_t>(static_cast<double>(r.at.count()) /
+                            span.count() * buckets));
+    stats.bucket_bytes[bucket] += r.size_bytes;
+  }
+  std::nth_element(sizes.begin(), sizes.begin() + sizes.size() / 2,
+                   sizes.end());
+  stats.median_bytes = sizes[sizes.size() / 2];
+  return stats;
+}
+
+std::string to_csv(const std::vector<TraceRecord>& trace) {
+  std::ostringstream oss;
+  oss.precision(15);  // millisecond values need > the default 6 digits
+  oss << "at_ms,size_bytes\n";
+  for (const TraceRecord& r : trace)
+    oss << to_ms(r.at) << "," << r.size_bytes << "\n";
+  return oss.str();
+}
+
+Result<std::vector<TraceRecord>> from_csv(const std::string& csv) {
+  using R = Result<std::vector<TraceRecord>>;
+  std::vector<TraceRecord> out;
+  std::istringstream in(csv);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || lineno == 1) continue;  // header
+    auto comma = line.find(',');
+    if (comma == std::string::npos)
+      return R::error("trace csv line " + std::to_string(lineno) +
+                      ": missing comma");
+    try {
+      double at_ms = std::stod(line.substr(0, comma));
+      uint64_t size = std::stoull(line.substr(comma + 1));
+      out.push_back(TraceRecord{from_ms(at_ms), size});
+    } catch (const std::exception&) {
+      return R::error("trace csv line " + std::to_string(lineno) +
+                      ": malformed number");
+    }
+  }
+  return out;
+}
+
+}  // namespace stab::backup

@@ -1,0 +1,62 @@
+// Synthetic Dropbox sync trace (substitutes the IMC'14 measurement trace,
+// DESIGN.md §3).
+//
+// The paper's experiment uses a 2012-09-20 16:40:45–16:57:08 Dropbox slice:
+// 983 seconds, 3.87 GB total, arrivals concentrated in bursts, and three
+// huge (>100 MB) files that produce the three latency spikes of Fig 5. The
+// generator reproduces exactly those statistics deterministically from a
+// seed: log-normal file sizes, burst-clustered arrival times, and three
+// planted huge files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace stab::backup {
+
+struct TraceRecord {
+  Duration at;          // offset from trace start
+  uint64_t size_bytes;  // sync request payload size
+};
+
+struct TraceParams {
+  Duration duration = seconds(983);              // 16:40:45 -> 16:57:08
+  uint64_t total_bytes = 3'870'000'000ULL;       // 3.87 GB
+  uint64_t seed = 20120920;
+  int num_bursts = 3;                            // sub-minute request storms
+  double burst_fraction = 0.7;                   // arrivals inside bursts
+  Duration burst_width = seconds(45);
+  int num_huge_files = 3;                        // the Fig 4/5 spikes
+  uint64_t huge_file_bytes = 130'000'000ULL;     // ~130 MB each
+  // Log-normal body: median ~256 KB, heavy tail.
+  double lognormal_mu = 12.5;
+  double lognormal_sigma = 1.6;
+};
+
+/// Deterministic trace matching `params`; records are sorted by time and the
+/// total size matches params.total_bytes exactly (the last record absorbs
+/// rounding).
+std::vector<TraceRecord> generate_dropbox_trace(const TraceParams& params = {});
+
+struct TraceStats {
+  size_t num_records = 0;
+  uint64_t total_bytes = 0;
+  uint64_t max_bytes = 0;
+  uint64_t median_bytes = 0;
+  Duration duration = Duration::zero();
+  /// Per-bucket byte volume (Fig 4's shape), bucket = duration / buckets.
+  std::vector<uint64_t> bucket_bytes;
+};
+
+TraceStats summarize(const std::vector<TraceRecord>& trace,
+                     size_t buckets = 32);
+
+/// CSV round-trip ("at_ms,size_bytes" per line) for saving/loading traces.
+std::string to_csv(const std::vector<TraceRecord>& trace);
+Result<std::vector<TraceRecord>> from_csv(const std::string& csv);
+
+}  // namespace stab::backup

@@ -1,0 +1,125 @@
+// Byte buffers and a little-endian wire codec.
+//
+// All Stabilizer wire messages (data plane frames, control plane ACKs,
+// Paxos messages, pub/sub envelopes) are encoded with Writer/Reader. The
+// codec is deliberately simple: fixed-width little-endian integers and
+// length-prefixed blobs, which keeps encode/decode branch-free and easy to
+// audit.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stab {
+
+using Bytes = std::vector<uint8_t>;
+using BytesView = std::span<const uint8_t>;
+
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+inline std::string to_string(BytesView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+/// Appends little-endian encoded fields to a growable buffer.
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(uint8_t v) { buf_.push_back(v); }
+  void u16(uint16_t v) { raw(&v, sizeof v); }
+  void u32(uint32_t v) { raw(&v, sizeof v); }
+  void u64(uint64_t v) { raw(&v, sizeof v); }
+  void i64(int64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+
+  /// Length-prefixed blob (u32 length).
+  void blob(BytesView b) {
+    u32(static_cast<uint32_t>(b.size()));
+    raw(b.data(), b.size());
+  }
+  void str(std::string_view s) {
+    u32(static_cast<uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+
+  void raw(const void* p, size_t n) {
+    const auto* c = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), c, c + n);
+  }
+
+  const Bytes& bytes() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Thrown by Reader on truncated or malformed input.
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Consumes little-endian encoded fields from a byte view.
+class Reader {
+ public:
+  explicit Reader(BytesView b) : data_(b) {}
+
+  uint8_t u8() { return take<uint8_t>(); }
+  uint16_t u16() { return take<uint16_t>(); }
+  uint32_t u32() { return take<uint32_t>(); }
+  uint64_t u64() { return take<uint64_t>(); }
+  int64_t i64() { return take<int64_t>(); }
+  double f64() { return take<double>(); }
+
+  Bytes blob() {
+    uint32_t n = u32();
+    check(n);
+    Bytes out(data_.begin() + pos_, data_.begin() + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+  BytesView blob_view() {
+    uint32_t n = u32();
+    check(n);
+    BytesView out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  std::string str() {
+    auto v = blob_view();
+    return to_string(v);
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return remaining() == 0; }
+
+ private:
+  template <typename T>
+  T take() {
+    check(sizeof(T));
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  void check(size_t n) const {
+    if (pos_ + n > data_.size())
+      throw CodecError("truncated message: need " + std::to_string(n) +
+                       " bytes, have " + std::to_string(remaining()));
+  }
+
+  BytesView data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace stab

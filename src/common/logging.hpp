@@ -1,0 +1,37 @@
+// Tiny leveled logger. Thread-safe, writes to stderr.
+//
+// Default level is kWarn so tests and benches stay quiet; examples raise it
+// to kInfo to narrate what the library is doing.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace stab {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+#define STAB_LOG(level, expr)                                   \
+  do {                                                          \
+    if (static_cast<int>(level) >=                              \
+        static_cast<int>(::stab::log_level())) {                \
+      std::ostringstream oss_;                                  \
+      oss_ << expr;                                             \
+      ::stab::detail::log_line(level, oss_.str());              \
+    }                                                           \
+  } while (0)
+
+#define STAB_DEBUG(expr) STAB_LOG(::stab::LogLevel::kDebug, expr)
+#define STAB_INFO(expr) STAB_LOG(::stab::LogLevel::kInfo, expr)
+#define STAB_WARN(expr) STAB_LOG(::stab::LogLevel::kWarn, expr)
+#define STAB_ERROR(expr) STAB_LOG(::stab::LogLevel::kError, expr)
+
+}  // namespace stab

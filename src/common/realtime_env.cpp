@@ -1,0 +1,83 @@
+#include "common/realtime_env.hpp"
+
+#include <future>
+
+namespace stab {
+
+namespace {
+TimePoint steady_now() {
+  return std::chrono::duration_cast<Duration>(
+      std::chrono::steady_clock::now().time_since_epoch());
+}
+}  // namespace
+
+RealtimeEnv::RealtimeEnv() : thread_([this] { loop(); }) {}
+
+RealtimeEnv::~RealtimeEnv() { shutdown(); }
+
+TimePoint RealtimeEnv::now() const { return steady_now(); }
+
+TimerId RealtimeEnv::schedule_after(Duration delay, std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stop_) return kInvalidTimer;
+  TimerId id = next_id_++;
+  queue_.emplace(steady_now() + delay, Entry{id, std::move(fn)});
+  cv_.notify_all();
+  return id;
+}
+
+void RealtimeEnv::cancel(TimerId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->second.id == id) {
+      queue_.erase(it);
+      return;
+    }
+  }
+}
+
+void RealtimeEnv::run_sync(std::function<void()> fn) {
+  if (std::this_thread::get_id() == thread_.get_id()) {
+    fn();  // already on the timer thread
+    return;
+  }
+  std::promise<void> done;
+  schedule_after(Duration::zero(), [&] {
+    fn();
+    done.set_value();
+  });
+  done.get_future().wait();
+}
+
+void RealtimeEnv::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return;
+    stop_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void RealtimeEnv::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    if (queue_.empty()) {
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      continue;
+    }
+    TimePoint due = queue_.begin()->first;
+    TimePoint current = steady_now();
+    if (current < due) {
+      cv_.wait_for(lock, due - current);
+      continue;
+    }
+    auto entry = std::move(queue_.begin()->second);
+    queue_.erase(queue_.begin());
+    lock.unlock();
+    entry.fn();
+    lock.lock();
+  }
+}
+
+}  // namespace stab

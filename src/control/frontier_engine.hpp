@@ -1,0 +1,113 @@
+// The control plane's predicate engine.
+//
+// Owns the AckTable and the registered stability-frontier predicates for one
+// origin stream. Every incoming monotonic stability report re-evaluates the
+// predicates that reference the updated (node, type) cell; when a
+// predicate's frontier advances, registered monitors fire and pending
+// waitfor() callbacks whose sequence number is now covered are woken
+// (paper §III-D interfaces).
+//
+// The engine is synchronous and single-threaded by design: callers (the
+// Stabilizer core, tests) drive it from their Env thread, which is what
+// makes whole-cluster simulation deterministic.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "config/topology.hpp"
+#include "control/ack_table.hpp"
+#include "control/stability_types.hpp"
+#include "dsl/predicate.hpp"
+
+namespace stab {
+
+class FrontierEngine {
+ public:
+  /// Monitor callback: new frontier plus the uninterpreted extra bytes the
+  /// triggering stability report carried (empty for plain ACKs).
+  using MonitorFn = std::function<void(SeqNum frontier, BytesView extra)>;
+  using WaiterFn = std::function<void(SeqNum frontier)>;
+
+  FrontierEngine(const Topology& topology, NodeId self,
+                 StabilityTypeRegistry& types,
+                 dsl::EvalMode mode = dsl::EvalMode::kSpecialized);
+
+  // --- predicate management (paper: register_predicate / change_predicate) --
+  /// Compiles and registers a new predicate. Fails if the key exists or the
+  /// source does not compile. Unknown stability-type suffixes are
+  /// auto-registered (they become reportable levels).
+  Status register_predicate(const std::string& key, const std::string& source);
+
+  /// Replaces an existing predicate (dynamic reconfiguration, §VI-D). The
+  /// frontier is recomputed immediately; it may move backward across the
+  /// swap — "the user should be responsible for handling such a gap" — in
+  /// which case monitors fire with the new (lower) value but waiters are
+  /// only woken by coverage.
+  Status change_predicate(const std::string& key, const std::string& source);
+
+  Status remove_predicate(const std::string& key);
+  bool has_predicate(const std::string& key) const;
+  std::vector<std::string> predicate_keys() const;
+  const dsl::Predicate* predicate(const std::string& key) const;
+
+  /// Last computed frontier for `key`; kNoSeq if unknown key or nothing
+  /// stable yet.
+  SeqNum frontier(const std::string& key) const;
+
+  // --- observers -------------------------------------------------------------
+  /// monitor_stability_frontier: fire `fn` whenever the predicate reports a
+  /// new frontier. Multiple monitors per key are allowed.
+  Status monitor(const std::string& key, MonitorFn fn);
+
+  /// waitfor: invoke `fn` once, as soon as frontier(key) >= seq (immediately
+  /// if already true).
+  Status waitfor(const std::string& key, SeqNum seq, WaiterFn fn);
+
+  // --- control-plane input ----------------------------------------------------
+  /// Apply a stability report. Returns true iff the table advanced. Fires
+  /// monitors/waiters for every affected predicate.
+  bool on_ack(StabilityTypeId type, NodeId node, SeqNum seq,
+              BytesView extra = {});
+
+  /// Re-evaluate every predicate (used after bulk table mutation/recovery).
+  void reevaluate_all();
+
+  AckTable& acks() { return acks_; }
+  const AckTable& acks() const { return acks_; }
+  StabilityTypeRegistry& types() { return types_; }
+  NodeId self() const { return self_; }
+
+  /// Total predicate evaluations performed (benchmarks / tests).
+  uint64_t evaluations() const { return evaluations_; }
+
+ private:
+  struct Waiter {
+    SeqNum seq;
+    WaiterFn fn;
+  };
+  struct Entry {
+    dsl::Predicate predicate;
+    SeqNum frontier = kNoSeq;
+    std::vector<MonitorFn> monitors;
+    std::vector<Waiter> waiters;  // kept sorted by seq ascending
+  };
+
+  Result<dsl::Predicate> compile(const std::string& source);
+  void reevaluate(Entry& entry, BytesView extra, bool allow_regress);
+
+  const Topology& topology_;
+  NodeId self_;
+  StabilityTypeRegistry& types_;
+  dsl::EvalMode mode_;
+  AckTable acks_;
+  std::map<std::string, std::unique_ptr<Entry>> entries_;
+  uint64_t evaluations_ = 0;
+};
+
+}  // namespace stab

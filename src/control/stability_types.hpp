@@ -1,0 +1,45 @@
+// Registry of stability types (levels).
+//
+// The paper ships three built-in levels matching the data pipeline —
+// received, persisted, delivered (§III-A "a series of levels of stability")
+// — and lets applications define new ones ("verified, countersigned, etc",
+// §III-C). Types are dense ids so the AckTable can store one row per type.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace stab {
+
+class StabilityTypeRegistry {
+ public:
+  static constexpr StabilityTypeId kReceived = 0;
+  static constexpr StabilityTypeId kPersisted = 1;
+  static constexpr StabilityTypeId kDelivered = 2;
+
+  StabilityTypeRegistry() : names_{"received", "persisted", "delivered"} {}
+
+  /// Returns the id for `name`, registering it if new.
+  StabilityTypeId get_or_register(const std::string& name) {
+    if (auto id = find(name)) return *id;
+    names_.push_back(name);
+    return static_cast<StabilityTypeId>(names_.size() - 1);
+  }
+
+  std::optional<StabilityTypeId> find(const std::string& name) const {
+    for (size_t i = 0; i < names_.size(); ++i)
+      if (names_[i] == name) return static_cast<StabilityTypeId>(i);
+    return std::nullopt;
+  }
+
+  const std::string& name(StabilityTypeId id) const { return names_.at(id); }
+  size_t count() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace stab

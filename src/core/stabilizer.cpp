@@ -1,0 +1,579 @@
+#include "core/stabilizer.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace stab {
+
+Stabilizer::Stabilizer(StabilizerOptions options, Transport& transport)
+    : options_(std::move(options)),
+      transport_(transport),
+      rx_(options_.topology.num_nodes()),
+      excluded_(options_.topology.num_nodes(), false),
+      peer_acked_at_last_probe_(options_.topology.num_nodes(), kNoSeq),
+      dirty_(options_.topology.num_nodes()),
+      reported_(options_.topology.num_nodes()) {
+  const size_t n = options_.topology.num_nodes();
+  if (options_.self >= n)
+    throw std::invalid_argument("Stabilizer: self node out of range");
+  engines_.reserve(n);
+  for (NodeId origin = 0; origin < n; ++origin)
+    engines_.push_back(std::make_unique<FrontierEngine>(
+        options_.topology, options_.self, types_, options_.eval_mode));
+
+  transport_.set_receive_handler(
+      [this](NodeId src, Bytes frame, uint64_t wire_size) {
+        on_frame(src, std::move(frame), wire_size);
+      });
+  stall_last_acked_.assign(n, kNoSeq);
+  stalled_.assign(n, false);
+  next_to_send_.assign(n, 0);
+  if (options_.retransmit_timeout > Duration::zero())
+    schedule_retransmit_timer();
+  if (options_.peer_stall_timeout > Duration::zero()) schedule_stall_timer();
+}
+
+Stabilizer::~Stabilizer() {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  stopped_ = true;
+  if (retransmit_timer_ != kInvalidTimer) env().cancel(retransmit_timer_);
+  if (stall_timer_ != kInvalidTimer) env().cancel(stall_timer_);
+}
+
+// --- data plane ----------------------------------------------------------------
+
+SeqNum Stabilizer::send(BytesView payload, uint64_t virtual_size) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  SeqNum seq = sequencer_.next();
+  out_.push(seq, Bytes(payload.begin(), payload.end()), virtual_size);
+  ++stats_.messages_sent;
+
+  pump_windows();
+  apply_origin_rule_for_send(seq);
+  maybe_reclaim();  // single-node clusters reclaim immediately
+  return seq;
+}
+
+std::pair<SeqNum, SeqNum> Stabilizer::send_large(BytesView payload,
+                                                 uint64_t virtual_size) {
+  const uint64_t total = payload.size() + virtual_size;
+  const uint64_t split = options_.split_size;
+  const uint64_t chunks = std::max<uint64_t>(1, (total + split - 1) / split);
+  SeqNum first = kNoSeq, last = kNoSeq;
+  uint64_t offset = 0;
+  for (uint64_t c = 0; c < chunks; ++c) {
+    uint64_t len = std::min<uint64_t>(split, total - offset);
+    // Real bytes are the prefix of the combined stream; the rest is padding.
+    uint64_t real_begin = std::min<uint64_t>(offset, payload.size());
+    uint64_t real_end = std::min<uint64_t>(offset + len, payload.size());
+    BytesView real = payload.subspan(real_begin, real_end - real_begin);
+    uint64_t pad = len - real.size();
+    SeqNum seq = send(real, pad);
+    if (first == kNoSeq) first = seq;
+    last = seq;
+    offset += len;
+  }
+  return {first, last};
+}
+
+void Stabilizer::set_delivery_handler(DeliveryHandler handler) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  delivery_ = std::move(handler);
+}
+
+void Stabilizer::set_raw_frame_handler(RawHandler handler) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  raw_handler_ = std::move(handler);
+}
+
+void Stabilizer::send_raw(NodeId dst, Bytes frame) {
+  if (!frame.empty() && frame[0] < 0x40)
+    throw std::invalid_argument(
+        "send_raw: application frame kinds must be >= 0x40");
+  transport_.send(dst, std::move(frame));
+}
+
+void Stabilizer::pump_windows() {
+  const AckTable& acks = engines_[options_.self]->acks();
+  const SeqNum last = sequencer_.last_assigned();
+  for (NodeId peer = 0; peer < options_.topology.num_nodes(); ++peer) {
+    if (peer == options_.self || excluded_[peer]) continue;
+    SeqNum& cursor = next_to_send_[peer];
+    if (cursor < out_.base()) cursor = out_.base();  // after recovery
+    while (cursor <= last) {
+      if (options_.send_window > 0) {
+        SeqNum acked = acks.get(StabilityTypeRegistry::kReceived, peer);
+        if (cursor - acked > static_cast<SeqNum>(options_.send_window))
+          break;  // window full; resumes when this peer's acks advance
+      }
+      if (const auto* slot = out_.get(cursor)) transmit(peer, *slot);
+      ++cursor;
+    }
+  }
+}
+
+void Stabilizer::transmit(NodeId dst, const data::OutBuffer::Slot& slot) {
+  data::DataFrame frame;
+  frame.origin = options_.self;
+  frame.seq = slot.seq;
+  frame.payload = slot.payload;  // copy; transport consumes its frame
+  frame.virtual_size = slot.virtual_size;
+  Bytes encoded = data::encode(frame);
+  uint64_t wire = encoded.size() + slot.virtual_size;
+  transport_.send(dst, std::move(encoded), wire);
+  ++stats_.frames_transmitted;
+}
+
+void Stabilizer::apply_origin_rule_for_send(SeqNum seq) {
+  // §III-C: "all stability properties hold for the WAN node that originated
+  // a message" — advance every type's self cell on the self stream.
+  FrontierEngine& self_engine = *engines_[options_.self];
+  for (StabilityTypeId t = 0; t < types_.count(); ++t)
+    self_engine.on_ack(t, options_.self, seq);
+}
+
+// --- receive path ----------------------------------------------------------------
+
+void Stabilizer::on_frame(NodeId src, Bytes frame, uint64_t wire_size) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (stopped_) return;
+  auto kind = data::peek_kind(frame);
+  if (!kind) {
+    if (raw_handler_) {
+      raw_handler_(src, frame, wire_size);
+    } else {
+      STAB_WARN("node " << options_.self << ": dropping unknown frame from "
+                        << src);
+    }
+    return;
+  }
+  if (*kind == data::FrameKind::kData) {
+    handle_data(src, data::decode_data(frame), wire_size);
+  } else {
+    handle_ack_batch(data::decode_ack_batch(frame));
+  }
+}
+
+void Stabilizer::handle_data(NodeId src, const data::DataFrame& frame,
+                             uint64_t wire_size) {
+  (void)src;
+  if (frame.origin >= options_.topology.num_nodes()) return;
+  switch (rx_.on_frame(frame.origin, frame.seq)) {
+    case data::ReceiveTracker::Verdict::kStaleDuplicate:
+      ++stats_.duplicates_dropped;
+      return;
+    case data::ReceiveTracker::Verdict::kGap:
+      ++stats_.gaps_detected;
+      return;  // go-back-N: wait for the retransmitted tail
+    case data::ReceiveTracker::Verdict::kAccept:
+      break;
+  }
+  ++stats_.messages_delivered;
+
+  FrontierEngine& engine = *engines_[frame.origin];
+  // Origin rule for the remote stream: the origin has every property for
+  // its own message.
+  for (StabilityTypeId t = 0; t < types_.count(); ++t)
+    engine.on_ack(t, frame.origin, frame.seq);
+  // Our own receipt.
+  engine.on_ack(StabilityTypeRegistry::kReceived, options_.self, frame.seq);
+  mark_dirty(frame.origin, StabilityTypeRegistry::kReceived, frame.seq, {});
+
+  if (delivery_)
+    delivery_(frame.origin, frame.seq, frame.payload, wire_size);
+
+  if (options_.auto_report_delivered) {
+    engine.on_ack(StabilityTypeRegistry::kDelivered, options_.self,
+                  frame.seq);
+    mark_dirty(frame.origin, StabilityTypeRegistry::kDelivered, frame.seq,
+               {});
+  }
+}
+
+void Stabilizer::handle_ack_batch(const data::AckBatchFrame& frame) {
+  for (const data::AckEntry& e : frame.entries) {
+    if (e.about_origin >= engines_.size()) continue;
+    engines_[e.about_origin]->on_ack(e.type, frame.reporter, e.seq, e.extra);
+    ++stats_.ack_entries_applied;
+  }
+  if (options_.send_window > 0) pump_windows();  // acks free window space
+  maybe_reclaim();
+}
+
+void Stabilizer::maybe_reclaim() {
+  if (out_.empty()) return;
+  const AckTable& acks = engines_[options_.self]->acks();
+  SeqNum floor = out_.last();
+  for (NodeId peer = 0; peer < options_.topology.num_nodes(); ++peer) {
+    if (peer == options_.self || excluded_[peer]) continue;
+    floor = std::min(floor, acks.get(StabilityTypeRegistry::kReceived, peer));
+  }
+  if (floor >= out_.base()) out_.reclaim_through(floor);
+}
+
+// --- control-plane output ---------------------------------------------------------
+
+void Stabilizer::mark_dirty(NodeId about, StabilityTypeId type, SeqNum seq,
+                            Bytes extra) {
+  auto& per_type = dirty_[about];
+  if (per_type.size() <= type) per_type.resize(type + 1);
+  auto& reported = reported_[about];
+  if (reported.size() <= type) reported.resize(type + 1, kNoSeq);
+  reported[type] = std::max(reported[type], seq);
+  DirtyAck& d = per_type[type];
+  if (seq <= d.seq) return;  // monotonic coalescing
+  d.seq = seq;
+  d.extra = std::move(extra);
+  any_dirty_ = true;
+  schedule_ack_timer();
+}
+
+void Stabilizer::schedule_ack_timer() {
+  if (ack_timer_armed_ || stopped_) return;
+  if (options_.ack_interval <= Duration::zero()) {
+    flush_acks();
+    return;
+  }
+  ack_timer_armed_ = true;
+  env().schedule_after(options_.ack_interval, [this] {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    ack_timer_armed_ = false;
+    if (!stopped_) flush_acks();
+  });
+}
+
+void Stabilizer::flush_acks() {
+  if (!any_dirty_) return;
+  any_dirty_ = false;
+
+  if (options_.broadcast_acks) {
+    data::AckBatchFrame batch;
+    batch.reporter = options_.self;
+    for (NodeId about = 0; about < dirty_.size(); ++about) {
+      for (StabilityTypeId t = 0; t < dirty_[about].size(); ++t) {
+        DirtyAck& d = dirty_[about][t];
+        if (d.seq == kNoSeq) continue;
+        batch.entries.push_back(
+            data::AckEntry{about, t, d.seq, std::move(d.extra)});
+        d = DirtyAck{};
+      }
+    }
+    if (batch.entries.empty()) return;
+    Bytes encoded = data::encode(batch);
+    for (NodeId peer = 0; peer < options_.topology.num_nodes(); ++peer) {
+      if (peer == options_.self || excluded_[peer]) continue;
+      transport_.send(peer, encoded);
+      ++stats_.ack_batches_sent;
+    }
+  } else {
+    // Origin-scoped: each origin gets only the reports about its stream.
+    for (NodeId about = 0; about < dirty_.size(); ++about) {
+      data::AckBatchFrame batch;
+      batch.reporter = options_.self;
+      for (StabilityTypeId t = 0; t < dirty_[about].size(); ++t) {
+        DirtyAck& d = dirty_[about][t];
+        if (d.seq == kNoSeq) continue;
+        batch.entries.push_back(
+            data::AckEntry{about, t, d.seq, std::move(d.extra)});
+        d = DirtyAck{};
+      }
+      if (batch.entries.empty()) continue;
+      if (about == options_.self || excluded_[about]) continue;
+      transport_.send(about, data::encode(batch));
+      ++stats_.ack_batches_sent;
+    }
+  }
+}
+
+// --- retransmission ------------------------------------------------------------
+
+void Stabilizer::schedule_retransmit_timer() {
+  retransmit_timer_ =
+      env().schedule_after(options_.retransmit_timeout, [this] {
+        std::lock_guard<std::recursive_mutex> lock(mutex_);
+        if (stopped_) return;
+        retransmit_check();
+        schedule_retransmit_timer();
+      });
+}
+
+void Stabilizer::retransmit_check() {
+  // Control-plane heartbeat: re-issue the latest cumulative reports in case
+  // a previous ACK frame was lost (receivers max-merge, so this is
+  // idempotent).
+  for (NodeId about = 0; about < reported_.size(); ++about)
+    for (StabilityTypeId t = 0; t < reported_[about].size(); ++t)
+      if (reported_[about][t] != kNoSeq)
+        mark_dirty(about, t, reported_[about][t], {});
+
+  if (out_.empty()) return;
+  const AckTable& acks = engines_[options_.self]->acks();
+  for (NodeId peer = 0; peer < options_.topology.num_nodes(); ++peer) {
+    if (peer == options_.self || excluded_[peer]) continue;
+    SeqNum acked = acks.get(StabilityTypeRegistry::kReceived, peer);
+    if (acked >= out_.last()) {
+      peer_acked_at_last_probe_[peer] = acked;
+      continue;
+    }
+    if (acked > peer_acked_at_last_probe_[peer]) {
+      // Progress since the last probe: give the pipe time before resending.
+      peer_acked_at_last_probe_[peer] = acked;
+      continue;
+    }
+    SeqNum from = std::max(acked + 1, out_.base());
+    SeqNum to = std::min<SeqNum>(
+        out_.last(), from + static_cast<SeqNum>(options_.retransmit_window) - 1);
+    for (SeqNum s = from; s <= to; ++s) {
+      if (const auto* slot = out_.get(s)) {
+        transmit(peer, *slot);
+        ++stats_.retransmissions;
+      }
+    }
+    peer_acked_at_last_probe_[peer] = acked;
+  }
+}
+
+// --- peer stall detection (§III-E) --------------------------------------------
+
+void Stabilizer::set_peer_stall_handler(PeerStallHandler handler) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  stall_handler_ = std::move(handler);
+}
+
+void Stabilizer::schedule_stall_timer() {
+  stall_timer_ = env().schedule_after(options_.peer_stall_timeout, [this] {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    if (stopped_) return;
+    stall_check();
+    schedule_stall_timer();
+  });
+}
+
+void Stabilizer::stall_check() {
+  const AckTable& acks = engines_[options_.self]->acks();
+  SeqNum last = sequencer_.last_assigned();
+  for (NodeId peer = 0; peer < options_.topology.num_nodes(); ++peer) {
+    if (peer == options_.self || excluded_[peer]) continue;
+    SeqNum acked = acks.get(StabilityTypeRegistry::kReceived, peer);
+    bool owes = last >= 0 && acked < last;
+    if (!owes || acked > stall_last_acked_[peer]) {
+      stall_last_acked_[peer] = acked;
+      stalled_[peer] = false;  // progress (or nothing outstanding)
+      continue;
+    }
+    if (!stalled_[peer]) {
+      stalled_[peer] = true;  // one notification per stall episode
+      if (stall_handler_) stall_handler_(peer);
+    }
+  }
+}
+
+// --- control-state snapshot / recovery (§III-E) -------------------------------
+
+Bytes Stabilizer::snapshot_control_state() const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  Writer w(1024);
+  w.u32(0x53544142);  // "STAB"
+  w.u32(1);           // snapshot format version
+  w.u32(options_.self);
+  w.i64(sequencer_.last_assigned());
+  // Stability type names (dense ids).
+  w.u32(static_cast<uint32_t>(types_.count()));
+  for (StabilityTypeId t = 0; t < types_.count(); ++t) w.str(types_.name(t));
+  // Registered predicates (identical across engines; take the self one).
+  const FrontierEngine& self_engine = *engines_[options_.self];
+  auto keys = self_engine.predicate_keys();
+  w.u32(static_cast<uint32_t>(keys.size()));
+  for (const auto& key : keys) {
+    w.str(key);
+    w.str(self_engine.predicate(key)->source());
+  }
+  // Per-origin: delivery cursor + the full AckTable.
+  const size_t n = options_.topology.num_nodes();
+  w.u32(static_cast<uint32_t>(n));
+  for (NodeId origin = 0; origin < n; ++origin) {
+    w.i64(rx_.received_through(origin));
+    const AckTable& acks = engines_[origin]->acks();
+    w.u32(static_cast<uint32_t>(acks.num_types()));
+    for (StabilityTypeId t = 0; t < acks.num_types(); ++t)
+      for (NodeId node = 0; node < n; ++node) w.i64(acks.get(t, node));
+  }
+  return std::move(w).take();
+}
+
+Status Stabilizer::restore_control_state(BytesView snapshot) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  try {
+    Reader r(snapshot);
+    if (r.u32() != 0x53544142)
+      return Status::error("restore: not a Stabilizer snapshot");
+    if (r.u32() != 1) return Status::error("restore: unknown snapshot version");
+    if (r.u32() != options_.self)
+      return Status::error("restore: snapshot was taken by another node");
+    SeqNum last_assigned = r.i64();
+    sequencer_.fast_forward(last_assigned);
+    out_.reset_base(last_assigned + 1);  // pre-crash messages are not ours
+                                         // to retransmit (store has them)
+
+    uint32_t ntypes = r.u32();
+    for (uint32_t t = 0; t < ntypes; ++t) types_.get_or_register(r.str());
+
+    uint32_t npreds = r.u32();
+    for (uint32_t p = 0; p < npreds; ++p) {
+      std::string key = r.str();
+      std::string source = r.str();
+      Status st = has_predicate(key) ? change_predicate(key, source)
+                                     : register_predicate(key, source);
+      if (!st.is_ok()) return st;
+    }
+
+    uint32_t n = r.u32();
+    if (n != options_.topology.num_nodes())
+      return Status::error("restore: topology size mismatch");
+    for (NodeId origin = 0; origin < n; ++origin) {
+      rx_.restore(origin, r.i64());
+      uint32_t ntypes_origin = r.u32();
+      for (StabilityTypeId t = 0; t < ntypes_origin; ++t)
+        for (NodeId node = 0; node < n; ++node) {
+          SeqNum seq = r.i64();
+          if (seq != kNoSeq)
+            engines_[origin]->on_ack(t, node, seq);  // monotonic merge
+        }
+    }
+  } catch (const CodecError& e) {
+    return Status::error(std::string("restore: corrupt snapshot: ") +
+                         e.what());
+  }
+  return Status::ok();
+}
+
+// --- control plane API -----------------------------------------------------------
+
+Status Stabilizer::register_predicate(const std::string& key,
+                                      const std::string& source) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  for (auto& engine : engines_) {
+    Status st = engine->register_predicate(key, source);
+    if (!st.is_ok()) return st;  // identical context: fails on the first
+  }
+  // New types may have been auto-registered; backfill the origin rule for
+  // everything already sent on the local stream.
+  if (sequencer_.last_assigned() >= 0)
+    apply_origin_rule_for_send(sequencer_.last_assigned());
+  return Status::ok();
+}
+
+Status Stabilizer::change_predicate(const std::string& key,
+                                    const std::string& source) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  for (auto& engine : engines_) {
+    Status st = engine->change_predicate(key, source);
+    if (!st.is_ok()) return st;
+  }
+  if (sequencer_.last_assigned() >= 0)
+    apply_origin_rule_for_send(sequencer_.last_assigned());
+  return Status::ok();
+}
+
+bool Stabilizer::has_predicate(const std::string& key) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return engines_[options_.self]->has_predicate(key);
+}
+
+SeqNum Stabilizer::get_stability_frontier(const std::string& key,
+                                          NodeId origin) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return engines_[resolve_origin(origin)]->frontier(key);
+}
+
+Status Stabilizer::monitor_stability_frontier(const std::string& key,
+                                              MonitorFn fn, NodeId origin) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return engines_[resolve_origin(origin)]->monitor(key, std::move(fn));
+}
+
+Status Stabilizer::waitfor(SeqNum seq, const std::string& key, WaiterFn fn,
+                           NodeId origin) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return engines_[resolve_origin(origin)]->waitfor(key, seq, std::move(fn));
+}
+
+bool Stabilizer::waitfor_blocking(SeqNum seq, const std::string& key,
+                                  Duration timeout, NodeId origin) {
+  struct State {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+  };
+  auto state = std::make_shared<State>();
+  Status st = waitfor(seq, key,
+                      [state](SeqNum) {
+                        std::lock_guard<std::mutex> l(state->m);
+                        state->done = true;
+                        state->cv.notify_all();
+                      },
+                      origin);
+  if (!st.is_ok()) return false;
+  std::unique_lock<std::mutex> l(state->m);
+  return state->cv.wait_for(l, timeout, [&] { return state->done; });
+}
+
+Status Stabilizer::report_stability(const std::string& type_name,
+                                    NodeId origin, SeqNum seq,
+                                    BytesView extra) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (origin == kInvalidNode) origin = options_.self;
+  if (origin >= engines_.size())
+    return Status::error("report_stability: bad origin");
+  StabilityTypeId type = types_.get_or_register(type_name);
+  engines_[origin]->on_ack(type, options_.self, seq,
+                           BytesView(extra.data(), extra.size()));
+  mark_dirty(origin, type, seq, Bytes(extra.begin(), extra.end()));
+  return Status::ok();
+}
+
+// --- fault tolerance ---------------------------------------------------------------
+
+std::vector<std::string> Stabilizer::predicates_referencing(
+    NodeId node) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  std::vector<std::string> out;
+  const FrontierEngine& engine = *engines_[options_.self];
+  for (const std::string& key : engine.predicate_keys())
+    if (engine.predicate(key)->references_node(node)) out.push_back(key);
+  return out;
+}
+
+void Stabilizer::set_peer_excluded(NodeId node, bool excluded) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (node >= excluded_.size() || node == options_.self) return;
+  excluded_[node] = excluded;
+  if (excluded) maybe_reclaim();  // the dead peer no longer pins the buffer
+}
+
+bool Stabilizer::peer_excluded(NodeId node) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return node < excluded_.size() && excluded_[node];
+}
+
+// --- introspection ------------------------------------------------------------------
+
+SeqNum Stabilizer::last_sent() const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return sequencer_.last_assigned();
+}
+
+SeqNum Stabilizer::delivered_through(NodeId origin) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return rx_.received_through(origin);
+}
+
+FrontierEngine& Stabilizer::engine(NodeId origin) {
+  return *engines_[resolve_origin(origin)];
+}
+const FrontierEngine& Stabilizer::engine(NodeId origin) const {
+  return *engines_[resolve_origin(origin)];
+}
+
+}  // namespace stab

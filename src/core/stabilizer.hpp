@@ -1,0 +1,266 @@
+// The Stabilizer library core — the paper's public API (§III).
+//
+// One Stabilizer instance runs per WAN node (data center). It owns:
+//   * the data plane: primary-site sequencing of the local stream, eager
+//     streaming of every message to every peer, send buffering until global
+//     receipt, optional go-back-N retransmission for lossy links;
+//   * the control plane: one FrontierEngine per origin stream (an SST-style
+//     AckTable plus the registered stability-frontier predicates), fed by a
+//     continuous monotonic ACK stream that is batched per ack_interval;
+//   * the paper's interfaces: send, register_predicate / change_predicate,
+//     get_stability_frontier, monitor_stability_frontier, waitfor, and
+//     report_stability for application-defined stability levels.
+//
+// Threading: the core is single-threaded (paper §III-A). All methods must be
+// called from the transport's Env thread or with external synchronization;
+// an internal mutex makes the public API safe to call from an application
+// thread when running on the real-time transports. waitfor_blocking() is the
+// only method that blocks, and must not be called from the Env thread.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "config/topology.hpp"
+#include "control/frontier_engine.hpp"
+#include "data/out_buffer.hpp"
+#include "data/receive_tracker.hpp"
+#include "data/wire.hpp"
+#include "dsl/predicate.hpp"
+#include "net/transport.hpp"
+
+namespace stab {
+
+struct StabilizerOptions {
+  Topology topology;
+  NodeId self = 0;
+
+  /// Control-plane batching: dirty stability reports are flushed at most
+  /// this often. Monotonicity makes coalescing lossless (§III-A).
+  Duration ack_interval = millis(2);
+
+  /// Go-back-N retransmission probe period; zero disables (the default —
+  /// the bundled transports are lossless FIFO). Enable on lossy links.
+  Duration retransmit_timeout = Duration::zero();
+  size_t retransmit_window = 256;
+
+  /// Crash detection (§III-E "The crashed secondary node can be observed by
+  /// a predicate update timer"): if a peer's receive acknowledgment makes no
+  /// progress for this long while data is outstanding to it, the peer-stall
+  /// handler fires. Zero disables.
+  Duration peer_stall_timeout = Duration::zero();
+
+  /// Per-peer flow control: at most this many messages transmitted beyond
+  /// the peer's receive acknowledgment; the rest stay in the send buffer
+  /// and flow as acks come back (§III-B "it can also buffer data for later
+  /// transmission if needed"). Zero = transmit aggressively with no cap
+  /// (the paper's default behaviour).
+  size_t send_window = 0;
+
+  /// true: stability reports go to every node, so every WAN site evaluates
+  /// predicates independently (Fig 1). false: reports go only to the
+  /// message's origin — sufficient when only senders track stability, and
+  /// what the large trace benches use.
+  bool broadcast_acks = true;
+
+  /// Large writes are split into messages of at most this size (§VI-B:
+  /// "Stabilizer splits big writes into smaller packets whose upper bound is
+  /// 8KB").
+  size_t split_size = 8 * 1024;
+
+  /// Execution strategy for compiled predicates.
+  dsl::EvalMode eval_mode = dsl::EvalMode::kSpecialized;
+
+  /// Automatically report the "delivered" level after the application
+  /// upcall returns.
+  bool auto_report_delivered = true;
+};
+
+struct StabilizerStats {
+  uint64_t messages_sent = 0;       // local stream messages
+  uint64_t frames_transmitted = 0;  // DATA frames put on the wire
+  uint64_t messages_delivered = 0;  // remote messages upcalled
+  uint64_t ack_batches_sent = 0;
+  uint64_t ack_entries_applied = 0;
+  uint64_t duplicates_dropped = 0;
+  uint64_t gaps_detected = 0;
+  uint64_t retransmissions = 0;
+};
+
+class Stabilizer {
+ public:
+  /// Delivery upcall: a message of a remote origin's stream arrived in
+  /// order. `wire_size` includes virtual padding.
+  using DeliveryHandler = std::function<void(
+      NodeId origin, SeqNum seq, BytesView payload, uint64_t wire_size)>;
+  using MonitorFn = FrontierEngine::MonitorFn;
+  using WaiterFn = FrontierEngine::WaiterFn;
+
+  Stabilizer(StabilizerOptions options, Transport& transport);
+  ~Stabilizer();
+
+  Stabilizer(const Stabilizer&) = delete;
+  Stabilizer& operator=(const Stabilizer&) = delete;
+
+  NodeId self() const { return options_.self; }
+  const Topology& topology() const { return options_.topology; }
+  Env& env() { return transport_.env(); }
+
+  // --- data plane -------------------------------------------------------------
+  /// Sequence and stream one message of the local pool to every peer.
+  /// Returns its sequence number. `virtual_size` adds trace-replay padding
+  /// that is charged to (simulated) bandwidth but not materialized.
+  SeqNum send(BytesView payload, uint64_t virtual_size = 0);
+
+  /// Split a large write into <= split_size messages (plus padding spread
+  /// across them). Returns [first_seq, last_seq].
+  std::pair<SeqNum, SeqNum> send_large(BytesView payload,
+                                       uint64_t virtual_size = 0);
+
+  void set_delivery_handler(DeliveryHandler handler);
+
+  /// Frames whose leading kind byte is not a Stabilizer frame are passed
+  /// through here — applications (e.g. the quorum protocol's read RPCs)
+  /// multiplex their own messages onto the same links. Application kinds
+  /// must be >= 0x40.
+  using RawHandler =
+      std::function<void(NodeId src, BytesView frame, uint64_t wire_size)>;
+  void set_raw_frame_handler(RawHandler handler);
+
+  /// Sends an application frame (kind byte >= 0x40) to one peer, outside the
+  /// sequenced stream.
+  void send_raw(NodeId dst, Bytes frame);
+
+  // --- control plane (paper §III-D) --------------------------------------------
+  /// Registers a new predicate under `key` on every origin stream's engine.
+  Status register_predicate(const std::string& key, const std::string& source);
+  /// Replaces an existing predicate at runtime (dynamic reconfiguration).
+  Status change_predicate(const std::string& key, const std::string& source);
+  bool has_predicate(const std::string& key) const;
+
+  /// Current frontier of `key` for `origin`'s stream (default: own stream).
+  SeqNum get_stability_frontier(const std::string& key,
+                                NodeId origin = kInvalidNode) const;
+
+  /// Calls `fn` every time `key`'s frontier advances on `origin`'s stream.
+  Status monitor_stability_frontier(const std::string& key, MonitorFn fn,
+                                    NodeId origin = kInvalidNode);
+
+  /// One-shot: calls `fn` when frontier(key) >= seq (immediately if so).
+  Status waitfor(SeqNum seq, const std::string& key, WaiterFn fn,
+                 NodeId origin = kInvalidNode);
+
+  /// Blocking waitfor for real-time deployments. Must not be called from the
+  /// Env thread. Returns false on timeout.
+  bool waitfor_blocking(SeqNum seq, const std::string& key, Duration timeout,
+                        NodeId origin = kInvalidNode);
+
+  /// Report that `origin`'s message `seq` reached an application-defined
+  /// stability level locally (e.g. "verified"). The report joins the
+  /// control-plane stream; `extra` rides along as uninterpreted bytes.
+  Status report_stability(const std::string& type_name, NodeId origin,
+                          SeqNum seq, BytesView extra = {});
+
+  // --- fault tolerance / reconfiguration ---------------------------------------
+  /// Predicates (keys) that reference `node` — the candidates to adjust when
+  /// the node fails (§III-E: "The primary can adjust the predicate to
+  /// eliminate the impact").
+  std::vector<std::string> predicates_referencing(NodeId node) const;
+
+  /// Fired (once per stall episode, on the Env thread) when
+  /// peer_stall_timeout elapses without ack progress from a peer that still
+  /// owes acknowledgments. Typical reaction: adjust predicates via
+  /// change_predicate and/or set_peer_excluded.
+  using PeerStallHandler = std::function<void(NodeId peer)>;
+  void set_peer_stall_handler(PeerStallHandler handler);
+
+  /// Serializes the control-plane state: stability-type names, registered
+  /// predicates, every origin's AckTable, the local sequencer position, and
+  /// per-origin delivery cursors. Together with the storage substrate's own
+  /// recovery (e.g. LocalStore::recover) this implements §III-E's restart
+  /// path: "the Derecho object store can also persist the stability
+  /// frontier information, which can be used for Stabilizer recovery".
+  Bytes snapshot_control_state() const;
+
+  /// Restores a snapshot into a freshly constructed instance (same topology,
+  /// same self). Re-registers predicates, merges ack state (monotonic, so
+  /// replaying a stale snapshot is harmless), and fast-forwards the
+  /// sequencer so new sends never reuse sequence numbers.
+  Status restore_control_state(BytesView snapshot);
+
+  /// Excluded peers receive no further traffic and do not block send-buffer
+  /// reclamation. Used after crash detection; predicates must be adjusted
+  /// separately (they keep reading the excluded node's last acks).
+  void set_peer_excluded(NodeId node, bool excluded);
+  bool peer_excluded(NodeId node) const;
+
+  // --- introspection ------------------------------------------------------------
+  SeqNum last_sent() const;
+  SeqNum delivered_through(NodeId origin) const;
+  const StabilizerStats& stats() const { return stats_; }
+  uint64_t send_buffer_bytes() const { return out_.buffered_bytes(); }
+  FrontierEngine& engine(NodeId origin = kInvalidNode);
+  const FrontierEngine& engine(NodeId origin = kInvalidNode) const;
+  StabilityTypeRegistry& types() { return types_; }
+
+ private:
+  NodeId resolve_origin(NodeId origin) const {
+    return origin == kInvalidNode ? options_.self : origin;
+  }
+  void on_frame(NodeId src, Bytes frame, uint64_t wire_size);
+  void handle_data(NodeId src, const data::DataFrame& frame,
+                   uint64_t wire_size);
+  void handle_ack_batch(const data::AckBatchFrame& frame);
+  void mark_dirty(NodeId about, StabilityTypeId type, SeqNum seq, Bytes extra);
+  void flush_acks();
+  void schedule_ack_timer();
+  void schedule_retransmit_timer();
+  void retransmit_check();
+  void schedule_stall_timer();
+  void stall_check();
+  void apply_origin_rule_for_send(SeqNum seq);
+  void maybe_reclaim();
+  void transmit(NodeId dst, const data::OutBuffer::Slot& slot);
+  /// Transmits buffered messages to every peer up to its window allowance.
+  void pump_windows();
+
+  StabilizerOptions options_;
+  Transport& transport_;
+  StabilityTypeRegistry types_;
+  std::vector<std::unique_ptr<FrontierEngine>> engines_;  // per origin
+  data::Sequencer sequencer_;
+  data::OutBuffer out_;
+  data::ReceiveTracker rx_;
+  DeliveryHandler delivery_;
+  RawHandler raw_handler_;
+  std::vector<bool> excluded_;
+  std::vector<SeqNum> peer_acked_at_last_probe_;  // retransmission progress
+  std::vector<SeqNum> next_to_send_;              // per-peer window cursor
+
+  struct DirtyAck {
+    SeqNum seq = kNoSeq;
+    Bytes extra;
+  };
+  // dirty_[about][type] = highest pending report
+  std::vector<std::vector<DirtyAck>> dirty_;
+  // reported_[about][type] = highest report ever issued; the retransmission
+  // probe re-marks these so lost ACK frames are recovered (cumulative
+  // reports make the re-send idempotent).
+  std::vector<std::vector<SeqNum>> reported_;
+  bool any_dirty_ = false;
+  bool ack_timer_armed_ = false;
+  TimerId retransmit_timer_ = kInvalidTimer;
+  TimerId stall_timer_ = kInvalidTimer;
+  PeerStallHandler stall_handler_;
+  std::vector<SeqNum> stall_last_acked_;
+  std::vector<bool> stalled_;
+  bool stopped_ = false;
+
+  StabilizerStats stats_;
+  mutable std::recursive_mutex mutex_;
+};
+
+}  // namespace stab

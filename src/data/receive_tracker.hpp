@@ -1,0 +1,46 @@
+// Receive-side FIFO enforcement per origin stream.
+//
+// Transports deliver FIFO; losses (fault injection) create gaps. The tracker
+// implements the go-back-N receive rule: accept exactly the next expected
+// sequence number, drop stale duplicates and post-gap frames (the sender's
+// retransmission refills the tail in order).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace stab::data {
+
+class ReceiveTracker {
+ public:
+  explicit ReceiveTracker(size_t num_origins)
+      : expected_(num_origins, 0) {}
+
+  enum class Verdict { kAccept, kStaleDuplicate, kGap };
+
+  /// Classifies an arriving seq for `origin`; kAccept advances the cursor.
+  Verdict on_frame(NodeId origin, SeqNum seq) {
+    SeqNum& exp = expected_.at(origin);
+    if (seq < exp) return Verdict::kStaleDuplicate;
+    if (seq > exp) return Verdict::kGap;
+    ++exp;
+    return Verdict::kAccept;
+  }
+
+  /// Highest contiguously received seq for `origin` (kNoSeq if none).
+  SeqNum received_through(NodeId origin) const {
+    return expected_.at(origin) - 1;
+  }
+
+  /// Recovery: resume expecting from `received_through + 1` (monotonic).
+  void restore(NodeId origin, SeqNum received_through) {
+    SeqNum& exp = expected_.at(origin);
+    if (received_through + 1 > exp) exp = received_through + 1;
+  }
+
+ private:
+  std::vector<SeqNum> expected_;
+};
+
+}  // namespace stab::data

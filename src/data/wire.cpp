@@ -1,0 +1,69 @@
+#include "data/wire.hpp"
+
+namespace stab::data {
+
+Bytes encode(const DataFrame& frame) {
+  Writer w(frame.payload.size() + 32);
+  w.u8(static_cast<uint8_t>(FrameKind::kData));
+  w.u32(frame.origin);
+  w.i64(frame.seq);
+  w.u64(frame.virtual_size);
+  w.blob(frame.payload);
+  return std::move(w).take();
+}
+
+Bytes encode(const AckBatchFrame& frame) {
+  Writer w(16 + frame.entries.size() * 24);
+  w.u8(static_cast<uint8_t>(FrameKind::kAckBatch));
+  w.u32(frame.reporter);
+  w.u32(static_cast<uint32_t>(frame.entries.size()));
+  for (const AckEntry& e : frame.entries) {
+    w.u32(e.about_origin);
+    w.u32(e.type);
+    w.i64(e.seq);
+    w.blob(e.extra);
+  }
+  return std::move(w).take();
+}
+
+std::optional<FrameKind> peek_kind(BytesView frame) {
+  if (frame.empty()) return std::nullopt;
+  uint8_t k = frame[0];
+  if (k == static_cast<uint8_t>(FrameKind::kData)) return FrameKind::kData;
+  if (k == static_cast<uint8_t>(FrameKind::kAckBatch))
+    return FrameKind::kAckBatch;
+  return std::nullopt;
+}
+
+DataFrame decode_data(BytesView frame) {
+  Reader r(frame);
+  if (r.u8() != static_cast<uint8_t>(FrameKind::kData))
+    throw CodecError("not a DATA frame");
+  DataFrame out;
+  out.origin = r.u32();
+  out.seq = r.i64();
+  out.virtual_size = r.u64();
+  out.payload = r.blob();
+  return out;
+}
+
+AckBatchFrame decode_ack_batch(BytesView frame) {
+  Reader r(frame);
+  if (r.u8() != static_cast<uint8_t>(FrameKind::kAckBatch))
+    throw CodecError("not an ACKBATCH frame");
+  AckBatchFrame out;
+  out.reporter = r.u32();
+  uint32_t n = r.u32();
+  out.entries.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    AckEntry e;
+    e.about_origin = r.u32();
+    e.type = r.u32();
+    e.seq = r.i64();
+    e.extra = r.blob();
+    out.entries.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace stab::data

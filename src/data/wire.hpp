@@ -1,0 +1,56 @@
+// Wire protocol of the Stabilizer data and control planes.
+//
+// Two frame families share each transport link:
+//   * DATA    — sequenced payload of one origin's stream (data plane),
+//   * ACKBATCH— batched monotonic stability reports (control plane).
+// Control frames are tiny and sent continuously; data frames stream as fast
+// as the link allows — the paper's control/data separation means neither
+// ever blocks waiting for the other.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+namespace stab::data {
+
+enum class FrameKind : uint8_t {
+  kData = 1,
+  kAckBatch = 2,
+};
+
+struct DataFrame {
+  NodeId origin = kInvalidNode;
+  SeqNum seq = kNoSeq;
+  Bytes payload;
+  /// Bytes of payload that exist only "on the wire" (trace replay padding);
+  /// receivers see it via the transport's wire_size.
+  uint64_t virtual_size = 0;
+};
+
+struct AckEntry {
+  NodeId about_origin = kInvalidNode;  // whose stream the report concerns
+  StabilityTypeId type = 0;
+  SeqNum seq = kNoSeq;
+  Bytes extra;  // uninterpreted application bytes (usually empty)
+};
+
+struct AckBatchFrame {
+  NodeId reporter = kInvalidNode;
+  std::vector<AckEntry> entries;
+};
+
+Bytes encode(const DataFrame& frame);
+Bytes encode(const AckBatchFrame& frame);
+
+/// Peeks the frame kind; nullopt on an empty buffer.
+std::optional<FrameKind> peek_kind(BytesView frame);
+
+/// Decoders throw CodecError on malformed input (transports are trusted to
+/// deliver whole frames; corruption is a programming error in this system).
+DataFrame decode_data(BytesView frame);
+AckBatchFrame decode_ack_batch(BytesView frame);
+
+}  // namespace stab::data

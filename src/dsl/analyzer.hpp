@@ -1,0 +1,38 @@
+// Semantic analysis: AST -> Resolved (see resolved.hpp).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/result.hpp"
+#include "config/topology.hpp"
+#include "dsl/ast.hpp"
+#include "dsl/resolved.hpp"
+
+namespace stab::dsl {
+
+struct AnalyzeContext {
+  const Topology* topology = nullptr;  // required
+  NodeId self = 0;                     // the node evaluating the predicate
+  /// Maps a stability-type suffix ("received", "persisted", "verified", ...)
+  /// to a type id. Returning nullopt makes analysis fail with "unknown
+  /// stability type". The empty suffix is resolved as "received"
+  /// (paper §III-C: "If the .type is omitted, we assume .received").
+  std::function<std::optional<StabilityTypeId>(const std::string&)>
+      resolve_type;
+};
+
+/// Resolves macros/variables, folds arithmetic, checks KTH arity rules.
+/// Analysis errors (unknown node, unknown AZ, division by zero, non-scalar
+/// k, ...) are returned, not thrown.
+Result<Resolved> analyze(const Expr& root, const AnalyzeContext& ctx);
+
+/// Canonical fully-expanded form, e.g. `MAX($2,$3,$4)` — node references are
+/// printed as 1-based $indices with an explicit `.type` suffix only for
+/// non-received types. Used by tests and the Table III bench.
+std::string expanded_string(const Resolved& resolved,
+                            const std::function<std::string(StabilityTypeId)>&
+                                type_name);
+
+}  // namespace stab::dsl

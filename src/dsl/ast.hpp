@@ -1,0 +1,99 @@
+// Abstract syntax tree for the predicate DSL.
+//
+// Grammar (paper §III-C, "a predicate p has the simple but variadic form
+// p = O(x)"):
+//
+//   predicate := call
+//   call      := OP '(' arg (',' arg)* ')'
+//   OP        := MAX | MIN | KTH_MAX | KTH_MIN        (also "KTH MAX" etc.)
+//   arg       := call | arith | setarg
+//   setarg    := setexpr [ '.' IDENT ]                suffix, default .received
+//   setexpr   := setterm ( '-' setterm )*             left-assoc set difference
+//   setterm   := $-ref | '(' setexpr ')'
+//   $-ref     := $<int> | $ALLWNODES | $MYAZWNODES | $MYWNODE | $MYWNODES
+//              | $WNODE_<name> | $AZ_<name>
+//   arith     := term ( ('+'|'-') term )*
+//   term      := factor ( ('*'|'/') factor )*
+//   factor    := INT | SIZEOF '(' setexpr ')' | '(' arith ')'
+//
+// Disambiguation: an argument starting with '$' (or with '(' whose first
+// non-'(' token is '$') is a set expression; otherwise it is arithmetic or a
+// nested call.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace stab::dsl {
+
+enum class Op { kMax, kMin, kKthMax, kKthMin };
+const char* op_name(Op op);
+
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+enum class SetKind {
+  kAllNodes,    // $ALLWNODES
+  kMyAzNodes,   // $MYAZWNODES
+  kMyNode,      // $MYWNODE / $MYWNODES
+  kNodeIndex,   // $3   (1-based position in the configured node list)
+  kNodeName,    // $WNODE_Foo
+  kAz,          // $AZ_Wisc
+};
+
+struct SetExpr;
+
+struct SetAtom {
+  SetKind kind;
+  std::string name;   // for kNodeName / kAz
+  int64_t index = 0;  // for kNodeIndex
+};
+
+/// A set term: an atom or a parenthesized sub-expression.
+struct SetTerm {
+  std::variant<SetAtom, std::unique_ptr<SetExpr>> node;
+};
+
+/// terms[0] minus terms[1] minus terms[2] ...
+struct SetExpr {
+  std::vector<SetTerm> terms;
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Call {
+  Op op;
+  std::vector<ExprPtr> args;
+};
+
+struct SetArg {
+  SetExpr set;
+  std::string suffix;  // "" => received
+};
+
+struct Arith {
+  ArithOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+struct IntLit {
+  int64_t value;
+};
+
+struct SizeOf {
+  SetExpr set;
+};
+
+struct Expr {
+  std::variant<Call, SetArg, Arith, IntLit, SizeOf> node;
+};
+
+/// Pretty-prints an AST back to (canonical) DSL syntax; used in tests and
+/// the Table III bench.
+std::string to_dsl_string(const Expr& expr);
+std::string to_dsl_string(const SetExpr& set);
+
+}  // namespace stab::dsl

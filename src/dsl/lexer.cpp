@@ -1,0 +1,127 @@
+#include <cctype>
+
+#include "dsl/token.hpp"
+
+namespace stab::dsl {
+
+const char* tok_kind_name(TokKind kind) {
+  switch (kind) {
+    case TokKind::kIdent:
+      return "identifier";
+    case TokKind::kInt:
+      return "integer";
+    case TokKind::kDollarRef:
+      return "$-reference";
+    case TokKind::kLParen:
+      return "'('";
+    case TokKind::kRParen:
+      return "')'";
+    case TokKind::kComma:
+      return "','";
+    case TokKind::kDot:
+      return "'.'";
+    case TokKind::kPlus:
+      return "'+'";
+    case TokKind::kMinus:
+      return "'-'";
+    case TokKind::kStar:
+      return "'*'";
+    case TokKind::kSlash:
+      return "'/'";
+    case TokKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+}  // namespace
+
+Result<std::vector<Token>> lex(const std::string& src) {
+  using R = Result<std::vector<Token>>;
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = src.size();
+  while (i < n) {
+    char c = src[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    switch (c) {
+      case '(':
+        out.push_back({TokKind::kLParen, "", 0, start});
+        ++i;
+        continue;
+      case ')':
+        out.push_back({TokKind::kRParen, "", 0, start});
+        ++i;
+        continue;
+      case ',':
+        out.push_back({TokKind::kComma, "", 0, start});
+        ++i;
+        continue;
+      case '.':
+        out.push_back({TokKind::kDot, "", 0, start});
+        ++i;
+        continue;
+      case '+':
+        out.push_back({TokKind::kPlus, "", 0, start});
+        ++i;
+        continue;
+      case '-':
+        out.push_back({TokKind::kMinus, "", 0, start});
+        ++i;
+        continue;
+      case '*':
+        out.push_back({TokKind::kStar, "", 0, start});
+        ++i;
+        continue;
+      case '/':
+        out.push_back({TokKind::kSlash, "", 0, start});
+        ++i;
+        continue;
+      default:
+        break;
+    }
+    if (c == '$') {
+      ++i;
+      size_t ref_start = i;
+      while (i < n && is_ident_char(src[i])) ++i;
+      if (i == ref_start)
+        return R::error("lex error at offset " + std::to_string(start) +
+                        ": '$' must be followed by a node reference");
+      out.push_back(
+          {TokKind::kDollarRef, src.substr(ref_start, i - ref_start), 0,
+           start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      int64_t value = 0;
+      while (i < n && std::isdigit(static_cast<unsigned char>(src[i]))) {
+        value = value * 10 + (src[i] - '0');
+        if (value > (int64_t{1} << 40))
+          return R::error("lex error at offset " + std::to_string(start) +
+                          ": integer literal too large");
+        ++i;
+      }
+      out.push_back({TokKind::kInt, "", value, start});
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && is_ident_char(src[i])) ++i;
+      out.push_back({TokKind::kIdent, src.substr(start, i - start), 0, start});
+      continue;
+    }
+    return R::error("lex error at offset " + std::to_string(start) +
+                    ": unexpected character '" + std::string(1, c) + "'");
+  }
+  out.push_back({TokKind::kEnd, "", 0, n});
+  return out;
+}
+
+}  // namespace stab::dsl

@@ -1,0 +1,385 @@
+#include "dsl/parser.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "dsl/token.hpp"
+
+namespace stab::dsl {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kMax:
+      return "MAX";
+    case Op::kMin:
+      return "MIN";
+    case Op::kKthMax:
+      return "KTH_MAX";
+    case Op::kKthMin:
+      return "KTH_MIN";
+  }
+  return "?";
+}
+
+namespace {
+
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  ExprPtr parse_predicate() {
+    ExprPtr e = parse_call();
+    expect(TokKind::kEnd);
+    return e;
+  }
+
+ private:
+  const Token& peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Token& advance() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+  bool check(TokKind kind) const { return peek().kind == kind; }
+  bool match(TokKind kind) {
+    if (!check(kind)) return false;
+    advance();
+    return true;
+  }
+  const Token& expect(TokKind kind) {
+    if (!check(kind)) fail(std::string("expected ") + tok_kind_name(kind));
+    return advance();
+  }
+  [[noreturn]] void fail(const std::string& msg) const {
+    std::ostringstream oss;
+    oss << "parse error at offset " << peek().pos << ": " << msg << ", got "
+        << tok_kind_name(peek().kind);
+    if (peek().kind == TokKind::kIdent || peek().kind == TokKind::kDollarRef)
+      oss << " '" << peek().text << "'";
+    throw ParseError(oss.str());
+  }
+
+  static bool ident_is_op(const std::string& s, Op* out) {
+    if (s == "MAX") {
+      *out = Op::kMax;
+      return true;
+    }
+    if (s == "MIN") {
+      *out = Op::kMin;
+      return true;
+    }
+    if (s == "KTH_MAX") {
+      *out = Op::kKthMax;
+      return true;
+    }
+    if (s == "KTH_MIN") {
+      *out = Op::kKthMin;
+      return true;
+    }
+    return false;
+  }
+
+  /// True if the upcoming tokens begin an operator call. Handles the paper's
+  /// spaced spelling "KTH MAX(...)" as two idents.
+  bool at_call() const {
+    if (!check(TokKind::kIdent)) return false;
+    Op op;
+    if (ident_is_op(peek().text, &op)) return true;
+    if (peek().text == "KTH" && peek(1).kind == TokKind::kIdent &&
+        (peek(1).text == "MAX" || peek(1).text == "MIN"))
+      return true;
+    return false;
+  }
+
+  ExprPtr parse_call() {
+    if (!check(TokKind::kIdent)) fail("expected operator MAX/MIN/KTH_MAX/KTH_MIN");
+    Op op;
+    std::string head = advance().text;
+    if (head == "KTH" && check(TokKind::kIdent)) {
+      std::string second = advance().text;
+      if (second == "MAX")
+        op = Op::kKthMax;
+      else if (second == "MIN")
+        op = Op::kKthMin;
+      else
+        fail("expected MAX or MIN after KTH");
+    } else if (!ident_is_op(head, &op)) {
+      fail("unknown operator '" + head + "'");
+    }
+    expect(TokKind::kLParen);
+    Call call;
+    call.op = op;
+    call.args.push_back(parse_arg());
+    while (match(TokKind::kComma)) call.args.push_back(parse_arg());
+    expect(TokKind::kRParen);
+    auto e = std::make_unique<Expr>();
+    e->node = std::move(call);
+    return e;
+  }
+
+  /// Is the parenthesized group starting at the current '(' a set
+  /// expression? True iff the first token after the run of '('s is a
+  /// $-reference.
+  bool paren_starts_set() const {
+    size_t ahead = 0;
+    while (peek(ahead).kind == TokKind::kLParen) ++ahead;
+    return peek(ahead).kind == TokKind::kDollarRef;
+  }
+
+  ExprPtr parse_arg() {
+    if (at_call()) return parse_call();
+    if (check(TokKind::kDollarRef) ||
+        (check(TokKind::kLParen) && paren_starts_set()))
+      return parse_set_arg();
+    return parse_arith();
+  }
+
+  ExprPtr parse_set_arg() {
+    SetArg arg;
+    arg.set = parse_set_expr();
+    if (match(TokKind::kDot)) {
+      if (!check(TokKind::kIdent)) fail("expected stability type after '.'");
+      arg.suffix = advance().text;
+    }
+    auto e = std::make_unique<Expr>();
+    e->node = std::move(arg);
+    return e;
+  }
+
+  SetExpr parse_set_expr() {
+    SetExpr set;
+    set.terms.push_back(parse_set_term());
+    while (check(TokKind::kMinus)) {
+      advance();
+      set.terms.push_back(parse_set_term());
+    }
+    return set;
+  }
+
+  SetTerm parse_set_term() {
+    SetTerm term;
+    if (match(TokKind::kLParen)) {
+      auto inner = std::make_unique<SetExpr>(parse_set_expr());
+      expect(TokKind::kRParen);
+      term.node = std::move(inner);
+      return term;
+    }
+    if (!check(TokKind::kDollarRef)) fail("expected $-reference in set expression");
+    term.node = classify_ref(advance());
+    return term;
+  }
+
+  SetAtom classify_ref(const Token& tok) const {
+    const std::string& s = tok.text;
+    SetAtom atom;
+    if (s == "ALLWNODES") {
+      atom.kind = SetKind::kAllNodes;
+    } else if (s == "MYAZWNODES") {
+      atom.kind = SetKind::kMyAzNodes;
+    } else if (s == "MYWNODE" || s == "MYWNODES") {
+      // The paper uses both spellings ($MYWNODE in §III-C, $MYWNODES in the
+      // set-difference example); accept both.
+      atom.kind = SetKind::kMyNode;
+    } else if (s.rfind("WNODE_", 0) == 0) {
+      atom.kind = SetKind::kNodeName;
+      atom.name = s.substr(6);
+      if (atom.name.empty())
+        throw ParseError("parse error at offset " + std::to_string(tok.pos) +
+                         ": $WNODE_ needs a node name");
+    } else if (s.rfind("AZ_", 0) == 0) {
+      atom.kind = SetKind::kAz;
+      atom.name = s.substr(3);
+      if (atom.name.empty())
+        throw ParseError("parse error at offset " + std::to_string(tok.pos) +
+                         ": $AZ_ needs an availability zone name");
+    } else if (!s.empty() &&
+               std::isdigit(static_cast<unsigned char>(s[0]))) {
+      atom.kind = SetKind::kNodeIndex;
+      atom.index = 0;
+      for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+          throw ParseError("parse error at offset " + std::to_string(tok.pos) +
+                           ": malformed node index $" + s);
+        atom.index = atom.index * 10 + (c - '0');
+      }
+    } else {
+      throw ParseError("parse error at offset " + std::to_string(tok.pos) +
+                       ": unknown reference $" + s);
+    }
+    return atom;
+  }
+
+  // arith := term (('+'|'-') term)*
+  ExprPtr parse_arith() {
+    ExprPtr lhs = parse_term();
+    while (check(TokKind::kPlus) || check(TokKind::kMinus)) {
+      ArithOp op = advance().kind == TokKind::kPlus ? ArithOp::kAdd
+                                                    : ArithOp::kSub;
+      ExprPtr rhs = parse_term();
+      auto e = std::make_unique<Expr>();
+      e->node = Arith{op, std::move(lhs), std::move(rhs)};
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_term() {
+    ExprPtr lhs = parse_factor();
+    while (check(TokKind::kStar) || check(TokKind::kSlash)) {
+      ArithOp op = advance().kind == TokKind::kStar ? ArithOp::kMul
+                                                    : ArithOp::kDiv;
+      ExprPtr rhs = parse_factor();
+      auto e = std::make_unique<Expr>();
+      e->node = Arith{op, std::move(lhs), std::move(rhs)};
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_factor() {
+    if (check(TokKind::kInt)) {
+      auto e = std::make_unique<Expr>();
+      e->node = IntLit{advance().value};
+      return e;
+    }
+    if (check(TokKind::kIdent) && peek().text == "SIZEOF") {
+      advance();
+      expect(TokKind::kLParen);
+      SizeOf so{parse_set_expr()};
+      expect(TokKind::kRParen);
+      auto e = std::make_unique<Expr>();
+      e->node = std::move(so);
+      return e;
+    }
+    if (match(TokKind::kLParen)) {
+      ExprPtr inner = parse_arith();
+      expect(TokKind::kRParen);
+      return inner;
+    }
+    fail("expected integer, SIZEOF, or '('");
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> parse(const std::string& src) {
+  auto toks = lex(src);
+  if (!toks.is_ok()) return Result<ExprPtr>::error(toks.message());
+  try {
+    Parser p(std::move(toks).value());
+    return p.parse_predicate();
+  } catch (const ParseError& e) {
+    return Result<ExprPtr>::error(e.what());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pretty printer
+// ---------------------------------------------------------------------------
+
+namespace {
+void print_set(std::ostringstream& oss, const SetExpr& set);
+
+void print_term(std::ostringstream& oss, const SetTerm& term) {
+  if (std::holds_alternative<SetAtom>(term.node)) {
+    const SetAtom& atom = std::get<SetAtom>(term.node);
+    switch (atom.kind) {
+      case SetKind::kAllNodes:
+        oss << "$ALLWNODES";
+        break;
+      case SetKind::kMyAzNodes:
+        oss << "$MYAZWNODES";
+        break;
+      case SetKind::kMyNode:
+        oss << "$MYWNODE";
+        break;
+      case SetKind::kNodeIndex:
+        oss << "$" << atom.index;
+        break;
+      case SetKind::kNodeName:
+        oss << "$WNODE_" << atom.name;
+        break;
+      case SetKind::kAz:
+        oss << "$AZ_" << atom.name;
+        break;
+    }
+  } else {
+    oss << "(";
+    print_set(oss, *std::get<std::unique_ptr<SetExpr>>(term.node));
+    oss << ")";
+  }
+}
+
+void print_set(std::ostringstream& oss, const SetExpr& set) {
+  for (size_t i = 0; i < set.terms.size(); ++i) {
+    if (i) oss << "-";
+    print_term(oss, set.terms[i]);
+  }
+}
+
+void print_expr(std::ostringstream& oss, const Expr& expr) {
+  if (std::holds_alternative<Call>(expr.node)) {
+    const Call& call = std::get<Call>(expr.node);
+    oss << op_name(call.op) << "(";
+    for (size_t i = 0; i < call.args.size(); ++i) {
+      if (i) oss << ",";
+      print_expr(oss, *call.args[i]);
+    }
+    oss << ")";
+  } else if (std::holds_alternative<SetArg>(expr.node)) {
+    const SetArg& arg = std::get<SetArg>(expr.node);
+    bool parens = arg.set.terms.size() > 1 && !arg.suffix.empty();
+    if (parens) oss << "(";
+    print_set(oss, arg.set);
+    if (parens) oss << ")";
+    if (!arg.suffix.empty()) oss << "." << arg.suffix;
+  } else if (std::holds_alternative<Arith>(expr.node)) {
+    const Arith& a = std::get<Arith>(expr.node);
+    oss << "(";
+    print_expr(oss, *a.lhs);
+    switch (a.op) {
+      case ArithOp::kAdd:
+        oss << "+";
+        break;
+      case ArithOp::kSub:
+        oss << "-";
+        break;
+      case ArithOp::kMul:
+        oss << "*";
+        break;
+      case ArithOp::kDiv:
+        oss << "/";
+        break;
+    }
+    print_expr(oss, *a.rhs);
+    oss << ")";
+  } else if (std::holds_alternative<IntLit>(expr.node)) {
+    oss << std::get<IntLit>(expr.node).value;
+  } else {
+    oss << "SIZEOF(";
+    print_set(oss, std::get<SizeOf>(expr.node).set);
+    oss << ")";
+  }
+}
+}  // namespace
+
+std::string to_dsl_string(const Expr& expr) {
+  std::ostringstream oss;
+  print_expr(oss, expr);
+  return oss.str();
+}
+
+std::string to_dsl_string(const SetExpr& set) {
+  std::ostringstream oss;
+  print_set(oss, set);
+  return oss.str();
+}
+
+}  // namespace stab::dsl

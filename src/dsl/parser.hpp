@@ -1,0 +1,17 @@
+// Recursive-descent parser for the predicate DSL (substitutes the paper's
+// Bison grammar; see ast.hpp for the grammar).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/result.hpp"
+#include "dsl/ast.hpp"
+
+namespace stab::dsl {
+
+/// Parses a predicate string into an AST. The top level must be a call
+/// (MAX/MIN/KTH_MAX/KTH_MIN). Errors carry byte offsets.
+Result<ExprPtr> parse(const std::string& src);
+
+}  // namespace stab::dsl

@@ -1,0 +1,58 @@
+// Resolved (analyzed) predicate representation.
+//
+// The analyzer expands macros and variables against a concrete Topology and
+// the executing node, folds all arithmetic (SIZEOF is static once the set is
+// resolved), and resolves stability-type suffixes through a caller-supplied
+// resolver. What remains is a tree of calls over node-list gathers and
+// integer constants — trivially compilable to bytecode.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dsl/ast.hpp"
+
+namespace stab::dsl {
+
+struct RExpr;
+using RExprPtr = std::unique_ptr<RExpr>;
+
+/// Reads per-type acked sequence numbers during evaluation. `row(type)` is
+/// indexed by NodeId; a missing/short row reads as kNoSeq for those nodes.
+class AckSource {
+ public:
+  virtual ~AckSource() = default;
+  virtual std::span<const int64_t> row(StabilityTypeId type) const = 0;
+};
+
+struct RGather {
+  uint32_t list_id;        // index into Resolved::node_lists
+  StabilityTypeId type;
+};
+
+struct RConst {
+  int64_t value;
+};
+
+struct RCall {
+  Op op;
+  // For kKthMax/kKthMin the first arg is the (already folded) k.
+  std::vector<RExprPtr> args;
+};
+
+struct RExpr {
+  std::variant<RCall, RGather, RConst> node;
+};
+
+struct Resolved {
+  RExprPtr root;
+  std::vector<std::vector<NodeId>> node_lists;
+  std::vector<NodeId> referenced_nodes;          // sorted union of lists
+  std::vector<StabilityTypeId> referenced_types; // sorted unique
+};
+
+}  // namespace stab::dsl

@@ -1,0 +1,43 @@
+// Token stream for the stability-frontier predicate DSL (paper §III-C).
+//
+// The lexer substitutes the paper's Flex scanner: same token inventory, but
+// hand-written (no generator dependency) and with precise error positions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace stab::dsl {
+
+enum class TokKind {
+  kIdent,      // MAX, MIN, KTH_MAX, SIZEOF, suffix names, ...
+  kInt,        // 42
+  kDollarRef,  // $3, $ALLWNODES, $WNODE_Foo, $AZ_Wisc (text excludes '$')
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;   // for kIdent / kDollarRef
+  int64_t value = 0;  // for kInt
+  size_t pos = 0;     // byte offset in the source, for diagnostics
+};
+
+const char* tok_kind_name(TokKind kind);
+
+/// Tokenizes a predicate string. Fails with a position-annotated message on
+/// any character outside the DSL alphabet.
+Result<std::vector<Token>> lex(const std::string& src);
+
+}  // namespace stab::dsl

@@ -1,0 +1,192 @@
+#include "kv/wan_kv.hpp"
+
+#include "common/logging.hpp"
+
+namespace stab::kv {
+
+namespace {
+
+constexpr uint8_t kPutWhole = 1;
+constexpr uint8_t kPutBegin = 2;
+constexpr uint8_t kChunk = 3;
+constexpr uint8_t kErase = 4;
+// Conservative per-chunk header allowance inside the split budget.
+constexpr uint64_t kChunkOverhead = 16;
+
+NodeId hash_owner(const std::string& key, size_t n) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<NodeId>(h % n);
+}
+
+}  // namespace
+
+WanKV::WanKV(Stabilizer& stabilizer, store::LocalStore& local, OwnerFn owner)
+    : stabilizer_(stabilizer),
+      local_(local),
+      owner_(std::move(owner)),
+      applied_through_(stabilizer.topology().num_nodes(), kNoSeq) {
+  if (!owner_) {
+    size_t n = stabilizer_.topology().num_nodes();
+    owner_ = [n](const std::string& key) { return hash_owner(key, n); };
+  }
+  stabilizer_.set_delivery_handler(
+      [this](NodeId origin, SeqNum seq, BytesView payload, uint64_t wire) {
+        on_delivery(origin, seq, payload, wire);
+      });
+}
+
+Result<PutResult> WanKV::put(const std::string& key, BytesView value,
+                             uint64_t virtual_extra) {
+  if (owner_(key) != self())
+    return Result<PutResult>::error(
+        "put: key '" + key + "' is owned by node " +
+        std::to_string(owner_(key)) + ", not this node (" +
+        std::to_string(self()) + ") — Stabilizer is primary-site");
+
+  TimePoint now = stabilizer_.env().now();
+  PutResult result;
+  result.version = local_.put(key, value, now);
+
+  const uint64_t split = 8 * 1024;  // paper: 8 KB packets
+  const uint64_t total = value.size() + virtual_extra;
+  if (total + key.size() + 64 <= split) {
+    Writer w(value.size() + key.size() + 32);
+    w.u8(kPutWhole);
+    w.str(key);
+    w.u64(result.version);
+    w.i64(now.count());
+    w.blob(value);
+    result.first_seq = result.last_seq =
+        stabilizer_.send(std::move(w).take(), virtual_extra);
+  } else {
+    const uint64_t chunk_payload = split - kChunkOverhead;
+    const uint32_t nchunks =
+        static_cast<uint32_t>((total + chunk_payload - 1) / chunk_payload);
+    Writer header(key.size() + 48);
+    header.u8(kPutBegin);
+    header.str(key);
+    header.u64(result.version);
+    header.i64(now.count());
+    header.u64(value.size());
+    header.u32(nchunks);
+    result.first_seq = stabilizer_.send(std::move(header).take());
+    uint64_t offset = 0;
+    for (uint32_t c = 0; c < nchunks; ++c) {
+      uint64_t len = std::min<uint64_t>(chunk_payload, total - offset);
+      uint64_t real_begin = std::min<uint64_t>(offset, value.size());
+      uint64_t real_end = std::min<uint64_t>(offset + len, value.size());
+      BytesView real = value.subspan(real_begin, real_end - real_begin);
+      Writer w(real.size() + 8);
+      w.u8(kChunk);
+      w.blob(real);
+      result.last_seq =
+          stabilizer_.send(std::move(w).take(), len - real.size());
+      offset += len;
+    }
+  }
+  meta_[key] = EntryMeta{self(), result.last_seq};
+  return result;
+}
+
+Result<SeqNum> WanKV::erase(const std::string& key) {
+  if (owner_(key) != self())
+    return Result<SeqNum>::error(
+        "erase: key '" + key + "' is owned by node " +
+        std::to_string(owner_(key)) + ", not this node (" +
+        std::to_string(self()) + ") — Stabilizer is primary-site");
+  local_.erase(key);
+  meta_.erase(key);
+  Writer w(key.size() + 8);
+  w.u8(kErase);
+  w.str(key);
+  return stabilizer_.send(std::move(w).take());
+}
+
+std::optional<store::VersionedValue> WanKV::get(const std::string& key) const {
+  return local_.get(key);
+}
+
+std::optional<store::VersionedValue> WanKV::get_by_time(const std::string& key,
+                                                        TimePoint t) const {
+  return local_.get_by_time(key, t);
+}
+
+std::optional<store::VersionedValue> WanKV::get_stable(
+    const std::string& key, const std::string& predicate_key) const {
+  auto it = meta_.find(key);
+  if (it == meta_.end()) return std::nullopt;
+  SeqNum frontier = stabilizer_.get_stability_frontier(predicate_key,
+                                                       it->second.origin);
+  if (frontier < it->second.last_seq) return std::nullopt;  // not stable yet
+  return local_.get(key);
+}
+
+SeqNum WanKV::applied_through(NodeId origin) const {
+  return origin < applied_through_.size() ? applied_through_[origin] : kNoSeq;
+}
+
+void WanKV::on_delivery(NodeId origin, SeqNum seq, BytesView payload,
+                        uint64_t wire_size) {
+  (void)wire_size;
+  try {
+    Reader r(payload);
+    uint8_t kind = r.u8();
+    if (kind == kPutWhole) {
+      std::string key = r.str();
+      uint64_t version = r.u64();
+      TimePoint ts{r.i64()};
+      BytesView value = r.blob_view();
+      apply_remote_put(origin, seq, key, version, ts, value);
+    } else if (kind == kPutBegin) {
+      PendingChunked p;
+      p.key = r.str();
+      p.version = r.u64();
+      p.timestamp = TimePoint{r.i64()};
+      p.total_real = r.u64();
+      p.chunks_left = r.u32();
+      p.assembled.reserve(p.total_real);
+      pending_[origin] = std::move(p);
+    } else if (kind == kErase) {
+      std::string key = r.str();
+      local_.erase(key);
+      meta_.erase(key);
+      applied_through_[origin] = seq;
+      stabilizer_.report_stability("persisted", origin, seq);
+    } else if (kind == kChunk) {
+      auto it = pending_.find(origin);
+      if (it == pending_.end()) {
+        STAB_WARN("kv: orphan chunk from " << origin);
+        return;
+      }
+      PendingChunked& p = it->second;
+      BytesView part = r.blob_view();
+      p.assembled.insert(p.assembled.end(), part.begin(), part.end());
+      if (--p.chunks_left == 0) {
+        apply_remote_put(origin, seq, p.key, p.version, p.timestamp,
+                         p.assembled);
+        pending_.erase(it);
+      }
+    } else {
+      STAB_WARN("kv: unknown record kind " << int(kind));
+    }
+  } catch (const CodecError& e) {
+    STAB_ERROR("kv: bad record from " << origin << ": " << e.what());
+  }
+}
+
+void WanKV::apply_remote_put(NodeId origin, SeqNum seq, const std::string& key,
+                             uint64_t version, TimePoint ts, BytesView value) {
+  local_.put_at_version(key, value, ts, version);
+  meta_[key] = EntryMeta{origin, seq};
+  ++mirrored_puts_;
+  applied_through_[origin] = seq;
+  // The put (all of its chunks) is now in the local storage layer.
+  stabilizer_.report_stability("persisted", origin, seq);
+  if (post_apply_) post_apply_(origin, seq, key);
+}
+
+}  // namespace stab::kv

@@ -1,0 +1,124 @@
+// Geo-replicated K/V store: the paper's flagship integration (§V-A).
+//
+// Each WAN node owns a pool of keys (primary-site: only the owner writes
+// them) backed by the local object store; every other node keeps a read-only
+// mirror that Stabilizer updates asynchronously. Writes are locally stable
+// on return; stronger guarantees are expressed as stability-frontier
+// predicates and awaited via wait_put / get_stable.
+//
+// Values larger than the Stabilizer split size are chunked into <= 8 KB
+// messages (kPutBegin + kChunk frames) and reassembled at mirrors — FIFO
+// per-origin delivery makes the reassembly a simple cursor.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "core/stabilizer.hpp"
+#include "store/local_store.hpp"
+
+namespace stab::kv {
+
+/// Maps a key to its owning WAN node. The default owner function hashes the
+/// key over the cluster; deployments with explicit pools (e.g. "siteX/...")
+/// install their own.
+using OwnerFn = std::function<NodeId(const std::string&)>;
+
+struct PutResult {
+  uint64_t version = 0;
+  SeqNum first_seq = kNoSeq;  // Stabilizer seqs carrying this put
+  SeqNum last_seq = kNoSeq;
+};
+
+class WanKV {
+ public:
+  WanKV(Stabilizer& stabilizer, store::LocalStore& local,
+        OwnerFn owner = nullptr);
+
+  NodeId self() const { return stabilizer_.self(); }
+  NodeId owner_of(const std::string& key) const { return owner_(key); }
+
+  // --- writes (primary-site) --------------------------------------------------
+  /// Stores locally and streams to mirrors. Fails if this node does not own
+  /// the key. `virtual_extra` adds trace-replay padding bytes.
+  Result<PutResult> put(const std::string& key, BytesView value,
+                        uint64_t virtual_extra = 0);
+
+  /// Removes a key (all versions) from the pool and every mirror. Fails if
+  /// this node does not own the key. Returns the sequence number carrying
+  /// the erase, for stability tracking.
+  Result<SeqNum> erase(const std::string& key);
+
+  // --- reads -------------------------------------------------------------------
+  /// Local pool or mirror; plain read, no stability gate.
+  std::optional<store::VersionedValue> get(const std::string& key) const;
+  std::optional<store::VersionedValue> get_by_time(const std::string& key,
+                                                   TimePoint t) const;
+
+  /// Read gated on stability (§III-A "The client can access data only after
+  /// the desired level of stability is assured"): returns the value only
+  /// when the predicate's frontier on the owner's stream covers the
+  /// messages that carried it.
+  std::optional<store::VersionedValue> get_stable(
+      const std::string& key, const std::string& predicate_key) const;
+
+  // --- stability API (paper §V-A additions to the K/V API) ----------------------
+  Status register_predicate(const std::string& key, const std::string& source) {
+    return stabilizer_.register_predicate(key, source);
+  }
+  Status change_predicate(const std::string& key, const std::string& source) {
+    return stabilizer_.change_predicate(key, source);
+  }
+  SeqNum get_stability_frontier(const std::string& predicate_key) const {
+    return stabilizer_.get_stability_frontier(predicate_key);
+  }
+  /// Fires `fn` when the put satisfies the predicate.
+  Status wait_put(const PutResult& put, const std::string& predicate_key,
+                  Stabilizer::WaiterFn fn) {
+    return stabilizer_.waitfor(put.last_seq, predicate_key, std::move(fn));
+  }
+
+  /// Hook invoked after a remote put is applied to the local mirror —
+  /// applications verify/validate records here (and typically
+  /// report_stability a custom level). Installing it does not displace the
+  /// KV replication path, unlike setting the Stabilizer delivery handler.
+  using PostApplyHook =
+      std::function<void(NodeId origin, SeqNum seq, const std::string& key)>;
+  void set_post_apply(PostApplyHook hook) { post_apply_ = std::move(hook); }
+
+  Stabilizer& stabilizer() { return stabilizer_; }
+  uint64_t mirrored_puts() const { return mirrored_puts_; }
+  /// Highest origin seq whose put has been fully applied locally.
+  SeqNum applied_through(NodeId origin) const;
+
+ private:
+  struct PendingChunked {
+    std::string key;
+    uint64_t version = 0;
+    TimePoint timestamp = kTimeZero;
+    Bytes assembled;
+    uint64_t total_real = 0;
+    uint32_t chunks_left = 0;
+  };
+  struct EntryMeta {
+    NodeId origin;
+    SeqNum last_seq;
+  };
+
+  void on_delivery(NodeId origin, SeqNum seq, BytesView payload,
+                   uint64_t wire_size);
+  void apply_remote_put(NodeId origin, SeqNum seq, const std::string& key,
+                        uint64_t version, TimePoint ts, BytesView value);
+
+  Stabilizer& stabilizer_;
+  store::LocalStore& local_;
+  OwnerFn owner_;
+  PostApplyHook post_apply_;
+  std::map<NodeId, PendingChunked> pending_;  // per-origin reassembly
+  std::map<std::string, EntryMeta> meta_;     // key -> carrying messages
+  std::vector<SeqNum> applied_through_;
+  uint64_t mirrored_puts_ = 0;
+};
+
+}  // namespace stab::kv

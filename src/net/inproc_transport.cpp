@@ -1,0 +1,54 @@
+#include "net/inproc_transport.hpp"
+
+namespace stab {
+
+InProcTransport::InProcTransport(InProcCluster& cluster, NodeId self)
+    : cluster_(cluster), self_(self) {}
+
+size_t InProcTransport::cluster_size() const { return cluster_.size(); }
+
+void InProcTransport::set_receive_handler(ReceiveHandler handler) {
+  handler_ = std::move(handler);
+}
+
+void InProcTransport::send(NodeId dst, Bytes frame, uint64_t wire_size) {
+  cluster_.deliver(self_, dst, std::move(frame), wire_size);
+}
+
+Env& InProcTransport::env() { return cluster_.env(self_); }
+
+InProcCluster::InProcCluster(size_t num_nodes, const Topology* topology)
+    : latency_(num_nodes * num_nodes, Duration::zero()) {
+  envs_.reserve(num_nodes);
+  transports_.reserve(num_nodes);
+  for (NodeId id = 0; id < num_nodes; ++id) {
+    envs_.push_back(std::make_unique<RealtimeEnv>());
+    transports_.push_back(std::make_unique<InProcTransport>(*this, id));
+  }
+  if (topology) {
+    for (NodeId a = 0; a < num_nodes; ++a)
+      for (NodeId b = 0; b < num_nodes; ++b)
+        if (const LinkSpec* l = topology->link(a, b))
+          latency_[a * num_nodes + b] = l->latency;
+  }
+}
+
+InProcCluster::~InProcCluster() { shutdown(); }
+
+void InProcCluster::shutdown() {
+  for (auto& env : envs_) env->shutdown();
+}
+
+void InProcCluster::deliver(NodeId src, NodeId dst, Bytes frame,
+                            uint64_t wire_size) {
+  if (dst >= size()) return;
+  if (wire_size < frame.size()) wire_size = frame.size();
+  Duration lat = latency_[src * size() + dst];
+  InProcTransport* t = transports_[dst].get();
+  envs_[dst]->schedule_after(
+      lat, [t, src, frame = std::move(frame), wire_size]() mutable {
+        if (t->handler_) t->handler_(src, std::move(frame), wire_size);
+      });
+}
+
+}  // namespace stab

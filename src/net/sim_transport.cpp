@@ -1,0 +1,49 @@
+#include "net/sim_transport.hpp"
+
+namespace stab {
+
+SimTransport::SimTransport(sim::Simulator& simulator,
+                           sim::SimNetwork& network, NodeId self)
+    : simulator_(simulator), network_(network), self_(self) {}
+
+void SimTransport::set_receive_handler(ReceiveHandler handler) {
+  network_.set_delivery_handler(self_, std::move(handler));
+}
+
+void SimTransport::send(NodeId dst, Bytes frame, uint64_t wire_size) {
+  network_.send(self_, dst, std::move(frame), wire_size);
+}
+
+SimCluster::SimCluster(const Topology& topology, sim::Simulator& simulator)
+    : topology_(topology), simulator_(simulator) {
+  const size_t n = topology_.num_nodes();
+  network_ = std::make_unique<sim::SimNetwork>(simulator_, n);
+
+  std::map<std::string, int> pipes;  // pipe group -> pipe id
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      const LinkSpec* spec = topology_.link(a, b);
+      if (!spec) continue;
+      sim::LinkParams params;
+      params.latency = spec->latency;
+      params.bandwidth_bps = spec->bandwidth_bps;
+      if (!spec->pipe_group.empty()) {
+        auto it = pipes.find(spec->pipe_group);
+        if (it == pipes.end())
+          it = pipes
+                   .emplace(spec->pipe_group,
+                            network_->make_pipe(spec->bandwidth_bps))
+                   .first;
+        params.pipe = it->second;
+      }
+      network_->set_link(a, b, params);
+    }
+  }
+
+  transports_.reserve(n);
+  for (NodeId id = 0; id < n; ++id)
+    transports_.push_back(
+        std::make_unique<SimTransport>(simulator_, *network_, id));
+}
+
+}  // namespace stab

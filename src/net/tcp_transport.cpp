@@ -1,0 +1,417 @@
+#include "net/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/bytes.hpp"
+#include "common/logging.hpp"
+
+namespace stab {
+
+namespace {
+
+constexpr uint32_t kKindHello = 1;
+constexpr uint32_t kKindData = 2;
+constexpr Duration kRetryInterval = millis(100);
+
+void set_nonblocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+sockaddr_in make_addr(const TcpPeerAddr& addr) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(addr.port);
+  std::string host = addr.host == "localhost" ? "127.0.0.1" : addr.host;
+  inet_pton(AF_INET, host.c_str(), &sa.sin_addr);
+  return sa;
+}
+
+}  // namespace
+
+std::vector<TcpPeerAddr> loopback_addrs(size_t n, uint16_t base_port) {
+  std::vector<TcpPeerAddr> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i)
+    out.push_back(TcpPeerAddr{"127.0.0.1",
+                              static_cast<uint16_t>(base_port + i)});
+  return out;
+}
+
+// Frame layout on the wire: u32 body_len | u32 kind | u32 src | body.
+Bytes TcpTransport::encode_frame(uint32_t kind, NodeId src, BytesView payload) {
+  Writer w(payload.size() + 12);
+  w.u32(static_cast<uint32_t>(payload.size()) + 8);
+  w.u32(kind);
+  w.u32(src);
+  w.raw(payload.data(), payload.size());
+  return std::move(w).take();
+}
+
+TcpTransport::TcpTransport(NodeId self, std::vector<TcpPeerAddr> peers)
+    : self_(self),
+      peers_(std::move(peers)),
+      conns_(peers_.size()),
+      pending_(peers_.size()) {
+  epoll_fd_ = epoll_create1(0);
+  wake_fd_ = eventfd(0, EFD_NONBLOCK);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u32 = 0xfffffffe;  // wake fd marker
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  start_listen();
+  io_thread_ = std::thread([this] { io_loop(); });
+}
+
+TcpTransport::~TcpTransport() { shutdown(); }
+
+void TcpTransport::shutdown() {
+  bool expected = false;
+  if (!stop_.compare_exchange_strong(expected, true)) return;
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof one);
+  if (io_thread_.joinable()) io_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& c : conns_)
+      if (c.fd >= 0) {
+        close(c.fd);
+        c.fd = -1;
+      }
+  }
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (wake_fd_ >= 0) close(wake_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+  listen_fd_ = wake_fd_ = epoll_fd_ = -1;
+  env_.shutdown();
+}
+
+void TcpTransport::set_receive_handler(ReceiveHandler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  handler_ = std::move(handler);
+}
+
+void TcpTransport::send(NodeId dst, Bytes frame, uint64_t /*wire_size*/) {
+  if (dst == self_ || dst >= peers_.size()) return;
+  Bytes encoded = encode_frame(kKindData, self_, frame);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Conn& c = conns_[dst];
+    if (c.fd >= 0 && !c.connecting) {
+      enqueue_locked(dst, std::move(encoded));
+    } else {
+      pending_[dst].push_back(std::move(encoded));  // flushed on reconnect
+    }
+  }
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof one);
+}
+
+size_t TcpTransport::connected_peers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t n = 0;
+  for (NodeId p = 0; p < conns_.size(); ++p)
+    if (p != self_ && conns_[p].fd >= 0 && !conns_[p].connecting) ++n;
+  return n;
+}
+
+bool TcpTransport::wait_connected(Duration timeout) {
+  TimePoint deadline = env_.now() + timeout;
+  while (env_.now() < deadline) {
+    if (connected_peers() + 1 == peers_.size()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return connected_peers() + 1 == peers_.size();
+}
+
+void TcpTransport::start_listen() {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in sa = make_addr(peers_[self_]);
+  sa.sin_addr.s_addr = htonl(INADDR_ANY);
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+    STAB_ERROR("tcp: bind failed on port " << peers_[self_].port << ": "
+                                           << std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  listen(listen_fd_, 64);
+  set_nonblocking(listen_fd_);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u32 = 0xffffffff;  // listen fd marker
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+}
+
+void TcpTransport::try_dial(NodeId peer) {
+  // caller holds mutex_
+  Conn& c = conns_[peer];
+  if (c.fd >= 0) return;
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  set_nonblocking(fd);
+  set_nodelay(fd);
+  sockaddr_in sa = make_addr(peers_[peer]);
+  int rc = connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa);
+  if (rc != 0 && errno != EINPROGRESS) {
+    close(fd);
+    c.retry_at = env_.now() + kRetryInterval;
+    return;
+  }
+  c.fd = fd;
+  c.connecting = (rc != 0);
+  c.hello_sent = false;
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLOUT;
+  ev.data.u32 = peer;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+}
+
+void TcpTransport::close_conn(NodeId peer, const char* why) {
+  // caller holds mutex_
+  Conn& c = conns_[peer];
+  if (c.fd < 0) return;
+  STAB_DEBUG("tcp node " << self_ << ": closing conn to " << peer << " ("
+                         << why << ")");
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c.fd, nullptr);
+  close(c.fd);
+  // Unsent frames go back to pending so they survive the reconnect.
+  if (!c.outq.empty()) {
+    // Drop the partially written frame: the peer would see a torn frame
+    // anyway; it is re-sent by the data plane's retransmission layer.
+    if (c.out_offset > 0) c.outq.pop_front();
+    while (!c.outq.empty()) {
+      pending_[peer].push_front(std::move(c.outq.back()));
+      c.outq.pop_back();
+    }
+  }
+  c = Conn{};
+  c.retry_at = env_.now() + kRetryInterval;
+}
+
+void TcpTransport::enqueue_locked(NodeId peer, Bytes encoded) {
+  Conn& c = conns_[peer];
+  c.outq.push_back(std::move(encoded));
+}
+
+void TcpTransport::flush_pending_locked(NodeId peer) {
+  Conn& c = conns_[peer];
+  if (!c.hello_sent) {
+    c.outq.push_front(encode_frame(kKindHello, self_, {}));
+    c.hello_sent = true;
+    c.out_offset = 0;
+  }
+  while (!pending_[peer].empty()) {
+    c.outq.push_back(std::move(pending_[peer].front()));
+    pending_[peer].pop_front();
+  }
+}
+
+void TcpTransport::rearm_epoll(NodeId peer) {
+  Conn& c = conns_[peer];
+  if (c.fd < 0) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  if (!c.outq.empty() || c.connecting) ev.events |= EPOLLOUT;
+  ev.data.u32 = peer;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
+}
+
+void TcpTransport::handle_accept() {
+  for (;;) {
+    sockaddr_in sa{};
+    socklen_t len = sizeof sa;
+    int fd = accept(listen_fd_, reinterpret_cast<sockaddr*>(&sa), &len);
+    if (fd < 0) return;
+    set_nonblocking(fd);
+    set_nodelay(fd);
+    // We don't know which peer this is until its HELLO arrives; park it on a
+    // temporary id. Read the HELLO synchronously-ish: register under a
+    // sentinel by scanning for a free "unknown" slot — to keep the code
+    // simple we do a short blocking read loop for the 12-byte HELLO.
+    uint8_t buf[12];
+    size_t got = 0;
+    for (int spin = 0; spin < 2000 && got < sizeof buf; ++spin) {
+      ssize_t n = recv(fd, buf + got, sizeof buf - got, 0);
+      if (n > 0) {
+        got += static_cast<size_t>(n);
+      } else if (n == 0) {
+        break;
+      } else if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        break;
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+    if (got < sizeof buf) {
+      close(fd);
+      continue;
+    }
+    Reader r(BytesView(buf, sizeof buf));
+    uint32_t body_len = r.u32();
+    uint32_t kind = r.u32();
+    NodeId src = r.u32();
+    if (body_len != 8 || kind != kKindHello || src >= peers_.size() ||
+        src == self_) {
+      close(fd);
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    Conn& c = conns_[src];
+    if (c.fd >= 0) {
+      // Simultaneous connect race: deterministic winner — keep the
+      // connection dialed by the smaller node id. We are the acceptor, so
+      // the dialer is `src`; keep this one iff src < self_.
+      if (src < self_) {
+        close_conn(src, "replaced by accepted conn");
+      } else {
+        close(fd);
+        continue;
+      }
+    }
+    c.fd = fd;
+    c.connecting = false;
+    c.hello_sent = true;  // acceptor doesn't dial, no hello needed from us
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u32 = src;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    flush_pending_locked(src);
+    rearm_epoll(src);
+  }
+}
+
+void TcpTransport::handle_readable(NodeId peer) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Conn& c = conns_[peer];
+  if (c.fd < 0) return;
+  uint8_t buf[64 * 1024];
+  for (;;) {
+    ssize_t n = recv(c.fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      c.inbuf.insert(c.inbuf.end(), buf, buf + n);
+    } else if (n == 0) {
+      close_conn(peer, "peer closed");
+      return;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    } else {
+      close_conn(peer, "recv error");
+      return;
+    }
+  }
+  // Parse complete frames.
+  size_t pos = 0;
+  while (c.inbuf.size() - pos >= 4) {
+    uint32_t body_len;
+    std::memcpy(&body_len, c.inbuf.data() + pos, 4);
+    if (c.inbuf.size() - pos < 4 + body_len) break;
+    Reader r(BytesView(c.inbuf.data() + pos + 4, body_len));
+    uint32_t kind = r.u32();
+    NodeId src = r.u32();
+    Bytes payload(c.inbuf.begin() + pos + 12,
+                  c.inbuf.begin() + pos + 4 + body_len);
+    pos += 4 + body_len;
+    if (kind == kKindData && handler_) {
+      auto handler = handler_;
+      uint64_t wire = payload.size();
+      env_.schedule_after(Duration::zero(),
+                          [handler, src, payload = std::move(payload),
+                           wire]() mutable {
+                            handler(src, std::move(payload), wire);
+                          });
+    }
+  }
+  c.inbuf.erase(c.inbuf.begin(), c.inbuf.begin() + pos);
+}
+
+void TcpTransport::handle_writable(NodeId peer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Conn& c = conns_[peer];
+  if (c.fd < 0) return;
+  if (c.connecting) {
+    int err = 0;
+    socklen_t len = sizeof err;
+    getsockopt(c.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      close_conn(peer, "connect failed");
+      return;
+    }
+    c.connecting = false;
+    flush_pending_locked(peer);
+  }
+  while (!c.outq.empty()) {
+    const Bytes& front = c.outq.front();
+    ssize_t n = ::send(c.fd, front.data() + c.out_offset,
+                       front.size() - c.out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_offset += static_cast<size_t>(n);
+      if (c.out_offset == front.size()) {
+        c.outq.pop_front();
+        c.out_offset = 0;
+      }
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    } else {
+      close_conn(peer, "send error");
+      return;
+    }
+  }
+  rearm_epoll(peer);
+}
+
+void TcpTransport::io_loop() {
+  while (!stop_.load()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // Dial peers we are responsible for (smaller id dials larger).
+      for (NodeId p = 0; p < peers_.size(); ++p) {
+        if (p == self_ || self_ > p) continue;
+        Conn& c = conns_[p];
+        if (c.fd < 0 && env_.now() >= c.retry_at) try_dial(p);
+      }
+      // Make sure EPOLLOUT is armed where output is queued.
+      for (NodeId p = 0; p < peers_.size(); ++p)
+        if (p != self_) rearm_epoll(p);
+    }
+    epoll_event events[32];
+    int n = epoll_wait(epoll_fd_, events, 32, 50);
+    for (int i = 0; i < n; ++i) {
+      uint32_t tag = events[i].data.u32;
+      if (tag == 0xffffffff) {
+        handle_accept();
+      } else if (tag == 0xfffffffe) {
+        uint64_t drain;
+        while (read(wake_fd_, &drain, sizeof drain) > 0) {
+        }
+      } else {
+        NodeId peer = tag;
+        if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+          std::lock_guard<std::mutex> lock(mutex_);
+          close_conn(peer, "hup/err");
+          continue;
+        }
+        if (events[i].events & EPOLLOUT) handle_writable(peer);
+        if (events[i].events & EPOLLIN) handle_readable(peer);
+      }
+    }
+  }
+}
+
+}  // namespace stab

@@ -1,0 +1,101 @@
+// Real-socket transport: length-prefixed frames over TCP with automatic
+// connect/reconnect. One epoll IO thread owns all sockets; received frames
+// are handed to the node's RealtimeEnv thread so application callbacks keep
+// the single-threaded Stabilizer discipline.
+//
+// Connection policy: the node with the smaller id dials; the larger id
+// accepts. Every connection starts with a HELLO frame carrying the dialer's
+// node id. Frames queued while a peer is down are buffered and flushed on
+// reconnect (lossless as long as the process lives — the same guarantee the
+// paper's data plane asks of its transport).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/realtime_env.hpp"
+#include "net/transport.hpp"
+
+namespace stab {
+
+struct TcpPeerAddr {
+  std::string host;  // numeric IP or "localhost"
+  uint16_t port = 0;
+};
+
+class TcpTransport final : public Transport {
+ public:
+  /// `peers[i]` is node i's listen address; `peers[self]` is where this
+  /// transport listens. Starts the IO thread immediately.
+  TcpTransport(NodeId self, std::vector<TcpPeerAddr> peers);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  NodeId self() const override { return self_; }
+  size_t cluster_size() const override { return peers_.size(); }
+  void set_receive_handler(ReceiveHandler handler) override;
+  void send(NodeId dst, Bytes frame, uint64_t wire_size = 0) override;
+  Env& env() override { return env_; }
+
+  /// Blocks until a live connection exists to every other node, or the
+  /// timeout expires. Returns true when fully connected.
+  bool wait_connected(Duration timeout);
+
+  /// Closes sockets and joins the IO thread. Idempotent.
+  void shutdown();
+
+  /// Test hook: number of currently connected peers.
+  size_t connected_peers() const;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    bool connecting = false;   // non-blocking connect in progress
+    bool hello_sent = false;
+    Bytes inbuf;
+    std::deque<Bytes> outq;    // encoded frames (len prefix included)
+    size_t out_offset = 0;     // bytes of outq.front() already written
+    TimePoint retry_at = kTimeZero;
+  };
+
+  void io_loop();
+  void start_listen();
+  void try_dial(NodeId peer);
+  void close_conn(NodeId peer, const char* why);
+  void handle_readable(NodeId peer);
+  void handle_writable(NodeId peer);
+  void handle_accept();
+  void flush_pending_locked(NodeId peer);
+  void enqueue_locked(NodeId peer, Bytes encoded);
+  void rearm_epoll(NodeId peer);
+  static Bytes encode_frame(uint32_t kind, NodeId src, BytesView payload);
+
+  const NodeId self_;
+  const std::vector<TcpPeerAddr> peers_;
+  RealtimeEnv env_;
+
+  mutable std::mutex mutex_;
+  std::vector<Conn> conns_;          // indexed by peer id
+  std::vector<std::deque<Bytes>> pending_;  // frames queued while disconnected
+  ReceiveHandler handler_;
+
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd to kick the IO thread
+  std::atomic<bool> stop_{false};
+  std::thread io_thread_;
+};
+
+/// Convenience: build an n-node loopback cluster on consecutive ports
+/// starting at `base_port`. Used by tests and the TCP example.
+std::vector<TcpPeerAddr> loopback_addrs(size_t n, uint16_t base_port);
+
+}  // namespace stab

@@ -1,0 +1,48 @@
+// Transport abstraction.
+//
+// A Transport gives one WAN node FIFO, loss-reported point-to-point frame
+// delivery to every other node in the cluster, plus the Env that drives its
+// timers. Three implementations:
+//   * SimTransport    — on SimNetwork, deterministic virtual time
+//   * InProcTransport — threads + queues in one process, real time
+//   * TcpTransport    — epoll sockets, real time (multi-process capable)
+//
+// FIFO per (src,dst) pair is the transport contract the paper's data plane
+// relies on ("a basic reliability mechanism that ensures lossless FIFO
+// delivery", §I). SimNetwork can be configured lossy for fault-injection
+// tests; the data plane's retransmission recovers losslessness on top.
+#pragma once
+
+#include <functional>
+
+#include "common/bytes.hpp"
+#include "common/env.hpp"
+#include "common/types.hpp"
+
+namespace stab {
+
+class Transport {
+ public:
+  /// Called on the transport's Env thread when a frame arrives. `wire_size`
+  /// is the size the frame occupied on the (possibly simulated) wire; it is
+  /// >= frame.size() when the sender attached virtual padding.
+  using ReceiveHandler =
+      std::function<void(NodeId src, Bytes frame, uint64_t wire_size)>;
+
+  virtual ~Transport() = default;
+
+  virtual NodeId self() const = 0;
+  virtual size_t cluster_size() const = 0;
+
+  virtual void set_receive_handler(ReceiveHandler handler) = 0;
+
+  /// Queue a frame to `dst`. Never blocks. `wire_size` (0 = frame.size())
+  /// models payload bytes that are accounted for bandwidth but not carried
+  /// (trace replay); real transports ignore the padding.
+  virtual void send(NodeId dst, Bytes frame, uint64_t wire_size = 0) = 0;
+
+  /// The Env all of this node's Stabilizer work runs on.
+  virtual Env& env() = 0;
+};
+
+}  // namespace stab

@@ -1,0 +1,418 @@
+#include "paxos/paxos.hpp"
+
+#include <algorithm>
+
+#include "common/bytes.hpp"
+#include "common/logging.hpp"
+
+namespace stab::paxos {
+
+namespace {
+// Paxos frames use their own kind space (>= 0x60), distinct from Stabilizer
+// and application frames.
+constexpr uint8_t kPrepare = 0x60;
+constexpr uint8_t kPromise = 0x61;
+constexpr uint8_t kAccept = 0x62;
+constexpr uint8_t kAccepted = 0x63;
+constexpr uint8_t kNack = 0x64;
+constexpr uint8_t kCommit = 0x65;
+constexpr uint8_t kLearnReq = 0x66;
+constexpr uint8_t kLearn = 0x67;
+}  // namespace
+
+PaxosNode::PaxosNode(PaxosOptions options, Transport& transport)
+    : options_(std::move(options)), transport_(transport) {
+  if (std::find(options_.members.begin(), options_.members.end(),
+                options_.self) == options_.members.end())
+    throw std::invalid_argument("paxos: self must be a member");
+  transport_.set_receive_handler(
+      [this](NodeId src, Bytes frame, uint64_t wire) {
+        on_frame(src, std::move(frame), wire);
+      });
+  if (options_.start_as_leader) start_leadership();
+  if (options_.retry_interval > Duration::zero()) schedule_retry();
+}
+
+PaxosNode::~PaxosNode() {
+  stopped_ = true;
+  if (retry_timer_ != kInvalidTimer) transport_.env().cancel(retry_timer_);
+}
+
+void PaxosNode::set_commit_handler(CommitHandler handler) {
+  commit_handler_ = std::move(handler);
+}
+
+void PaxosNode::broadcast(const Bytes& frame, uint64_t virtual_size) {
+  for (NodeId m : options_.members) {
+    if (m == options_.self) continue;
+    transport_.send(m, frame, frame.size() + virtual_size);
+  }
+}
+
+void PaxosNode::start_leadership() {
+  ++round_;
+  my_ballot_ = make_ballot(round_);
+  leading_ = false;
+  promises_.clear();
+  // Self-promise; our own acceptor state counts as a promise's report.
+  if (my_ballot_ >= promised_) {
+    promised_ = my_ballot_;
+    promises_.insert(options_.self);
+    for (const auto& [instance, entry] : accepted_)
+      adopt_accepted(instance, entry.ballot, entry.value);
+  }
+  Writer w(16);
+  w.u8(kPrepare);
+  w.u64(my_ballot_);
+  broadcast(w.bytes());
+  ++stats_.prepares_sent;
+  if (promises_.size() >= majority()) on_leadership_established();
+}
+
+void PaxosNode::adopt_accepted(InstanceId instance, Ballot aballot,
+                               Bytes value) {
+  next_instance_ = std::max(next_instance_, instance + 1);
+  if (learned_.count(instance)) return;  // already chosen
+  auto it = proposals_.find(instance);
+  if (it == proposals_.end()) {
+    Proposal& p = proposals_[instance];
+    p.value = std::move(value);
+    p.adopted_ballot = aballot;
+    if (leading_) {
+      // A promise that straggled in after leadership was established
+      // reported an instance we did not know: drive it under our ballot.
+      if (my_ballot_ >= promised_) {
+        promised_ = my_ballot_;
+        accepted_[instance] = AcceptedEntry{my_ballot_, p.value};
+        p.accepted_by.insert(options_.self);
+      }
+      send_accept(instance, false);
+    }
+  } else if (!leading_ && !it->second.committed &&
+             aballot > it->second.adopted_ballot) {
+    // Phase 1 adoption rule: highest-ballot reported value wins. Once we
+    // are leading, accepts for this instance are already in flight under
+    // our ballot and MUST NOT change value (same ballot, one value); the
+    // intersection argument guarantees any possibly-chosen value was
+    // reported by the first-majority quorum, so late reports are safely
+    // ignored for driven instances.
+    it->second.value = std::move(value);
+    it->second.adopted_ballot = aballot;
+  }
+}
+
+/// An instance can become learned (via another leader's COMMIT) while we
+/// still hold an uncommitted proposal for it. That instance is decided and
+/// must never be re-driven: if our fresh value lost the slot, requeue it for
+/// a new instance; if our value actually won, fire its callback.
+void PaxosNode::reconcile_learned_proposals() {
+  for (auto it = proposals_.begin(); it != proposals_.end();) {
+    Proposal& p = it->second;
+    auto learned = learned_.find(it->first);
+    if (p.committed || learned == learned_.end()) {
+      ++it;
+      continue;
+    }
+    if (learned->second == p.value) {
+      if (p.on_commit) p.on_commit(it->first);
+    } else if (p.adopted_ballot == 0) {
+      pending_.emplace_back(
+          std::move(p.value),
+          std::make_pair(p.virtual_size, std::move(p.on_commit)));
+    }
+    it = proposals_.erase(it);
+  }
+}
+
+void PaxosNode::on_leadership_established() {
+  leading_ = true;
+  reconcile_learned_proposals();
+  // Re-drive every uncommitted instance under our ballot (with adopted
+  // values where Phase 1 reported any), then the queued fresh values.
+  for (auto& [instance, p] : proposals_) {
+    if (p.committed) continue;
+    p.accepted_by.clear();
+    if (my_ballot_ >= promised_) {
+      promised_ = my_ballot_;
+      accepted_[instance] = AcceptedEntry{my_ballot_, p.value};
+      p.accepted_by.insert(options_.self);
+    }
+    send_accept(instance, false);
+  }
+  drive_pending();
+}
+
+void PaxosNode::propose(Bytes value, uint64_t virtual_size,
+                        std::function<void(InstanceId)> on_commit) {
+  if (!leading_) {
+    pending_.emplace_back(
+        std::move(value),
+        std::make_pair(virtual_size, std::move(on_commit)));
+    if (my_ballot_ == 0) start_leadership();
+    return;
+  }
+  // Never assign a decided or occupied instance: another leader may have
+  // driven instances we only know through learning.
+  InstanceId instance = next_instance_++;
+  while (learned_.count(instance) || proposals_.count(instance))
+    instance = next_instance_++;
+  Proposal& p = proposals_[instance];
+  p.value = std::move(value);
+  p.virtual_size = virtual_size;
+  p.on_commit = std::move(on_commit);
+  // Self-accept.
+  if (my_ballot_ >= promised_) {
+    promised_ = my_ballot_;
+    accepted_[instance] = AcceptedEntry{my_ballot_, p.value};
+    p.accepted_by.insert(options_.self);
+  }
+  send_accept(instance, /*is_retry=*/false);
+  if (p.accepted_by.size() >= majority() && !p.committed) {
+    // Single-member cluster commits immediately.
+    p.committed = true;
+    learned_[instance] = p.value;
+    deliver_learned();
+    if (p.on_commit) p.on_commit(instance);
+  }
+}
+
+void PaxosNode::send_accept(InstanceId instance, bool is_retry) {
+  const Proposal& p = proposals_.at(instance);
+  Writer w(p.value.size() + 32);
+  w.u8(kAccept);
+  w.u64(my_ballot_);
+  w.i64(instance);
+  w.u64(p.virtual_size);
+  w.blob(p.value);
+  Bytes frame = std::move(w).take();
+  for (NodeId m : options_.members) {
+    if (m == options_.self || p.accepted_by.count(m)) continue;
+    transport_.send(m, frame, frame.size() + p.virtual_size);
+    ++stats_.accepts_sent;
+    if (is_retry) ++stats_.retries;
+  }
+}
+
+void PaxosNode::drive_pending() {
+  auto queued = std::move(pending_);
+  pending_.clear();
+  for (auto& [value, rest] : queued)
+    propose(std::move(value), rest.first, std::move(rest.second));
+}
+
+void PaxosNode::deliver_learned() {
+  while (true) {
+    auto it = learned_.find(delivered_through_ + 1);
+    if (it == learned_.end()) break;
+    ++delivered_through_;
+    if (commit_handler_) commit_handler_(it->first, it->second);
+  }
+}
+
+InstanceId PaxosNode::learned_through() const { return delivered_through_; }
+
+std::optional<Bytes> PaxosNode::learned_value(InstanceId instance) const {
+  auto it = learned_.find(instance);
+  if (it == learned_.end()) return std::nullopt;
+  return it->second;
+}
+
+void PaxosNode::schedule_retry() {
+  retry_timer_ = transport_.env().schedule_after(
+      options_.retry_interval, [this] {
+        if (stopped_) return;
+        if (leading_) {
+          reconcile_learned_proposals();
+          drive_pending();
+          for (auto& [instance, p] : proposals_)
+            if (!p.committed) send_accept(instance, /*is_retry=*/true);
+        } else if (my_ballot_ != 0 && !pending_.empty()) {
+          start_leadership();  // keep trying to become leader
+        }
+        // Re-request missing learned values below the horizon.
+        if (!learned_.empty()) {
+          InstanceId horizon = learned_.rbegin()->first;
+          for (InstanceId i = delivered_through_ + 1; i < horizon; ++i) {
+            if (learned_.count(i)) continue;
+            Writer w(16);
+            w.u8(kLearnReq);
+            w.i64(i);
+            broadcast(w.bytes());
+            ++stats_.catchups;
+          }
+        }
+        schedule_retry();
+      });
+}
+
+void PaxosNode::on_frame(NodeId src, Bytes frame, uint64_t wire_size) {
+  (void)wire_size;
+  try {
+    Reader r(frame);
+    uint8_t kind = r.u8();
+    switch (kind) {
+      case kPrepare: {
+        Ballot b = r.u64();
+        if (b >= promised_) {
+          promised_ = b;
+          if (leading_ && b > my_ballot_) leading_ = false;  // deposed
+          // Promise, reporting everything we've accepted so the new leader
+          // can re-propose it.
+          Writer w(64);
+          w.u8(kPromise);
+          w.u64(b);
+          w.u32(static_cast<uint32_t>(accepted_.size()));
+          for (const auto& [instance, entry] : accepted_) {
+            w.i64(instance);
+            w.u64(entry.ballot);
+            w.blob(entry.value);
+          }
+          transport_.send(src, std::move(w).take());
+        } else {
+          Writer w(16);
+          w.u8(kNack);
+          w.u64(promised_);
+          transport_.send(src, std::move(w).take());
+        }
+        break;
+      }
+      case kPromise: {
+        Ballot b = r.u64();
+        if (b != my_ballot_ || leading_) {
+          // Stale promise for an old ballot, or already leading — but still
+          // adopt reported accepted values if we're collecting.
+          if (b != my_ballot_) break;
+        }
+        uint32_t n = r.u32();
+        for (uint32_t i = 0; i < n; ++i) {
+          InstanceId instance = r.i64();
+          Ballot aballot = r.u64();
+          Bytes value = r.blob();
+          adopt_accepted(instance, aballot, std::move(value));
+        }
+        promises_.insert(src);
+        if (!leading_ && promises_.size() >= majority())
+          on_leadership_established();
+        break;
+      }
+      case kAccept: {
+        Ballot b = r.u64();
+        InstanceId instance = r.i64();
+        uint64_t virtual_size = r.u64();
+        (void)virtual_size;
+        Bytes value = r.blob();
+        if (b >= promised_) {
+          promised_ = b;
+          if (leading_ && b > my_ballot_) leading_ = false;
+          accepted_[instance] = AcceptedEntry{b, std::move(value)};
+          Writer w(24);
+          w.u8(kAccepted);
+          w.u64(b);
+          w.i64(instance);
+          transport_.send(src, std::move(w).take());
+        } else {
+          Writer w(16);
+          w.u8(kNack);
+          w.u64(promised_);
+          transport_.send(src, std::move(w).take());
+        }
+        break;
+      }
+      case kAccepted: {
+        Ballot b = r.u64();
+        InstanceId instance = r.i64();
+        if (b != my_ballot_) break;
+        auto it = proposals_.find(instance);
+        if (it == proposals_.end() || it->second.committed) break;
+        Proposal& p = it->second;
+        p.accepted_by.insert(src);
+        if (p.accepted_by.size() >= majority()) {
+          p.committed = true;
+          Writer w(24);
+          w.u8(kCommit);
+          w.i64(instance);
+          w.u64(my_ballot_);  // identifies WHICH accepted value was chosen
+          broadcast(w.bytes());
+          ++stats_.commits_sent;
+          if (!learned_.count(instance)) {
+            learned_[instance] = p.value;
+            deliver_learned();
+          }
+          if (p.on_commit) p.on_commit(instance);
+        }
+        break;
+      }
+      case kNack: {
+        Ballot promised = r.u64();
+        ++stats_.nacks_received;
+        if (promised > my_ballot_) {
+          // Someone holds a higher ballot. Step down and re-contend with a
+          // higher round after a deposed-proposer backoff — immediate
+          // re-prepare would duel forever with the other proposer.
+          // Uncommitted proposals keep their instances; they are re-driven
+          // under the new ballot once Phase 1 completes.
+          leading_ = false;
+          round_ = (promised >> 16) + 1;
+          if (!reprepare_scheduled_) {
+            reprepare_scheduled_ = true;
+            Duration backoff = millis(20) * (options_.self + 1);
+            transport_.env().schedule_after(backoff, [this] {
+              reprepare_scheduled_ = false;
+              if (stopped_ || leading_) return;
+              bool has_work = !pending_.empty();
+              for (auto& [instance, p] : proposals_)
+                if (!p.committed) has_work = true;
+              if (has_work) start_leadership();
+            });
+          }
+        }
+        break;
+      }
+      case kCommit: {
+        InstanceId instance = r.i64();
+        Ballot ballot = r.u64();
+        if (learned_.count(instance)) break;
+        auto it = accepted_.find(instance);
+        if (it != accepted_.end() && it->second.ballot == ballot) {
+          learned_[instance] = it->second.value;
+          deliver_learned();
+        } else {
+          // We missed the chosen ACCEPT (or hold a stale-ballot value):
+          // catch up from the committer.
+          Writer w(16);
+          w.u8(kLearnReq);
+          w.i64(instance);
+          transport_.send(src, std::move(w).take());
+          ++stats_.catchups;
+        }
+        break;
+      }
+      case kLearnReq: {
+        InstanceId instance = r.i64();
+        auto it = learned_.find(instance);
+        if (it == learned_.end()) break;
+        Writer w(it->second.size() + 16);
+        w.u8(kLearn);
+        w.i64(instance);
+        w.blob(it->second);
+        transport_.send(src, std::move(w).take());
+        break;
+      }
+      case kLearn: {
+        InstanceId instance = r.i64();
+        Bytes value = r.blob();
+        if (!learned_.count(instance)) {
+          learned_[instance] = std::move(value);
+          deliver_learned();
+        }
+        break;
+      }
+      default:
+        STAB_WARN("paxos: unknown frame kind " << int(kind));
+    }
+  } catch (const CodecError& e) {
+    STAB_ERROR("paxos: bad frame from " << src << ": " << e.what());
+  }
+}
+
+}  // namespace stab::paxos

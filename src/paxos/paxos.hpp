@@ -1,0 +1,144 @@
+// Multi-Paxos baseline — the PhxPaxos stand-in for the Fig 6 comparison
+// (DESIGN.md §3).
+//
+// Classic leader-based multi-Paxos over the same transports Stabilizer
+// uses:
+//   * Phase 1 (PREPARE/PROMISE) establishes a leader ballot covering all
+//     instances; competing proposers are resolved by ballot order and NACKs
+//     trigger re-prepare with a higher round.
+//   * Phase 2 (ACCEPT/ACCEPTED) is pipelined: the leader streams one
+//     instance per client value and commits each when a majority of members
+//     (leader included) accepted.
+//   * COMMIT is broadcast so every member learns; members missing the value
+//     (lossy links) fetch it with LEARN_REQ/LEARN catch-up.
+//   * A retry timer re-drives uncommitted instances, giving liveness under
+//     message loss.
+//
+// The topology-blind majority quorum is the point of the comparison: unlike
+// a Stabilizer predicate, Paxos cannot be told that "one copy in each of two
+// remote regions" is enough — it always waits for floor(N/2)+1 members
+// (§VI-B: "The Paxos is typically indifferent to topology").
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "net/transport.hpp"
+
+namespace stab::paxos {
+
+using Ballot = uint64_t;  // (round << 16) | proposer node id
+using InstanceId = int64_t;
+inline constexpr InstanceId kNoInstance = -1;
+
+struct PaxosOptions {
+  std::vector<NodeId> members;
+  NodeId self = 0;
+  /// Run Phase 1 immediately (the designated leader in benches/tests).
+  bool start_as_leader = false;
+  /// Re-drive uncommitted instances this often; zero disables (lossless
+  /// transports).
+  Duration retry_interval = Duration::zero();
+};
+
+struct PaxosStats {
+  uint64_t prepares_sent = 0;
+  uint64_t accepts_sent = 0;
+  uint64_t commits_sent = 0;
+  uint64_t nacks_received = 0;
+  uint64_t retries = 0;
+  uint64_t catchups = 0;
+};
+
+class PaxosNode {
+ public:
+  using CommitHandler = std::function<void(InstanceId, BytesView value)>;
+
+  PaxosNode(PaxosOptions options, Transport& transport);
+  ~PaxosNode();
+
+  NodeId self() const { return options_.self; }
+  bool is_leader() const { return leading_; }
+
+  /// Proposer API (call on the leader): replicate `value`; `on_commit` fires
+  /// when a majority accepted it. Values submitted before leadership is
+  /// established are queued behind Phase 1.
+  void propose(Bytes value, uint64_t virtual_size,
+               std::function<void(InstanceId)> on_commit);
+
+  /// Learner API: fires for every instance in commit order (contiguous).
+  void set_commit_handler(CommitHandler handler);
+
+  /// Highest instance such that all instances <= it are learned locally.
+  InstanceId learned_through() const;
+  /// The learned value of one instance (nullopt if not yet learned).
+  std::optional<Bytes> learned_value(InstanceId instance) const;
+
+  const PaxosStats& stats() const { return stats_; }
+
+  /// Force a new, higher ballot and re-run Phase 1 (used by tests to create
+  /// competing proposers).
+  void start_leadership();
+
+ private:
+  struct Proposal {
+    Bytes value;
+    uint64_t virtual_size = 0;
+    /// Highest ballot at which some acceptor reported this instance's value
+    /// (0 = our own fresh value). Paxos' Phase 1 rule: the leader must
+    /// re-propose the highest-ballot reported value, never its own.
+    Ballot adopted_ballot = 0;
+    std::set<NodeId> accepted_by;
+    bool committed = false;
+    std::function<void(InstanceId)> on_commit;
+  };
+  struct AcceptedEntry {
+    Ballot ballot = 0;
+    Bytes value;
+  };
+
+  size_t majority() const { return options_.members.size() / 2 + 1; }
+  Ballot make_ballot(uint64_t round) const {
+    return (round << 16) | options_.self;
+  }
+  void broadcast(const Bytes& frame, uint64_t virtual_size = 0);
+  void on_frame(NodeId src, Bytes frame, uint64_t wire_size);
+  void adopt_accepted(InstanceId instance, Ballot aballot, Bytes value);
+  void reconcile_learned_proposals();
+  void on_leadership_established();
+  void send_accept(InstanceId instance, bool is_retry);
+  void drive_pending();
+  void deliver_learned();
+  void schedule_retry();
+
+  PaxosOptions options_;
+  Transport& transport_;
+  CommitHandler commit_handler_;
+
+  // proposer state
+  bool leading_ = false;
+  uint64_t round_ = 0;
+  Ballot my_ballot_ = 0;
+  std::set<NodeId> promises_;
+  std::map<InstanceId, Proposal> proposals_;
+  std::vector<std::pair<Bytes, std::pair<uint64_t, std::function<void(InstanceId)>>>>
+      pending_;  // values queued before leadership
+  InstanceId next_instance_ = 0;
+
+  // acceptor state
+  Ballot promised_ = 0;
+  std::map<InstanceId, AcceptedEntry> accepted_;
+
+  // learner state
+  std::map<InstanceId, Bytes> learned_;
+  InstanceId delivered_through_ = kNoInstance;
+
+  TimerId retry_timer_ = kInvalidTimer;
+  bool reprepare_scheduled_ = false;
+  bool stopped_ = false;
+  PaxosStats stats_;
+};
+
+}  // namespace stab::paxos

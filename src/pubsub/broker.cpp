@@ -1,0 +1,179 @@
+#include "pubsub/broker.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace stab::pubsub {
+
+namespace {
+constexpr uint8_t kPublish = 1;
+constexpr uint8_t kSub = 2;
+constexpr uint8_t kUnsub = 3;
+}  // namespace
+
+Broker::Broker(Stabilizer& stabilizer, BrokerOptions options)
+    : stabilizer_(stabilizer), options_(std::move(options)) {
+  stabilizer_.set_delivery_handler(
+      [this](NodeId origin, SeqNum seq, BytesView payload, uint64_t) {
+        on_delivery(origin, seq, payload);
+      });
+  // The default topic exists up front so reliable_frontier() works before
+  // the first publish (the paper's single-topic mode).
+  if (options_.track_active_sites) rebuild_predicate(kDefaultTopic);
+}
+
+Broker::Topic& Broker::topic_state(const std::string& topic) {
+  auto [it, inserted] = topics_.try_emplace(topic);
+  if (inserted && options_.track_active_sites) rebuild_predicate(topic);
+  return it->second;
+}
+
+SeqNum Broker::publish(const std::string& topic, BytesView message,
+                       uint64_t virtual_size) {
+  Topic& state = topic_state(topic);
+  Writer w(message.size() + topic.size() + 12);
+  w.u8(kPublish);
+  w.str(topic);
+  w.blob(message);
+  SeqNum seq = stabilizer_.send(std::move(w).take(), virtual_size);
+  ++published_;
+  if (options_.persistence) persist(topic, self(), seq, message);
+  // Local subscribers get the message without a network hop.
+  for (auto& [id, fn] : state.subscribers) {
+    fn(self(), seq, message);
+    ++delivered_;
+  }
+  return seq;
+}
+
+uint64_t Broker::subscribe(const std::string& topic, SubscriberFn fn) {
+  Topic& state = topic_state(topic);
+  uint64_t id = next_subscription_++;
+  bool first = state.subscribers.empty();
+  state.subscribers.emplace(id, std::move(fn));
+  subscription_topic_.emplace(id, topic);
+  if (first) {
+    set_site_active(topic, self(), true);
+    announce(kSub, topic);  // "after receiving a first subscription request,
+                            // the broker becomes active as a member of the
+                            // active broker list"
+  }
+  return id;
+}
+
+void Broker::unsubscribe(uint64_t subscription_id) {
+  auto it = subscription_topic_.find(subscription_id);
+  if (it == subscription_topic_.end()) return;
+  std::string topic = it->second;
+  subscription_topic_.erase(it);
+  Topic& state = topic_state(topic);
+  if (state.subscribers.erase(subscription_id) &&
+      state.subscribers.empty()) {
+    set_site_active(topic, self(), false);
+    announce(kUnsub, topic);
+  }
+}
+
+void Broker::announce(uint8_t kind, const std::string& topic) {
+  Writer w(topic.size() + 8);
+  w.u8(kind);
+  w.str(topic);
+  stabilizer_.send(std::move(w).take());
+}
+
+void Broker::on_delivery(NodeId origin, SeqNum seq, BytesView payload) {
+  try {
+    Reader r(payload);
+    uint8_t kind = r.u8();
+    std::string topic = r.str();
+    if (kind == kPublish) {
+      BytesView message = r.blob_view();
+      if (options_.persistence) persist(topic, origin, seq, message);
+      Topic& state = topic_state(topic);
+      for (auto& [id, fn] : state.subscribers) {
+        fn(origin, seq, message);
+        ++delivered_;
+      }
+    } else if (kind == kSub) {
+      set_site_active(topic, origin, true);
+    } else if (kind == kUnsub) {
+      set_site_active(topic, origin, false);
+    } else {
+      STAB_WARN("pubsub: unknown message kind " << int(kind));
+    }
+  } catch (const CodecError& e) {
+    STAB_ERROR("pubsub: bad message from " << origin << ": " << e.what());
+  }
+}
+
+void Broker::persist(const std::string& topic, NodeId origin, SeqNum seq,
+                     BytesView message) {
+  options_.persistence->put(
+      "pubsub/" + topic + "/" + std::to_string(origin) + "/" +
+          std::to_string(seq),
+      message, stabilizer_.env().now());
+  ++persisted_;
+  // Report durability so publishers can await .persisted predicates.
+  stabilizer_.report_stability("persisted", origin, seq);
+}
+
+void Broker::set_site_active(const std::string& topic, NodeId site,
+                             bool active) {
+  Topic& state = topic_state(topic);
+  bool changed = active ? state.active_sites.insert(site).second
+                        : state.active_sites.erase(site) > 0;
+  if (changed && options_.track_active_sites) rebuild_predicate(topic);
+}
+
+void Broker::rebuild_predicate(const std::string& topic) {
+  Topic& state = topics_[topic];
+  // Reliable broadcast: every remote site with a subscriber must have the
+  // message. With no remote subscribers, stability is local-only.
+  std::ostringstream src;
+  std::vector<NodeId> remotes;
+  for (NodeId site : state.active_sites)
+    if (site != self()) remotes.push_back(site);
+  if (remotes.empty()) {
+    src << "MIN($MYWNODE)";
+  } else {
+    src << "MIN(";
+    for (size_t i = 0; i < remotes.size(); ++i) {
+      if (i) src << ",";
+      src << "$" << (remotes[i] + 1);
+    }
+    src << ")";
+  }
+  state.predicate_src = src.str();
+  const std::string key = predicate_key(topic);
+  Status st = state.predicate_registered
+                  ? stabilizer_.change_predicate(key, state.predicate_src)
+                  : stabilizer_.register_predicate(key, state.predicate_src);
+  if (st.is_ok())
+    state.predicate_registered = true;
+  else
+    STAB_ERROR("pubsub: predicate rebuild failed: " << st.message());
+}
+
+std::set<NodeId> Broker::active_sites(const std::string& topic) const {
+  auto it = topics_.find(topic);
+  return it == topics_.end() ? std::set<NodeId>{} : it->second.active_sites;
+}
+
+size_t Broker::local_subscribers(const std::string& topic) const {
+  auto it = topics_.find(topic);
+  return it == topics_.end() ? 0 : it->second.subscribers.size();
+}
+
+std::string Broker::current_predicate_source(const std::string& topic) const {
+  auto it = topics_.find(topic);
+  return it == topics_.end() ? std::string() : it->second.predicate_src;
+}
+
+std::vector<std::string> Broker::topics() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : topics_) out.push_back(name);
+  return out;
+}
+
+}  // namespace stab::pubsub

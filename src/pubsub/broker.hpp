@@ -1,0 +1,132 @@
+// Pub/sub service on Stabilizer (paper §V-B), extended with the two
+// features the paper names as easy follow-ons: multiple topics and
+// persistence ("like support for multiple topics, persistence would be easy
+// to introduce").
+//
+// One Broker per WAN node wraps the Stabilizer library with a thin layer:
+// publish() multicasts through the asynchronous data plane; subscribe()
+// registers a local callback per topic. Brokers announce per-topic
+// SUB/UNSUB transitions on the same sequenced stream, maintaining the
+// active-broker list; when `track_active_sites` is on, each topic keeps a
+// reliable-broadcast predicate — MIN over sites that currently have
+// subscribers — swapped via change_predicate as subscribers come and go
+// (the §VI-D dynamic reconfiguration).
+//
+// With a LocalStore attached, every published and delivered message is
+// persisted before the subscriber upcall, and the "persisted" stability
+// level is reported — so publishers can define persistence-aware
+// predicates like MIN(($ALLWNODES-$MYWNODE).persisted).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "core/stabilizer.hpp"
+#include "store/local_store.hpp"
+
+namespace stab::pubsub {
+
+struct BrokerOptions {
+  /// Prefix for per-topic reliable-broadcast predicate keys; the topic name
+  /// is appended ("<prefix>/<topic>").
+  std::string predicate_key_prefix = "pubsub_reliable";
+  /// Maintain the per-topic active-site predicates automatically (§VI-D).
+  bool track_active_sites = true;
+  /// Optional persistence: messages are stored (key
+  /// "pubsub/<topic>/<origin>/<seq>") before subscriber delivery, and the
+  /// persisted stability level is reported.
+  store::LocalStore* persistence = nullptr;
+};
+
+/// The single unnamed topic used by the paper's experiments.
+inline const std::string kDefaultTopic;
+
+class Broker {
+ public:
+  using SubscriberFn =
+      std::function<void(NodeId origin, SeqNum seq, BytesView message)>;
+
+  Broker(Stabilizer& stabilizer, BrokerOptions options = {});
+
+  NodeId self() const { return stabilizer_.self(); }
+
+  // --- publisher side ------------------------------------------------------
+  /// Multicasts a message on a topic. Local subscribers are delivered
+  /// synchronously; remote sites via the data plane. Returns the sequence
+  /// number for stability tracking.
+  SeqNum publish(const std::string& topic, BytesView message,
+                 uint64_t virtual_size = 0);
+  SeqNum publish(BytesView message, uint64_t virtual_size = 0) {
+    return publish(kDefaultTopic, message, virtual_size);
+  }
+
+  /// Frontier of the topic's reliable-broadcast predicate: every currently
+  /// active subscriber site has received messages up to this seq.
+  SeqNum reliable_frontier(const std::string& topic = kDefaultTopic) const {
+    return stabilizer_.get_stability_frontier(predicate_key(topic));
+  }
+  /// Fires when the publish with this seq is reliable per the topic's
+  /// current predicate.
+  Status wait_reliable(SeqNum seq, Stabilizer::WaiterFn fn,
+                       const std::string& topic = kDefaultTopic) {
+    return stabilizer_.waitfor(seq, predicate_key(topic), std::move(fn));
+  }
+
+  // --- subscriber side ------------------------------------------------------
+  /// Registers a local subscriber on a topic; the topic's 0 -> 1 transition
+  /// broadcasts SUB so remote publishers add this site to the topic's
+  /// active list. Returns a subscription id.
+  uint64_t subscribe(const std::string& topic, SubscriberFn fn);
+  uint64_t subscribe(SubscriberFn fn) {
+    return subscribe(kDefaultTopic, std::move(fn));
+  }
+  /// Unregisters; a topic's 1 -> 0 transition broadcasts UNSUB.
+  void unsubscribe(uint64_t subscription_id);
+
+  // --- introspection ---------------------------------------------------------
+  /// Sites (possibly including self) with at least one subscriber on the
+  /// topic.
+  std::set<NodeId> active_sites(
+      const std::string& topic = kDefaultTopic) const;
+  size_t local_subscribers(const std::string& topic = kDefaultTopic) const;
+  std::string current_predicate_source(
+      const std::string& topic = kDefaultTopic) const;
+  std::vector<std::string> topics() const;
+  uint64_t published() const { return published_; }
+  uint64_t delivered_to_subscribers() const { return delivered_; }
+  uint64_t persisted_messages() const { return persisted_; }
+
+  std::string predicate_key(const std::string& topic) const {
+    return options_.predicate_key_prefix + "/" + topic;
+  }
+
+  Stabilizer& stabilizer() { return stabilizer_; }
+
+ private:
+  struct Topic {
+    std::map<uint64_t, SubscriberFn> subscribers;
+    std::set<NodeId> active_sites;
+    std::string predicate_src;
+    bool predicate_registered = false;
+  };
+
+  void on_delivery(NodeId origin, SeqNum seq, BytesView payload);
+  Topic& topic_state(const std::string& topic);
+  void set_site_active(const std::string& topic, NodeId site, bool active);
+  void rebuild_predicate(const std::string& topic);
+  void announce(uint8_t kind, const std::string& topic);
+  void persist(const std::string& topic, NodeId origin, SeqNum seq,
+               BytesView message);
+
+  Stabilizer& stabilizer_;
+  BrokerOptions options_;
+  std::map<std::string, Topic> topics_;
+  std::map<uint64_t, std::string> subscription_topic_;
+  uint64_t next_subscription_ = 1;
+  uint64_t published_ = 0;
+  uint64_t delivered_ = 0;
+  uint64_t persisted_ = 0;
+};
+
+}  // namespace stab::pubsub

@@ -1,0 +1,129 @@
+#include "pulsar/pulsar_lite.hpp"
+
+#include "common/bytes.hpp"
+#include "common/logging.hpp"
+
+namespace stab::pulsar {
+
+namespace {
+constexpr uint8_t kMsg = 0x50;
+constexpr uint8_t kAck = 0x51;
+}  // namespace
+
+PulsarBroker::PulsarBroker(PulsarOptions options, Transport& transport)
+    : options_(std::move(options)), transport_(transport) {
+  transport_.set_receive_handler(
+      [this](NodeId src, Bytes frame, uint64_t wire) {
+        on_frame(src, std::move(frame), wire);
+      });
+}
+
+TimePoint PulsarBroker::process_message(uint64_t bytes) {
+  Env& env = transport_.env();
+  TimePoint start = std::max(env.now(), busy_until_);
+  TimePoint done = start + options_.proc_delay;
+
+  // JVM model: processing allocates; crossing the budget triggers a
+  // stop-the-world pause proportional to the churn.
+  allocated_ += options_.gc_alloc_per_msg + bytes / 8;
+  if (allocated_ >= options_.gc_heap_budget) {
+    Duration pause =
+        options_.gc_pause_base +
+        options_.gc_pause_per_mb * static_cast<int64_t>(allocated_ >> 20);
+    done += pause;
+    total_gc_time_ += pause;
+    ++gc_pauses_;
+    allocated_ = 0;
+  }
+  busy_until_ = done;
+  return done;
+}
+
+uint64_t PulsarBroker::publish(BytesView message, uint64_t virtual_size) {
+  uint64_t id = next_msg_id_++;
+  ++published_;
+  TimePoint ready = process_message(message.size() + virtual_size);
+  // Local subscriber (if any) is delivered after broker processing.
+  Env& env = transport_.env();
+  if (subscriber_) {
+    Bytes copy(message.begin(), message.end());
+    env.schedule_after(ready - env.now(),
+                       [this, id, copy = std::move(copy)] {
+                         if (subscriber_)
+                           subscriber_(options_.self, id, copy);
+                         ++delivered_;
+                       });
+  }
+  // Forward to remote brokers once processing completes.
+  for (NodeId broker : options_.brokers) {
+    if (broker == options_.self) continue;
+    Bytes copy(message.begin(), message.end());
+    env.schedule_after(
+        ready - env.now(),
+        [this, broker, id, copy = std::move(copy), virtual_size] {
+          forward(broker, id, copy, virtual_size);
+        });
+  }
+  return id;
+}
+
+void PulsarBroker::forward(NodeId dst, uint64_t msg_id, BytesView message,
+                           uint64_t virtual_size) {
+  uint64_t& outstanding = outstanding_bytes_[dst];
+  uint64_t wire = message.size() + virtual_size + 16;
+  if (!options_.buffer_when_slow &&
+      outstanding + wire > options_.slow_link_outstanding_cap) {
+    // Original Pulsar: the broker silently abandons the message when the
+    // link cannot keep up (the behaviour the paper patched away).
+    ++dropped_;
+    return;
+  }
+  outstanding += wire;
+  Writer w(message.size() + 24);
+  w.u8(kMsg);
+  w.u64(msg_id);
+  w.u32(options_.self);
+  w.blob(message);
+  Bytes frame = std::move(w).take();
+  uint64_t wire_size = frame.size() + virtual_size;
+  transport_.send(dst, std::move(frame), wire_size);
+}
+
+void PulsarBroker::on_frame(NodeId src, Bytes frame, uint64_t wire_size) {
+  try {
+    Reader r(frame);
+    uint8_t kind = r.u8();
+    if (kind == kMsg) {
+      uint64_t id = r.u64();
+      NodeId origin = r.u32();
+      Bytes message = r.blob();
+      TimePoint ready = process_message(wire_size);
+      Env& env = transport_.env();
+      env.schedule_after(
+          ready - env.now(),
+          [this, origin, id, src, message = std::move(message)] {
+            if (subscriber_) subscriber_(origin, id, message);
+            ++delivered_;
+            // Confirm delivery to the origin broker (latency measurement).
+            Writer w(16);
+            w.u8(kAck);
+            w.u64(id);
+            w.u32(options_.self);
+            transport_.send(src, std::move(w).take());
+          });
+    } else if (kind == kAck) {
+      uint64_t id = r.u64();
+      NodeId site = r.u32();
+      // Ack frees the outstanding budget (approximation: one message's
+      // worth; exact accounting is unnecessary for the drop model).
+      auto it = outstanding_bytes_.find(src);
+      if (it != outstanding_bytes_.end())
+        it->second -= std::min<uint64_t>(it->second, 8 * 1024 + 16);
+      if (ack_handler_) ack_handler_(site, id);
+    }
+  } catch (const CodecError& e) {
+    STAB_ERROR("pulsar: bad frame from " << src << ": " << e.what());
+  }
+}
+
+}  // namespace stab::pulsar

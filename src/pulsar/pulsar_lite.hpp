@@ -1,0 +1,94 @@
+// "PulsarLite" — the Apache Pulsar stand-in used by the Fig 7 comparison
+// (DESIGN.md §3 substitution).
+//
+// Models the aspects of Pulsar's non-persistent geo-replication that the
+// paper's experiment exercises:
+//   * broker-per-site forwarding: producer -> local broker -> remote
+//     brokers -> subscribers, with a per-message broker processing cost
+//     (the broker is a serial resource — a busy-server queue);
+//   * JVM garbage collection: processing allocates; when the allocation
+//     budget is exhausted the broker stalls for a pause that grows with the
+//     amount reclaimed — the paper attributes Pulsar's LAN latency growth to
+//     exactly this ("We believe this is associated with garbage collection
+//     within its JVM");
+//   * the paper's patch: the original broker silently drops messages when a
+//     WAN link is transiently unavailable; with `buffer_when_slow` (default,
+//     matching the patched Pulsar) messages are buffered and sent in order.
+//
+// Latency is measured like the paper's: remote brokers ack delivery back to
+// the origin broker, which reports per-site end-to-end latency.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace stab::pulsar {
+
+struct PulsarOptions {
+  NodeId self = 0;
+  std::vector<NodeId> brokers;  // all sites, including self
+
+  Duration proc_delay = micros(150);          // per-message broker CPU
+  uint64_t gc_alloc_per_msg = 96 * 1024;      // bytes of garbage per message
+  uint64_t gc_heap_budget = 64 << 20;         // allocation between pauses
+  Duration gc_pause_base = millis(8);
+  Duration gc_pause_per_mb = micros(150);     // pause grows with heap churn
+
+  bool buffer_when_slow = true;   // false = original Pulsar drop behaviour
+  uint64_t slow_link_outstanding_cap = 4 << 20;  // drop threshold (bytes)
+};
+
+class PulsarBroker {
+ public:
+  using SubscriberFn =
+      std::function<void(NodeId origin, uint64_t msg_id, BytesView message)>;
+  /// Origin-broker callback when a remote site confirms delivery.
+  using AckFn = std::function<void(NodeId site, uint64_t msg_id)>;
+
+  PulsarBroker(PulsarOptions options, Transport& transport);
+
+  NodeId self() const { return options_.self; }
+
+  /// Local producer publishes; the broker processes and forwards.
+  uint64_t publish(BytesView message, uint64_t virtual_size = 0);
+
+  void subscribe(SubscriberFn fn) { subscriber_ = std::move(fn); }
+  void set_ack_handler(AckFn fn) { ack_handler_ = std::move(fn); }
+
+  uint64_t published() const { return published_; }
+  uint64_t delivered() const { return delivered_; }
+  uint64_t dropped() const { return dropped_; }
+  uint64_t gc_pauses() const { return gc_pauses_; }
+  Duration total_gc_time() const { return total_gc_time_; }
+
+ private:
+  /// Serial broker resource: returns when this message's processing
+  /// completes, advancing the busy horizon and charging GC.
+  TimePoint process_message(uint64_t bytes);
+  void forward(NodeId dst, uint64_t msg_id, BytesView message,
+               uint64_t virtual_size);
+  void on_frame(NodeId src, Bytes frame, uint64_t wire_size);
+
+  PulsarOptions options_;
+  Transport& transport_;
+  SubscriberFn subscriber_;
+  AckFn ack_handler_;
+
+  TimePoint busy_until_ = kTimeZero;
+  uint64_t allocated_ = 0;
+  uint64_t next_msg_id_ = 1;
+  std::map<NodeId, uint64_t> outstanding_bytes_;  // per remote broker
+
+  uint64_t published_ = 0;
+  uint64_t delivered_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t gc_pauses_ = 0;
+  Duration total_gc_time_ = Duration::zero();
+};
+
+}  // namespace stab::pulsar

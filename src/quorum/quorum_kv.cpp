@@ -1,0 +1,200 @@
+#include "quorum/quorum_kv.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace stab::quorum {
+
+namespace {
+constexpr uint8_t kWriteRecord = 1;   // inside the sequenced data stream
+constexpr uint8_t kReadReq = 0x41;    // raw frames
+constexpr uint8_t kReadResp = 0x42;
+constexpr const char* kWritePredicateKey = "quorum_write";
+}  // namespace
+
+QuorumNode::QuorumNode(Stabilizer& stabilizer, QuorumOptions options)
+    : stabilizer_(stabilizer), options_(std::move(options)) {
+  const size_t n = options_.servers.size();
+  if (n == 0) throw std::invalid_argument("quorum: empty server set");
+  if (options_.read_quorum == 0 || options_.write_quorum == 0 ||
+      options_.read_quorum > n || options_.write_quorum > n)
+    throw std::invalid_argument("quorum: Nr/Nw out of range");
+  if (options_.read_quorum + options_.write_quorum <= n)
+    throw std::invalid_argument(
+        "quorum: Nr + Nw must exceed N for quorum intersection");
+
+  // Write predicate over the server set: stable once at least Nw servers
+  // acked. (§IV-B writes this as KTH_MIN(Nw, ...), but "ACKs from Nw of the
+  // set received" is the KTH_MAX(Nw, ...) frontier — the Nw-th *largest*
+  // ack is the highest seq that Nw servers hold, exactly as Table III's
+  // MajorityWNodes uses KTH_MAX for "acknowledged by a majority".)
+  std::ostringstream src;
+  src << "KTH_MAX(" << options_.write_quorum;
+  for (NodeId s : options_.servers) src << ",$" << (s + 1);
+  src << ")";
+  write_predicate_src_ = src.str();
+  if (!stabilizer_.has_predicate(kWritePredicateKey)) {
+    Status st = stabilizer_.register_predicate(kWritePredicateKey,
+                                               write_predicate_src_);
+    if (!st.is_ok())
+      throw std::invalid_argument("quorum: " + st.message());
+  }
+
+  stabilizer_.set_delivery_handler(
+      [this](NodeId origin, SeqNum seq, BytesView payload, uint64_t) {
+        on_delivery(origin, seq, payload);
+      });
+  stabilizer_.set_raw_frame_handler(
+      [this](NodeId src, BytesView frame, uint64_t) { on_raw(src, frame); });
+}
+
+bool QuorumNode::is_server() const {
+  return std::find(options_.servers.begin(), options_.servers.end(),
+                   stabilizer_.self()) != options_.servers.end();
+}
+
+void QuorumNode::write(const std::string& key, BytesView value,
+                       std::function<void(uint64_t)> done) {
+  // Phase 1 of Gifford's write: learn the current version from a read
+  // quorum, then write (max_counter + 1, self) — strictly newer than any
+  // committed version, tie-broken by writer id for concurrent writers.
+  Bytes owned(value.begin(), value.end());
+  read(key, [this, key, owned = std::move(owned),
+             done = std::move(done)](ReadResult current) mutable {
+    uint64_t counter = current.found ? (current.version >> 16) : 0;
+    uint64_t version = ((counter + 1) << 16) | stabilizer_.self();
+    write_with_version(key, owned, version, std::move(done));
+  });
+}
+
+void QuorumNode::write_with_version(const std::string& key, BytesView value,
+                                    uint64_t version,
+                                    std::function<void(uint64_t)> done) {
+  Writer w(key.size() + value.size() + 24);
+  w.u8(kWriteRecord);
+  w.str(key);
+  w.u64(version);
+  w.blob(value);
+
+  // Apply locally (the writer is a replica of its own write).
+  auto& slot = data_[key];
+  if (version > slot.first)
+    slot = {version, Bytes(value.begin(), value.end())};
+
+  SeqNum seq = stabilizer_.send(std::move(w).take());
+  stabilizer_.waitfor(seq, kWritePredicateKey,
+                      [version, done = std::move(done)](SeqNum) {
+                        if (done) done(version);
+                      });
+}
+
+void QuorumNode::on_delivery(NodeId origin, SeqNum seq, BytesView payload) {
+  (void)origin;
+  (void)seq;
+  try {
+    Reader r(payload);
+    if (r.u8() != kWriteRecord) return;
+    std::string key = r.str();
+    uint64_t version = r.u64();
+    Bytes value = r.blob();
+    auto& slot = data_[key];
+    if (version > slot.first) slot = {version, std::move(value)};
+  } catch (const CodecError& e) {
+    STAB_ERROR("quorum: bad write record: " << e.what());
+  }
+}
+
+void QuorumNode::read(const std::string& key,
+                      std::function<void(ReadResult)> done) {
+  uint64_t id = next_read_id_++;
+  PendingRead& pending = reads_[id];
+  pending.key = key;
+  pending.done = std::move(done);
+
+  for (NodeId server : options_.servers) {
+    if (server == stabilizer_.self()) {
+      // Local replica answers immediately.
+      auto it = data_.find(key);
+      ++pending.responses;
+      if (it != data_.end() && it->second.first > pending.best_version) {
+        pending.found = true;
+        pending.best_version = it->second.first;
+        pending.best_value = it->second.second;
+      }
+      continue;
+    }
+    Writer w(key.size() + 16);
+    w.u8(kReadReq);
+    w.u64(id);
+    w.str(key);
+    stabilizer_.send_raw(server, std::move(w).take());
+  }
+  // Nr == 1 and self is a server: already complete.
+  auto it = reads_.find(id);
+  if (it != reads_.end() && it->second.responses >= options_.read_quorum) {
+    ReadResult result{it->second.found, it->second.best_version,
+                      std::move(it->second.best_value), it->second.responses};
+    auto cb = std::move(it->second.done);
+    reads_.erase(it);
+    if (cb) cb(std::move(result));
+  }
+}
+
+void QuorumNode::on_raw(NodeId src, BytesView frame) {
+  try {
+    Reader r(frame);
+    uint8_t kind = r.u8();
+    if (kind == kReadReq) {
+      uint64_t id = r.u64();
+      std::string key = r.str();
+      Writer w(64);
+      w.u8(kReadResp);
+      w.u64(id);
+      auto it = data_.find(key);
+      if (it == data_.end()) {
+        w.u8(0);
+        w.u64(0);
+        w.blob({});
+      } else {
+        w.u8(1);
+        w.u64(it->second.first);
+        w.blob(it->second.second);
+      }
+      stabilizer_.send_raw(src, std::move(w).take());
+    } else if (kind == kReadResp) {
+      uint64_t id = r.u64();
+      uint8_t found = r.u8();
+      uint64_t version = r.u64();
+      Bytes value = r.blob();
+      auto it = reads_.find(id);
+      if (it == reads_.end()) return;  // already completed
+      PendingRead& pending = it->second;
+      ++pending.responses;
+      if (found && version > pending.best_version) {
+        pending.found = true;
+        pending.best_version = version;
+        pending.best_value = std::move(value);
+      }
+      if (pending.responses >= options_.read_quorum) {
+        ReadResult result{pending.found, pending.best_version,
+                          std::move(pending.best_value), pending.responses};
+        auto cb = std::move(pending.done);
+        reads_.erase(it);
+        if (cb) cb(std::move(result));
+      }
+    }
+  } catch (const CodecError& e) {
+    STAB_ERROR("quorum: bad raw frame from " << src << ": " << e.what());
+  }
+}
+
+std::optional<std::pair<uint64_t, Bytes>> QuorumNode::local_value(
+    const std::string& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace stab::quorum

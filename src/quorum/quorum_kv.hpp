@@ -1,0 +1,84 @@
+// Gifford's quorum protocol built from Stabilizer predicates (paper §IV-B).
+//
+// A configured subset of WAN nodes are the quorum *servers*; any node may
+// act as writer or reader. Writes ride the Stabilizer data plane (every node
+// mirrors the versioned value) and complete when the write predicate
+//   KTH_MIN(Nw, $s1,...,$sn)
+// holds — i.e. Nw servers acknowledged receipt. Reads are explicit RPCs
+// (raw frames multiplexed on the same links): the reader queries all
+// servers, completes at Nr responses, and returns the highest version among
+// them. Nr + Nw > N guarantees the read set intersects every write quorum,
+// so the latest committed write is always seen.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "core/stabilizer.hpp"
+
+namespace stab::quorum {
+
+struct QuorumOptions {
+  std::vector<NodeId> servers;  // the replica set
+  size_t read_quorum = 0;       // Nr
+  size_t write_quorum = 0;      // Nw; requires Nr + Nw > servers.size()
+};
+
+struct ReadResult {
+  bool found = false;
+  uint64_t version = 0;
+  Bytes value;
+  size_t responses = 0;  // how many servers answered before completion
+};
+
+class QuorumNode {
+ public:
+  /// Throws std::invalid_argument if the quorum intersection property
+  /// Nr + Nw > N is violated or quorum sizes exceed N.
+  QuorumNode(Stabilizer& stabilizer, QuorumOptions options);
+
+  bool is_server() const;
+
+  /// Writes a new version of `key`; `done` fires when Nw servers hold it.
+  /// Gifford's protocol: the writer first queries a read quorum for the
+  /// current version, then writes max+1 (tie-broken by writer id), so a
+  /// write that follows a committed write always supersedes it.
+  void write(const std::string& key, BytesView value,
+             std::function<void(uint64_t version)> done);
+
+  /// Quorum read: `done` fires with the freshest of Nr server responses.
+  void read(const std::string& key, std::function<void(ReadResult)> done);
+
+  /// The write predicate source this node registered (for inspection).
+  const std::string& write_predicate() const { return write_predicate_src_; }
+
+  /// Server-side storage view (tests).
+  std::optional<std::pair<uint64_t, Bytes>> local_value(
+      const std::string& key) const;
+
+ private:
+  struct PendingRead {
+    std::string key;
+    size_t responses = 0;
+    bool found = false;
+    uint64_t best_version = 0;
+    Bytes best_value;
+    std::function<void(ReadResult)> done;
+  };
+
+  void on_delivery(NodeId origin, SeqNum seq, BytesView payload);
+  void on_raw(NodeId src, BytesView frame);
+  void write_with_version(const std::string& key, BytesView value,
+                          uint64_t version,
+                          std::function<void(uint64_t)> done);
+
+  Stabilizer& stabilizer_;
+  QuorumOptions options_;
+  std::string write_predicate_src_;
+  std::map<std::string, std::pair<uint64_t, Bytes>> data_;  // version, value
+  std::map<uint64_t, PendingRead> reads_;
+  uint64_t next_read_id_ = 1;
+};
+
+}  // namespace stab::quorum

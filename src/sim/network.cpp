@@ -1,0 +1,125 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace stab::sim {
+
+SimNetwork::SimNetwork(Simulator& simulator, size_t num_nodes)
+    : simulator_(simulator),
+      nodes_(num_nodes),
+      links_(num_nodes * num_nodes) {}
+
+int SimNetwork::make_pipe(double bandwidth_bps) {
+  pipes_.push_back(Pipe{bandwidth_bps, kTimeZero});
+  return static_cast<int>(pipes_.size() - 1);
+}
+
+SimNetwork::Link& SimNetwork::link_at(NodeId src, NodeId dst) {
+  if (src >= nodes_.size() || dst >= nodes_.size())
+    throw std::out_of_range("SimNetwork: node id out of range");
+  return links_[src * nodes_.size() + dst];
+}
+const SimNetwork::Link& SimNetwork::link_at(NodeId src, NodeId dst) const {
+  return const_cast<SimNetwork*>(this)->link_at(src, dst);
+}
+
+void SimNetwork::set_link(NodeId src, NodeId dst, LinkParams params) {
+  Link& link = link_at(src, dst);
+  link.configured = true;
+  link.latency = params.latency;
+  if (params.pipe >= 0) {
+    if (static_cast<size_t>(params.pipe) >= pipes_.size())
+      throw std::out_of_range("SimNetwork: unknown pipe");
+    link.pipe = params.pipe;
+  } else {
+    link.pipe = make_pipe(params.bandwidth_bps);
+  }
+}
+
+void SimNetwork::set_link_bidir(NodeId a, NodeId b, LinkParams params) {
+  set_link(a, b, params);
+  set_link(b, a, params);
+}
+
+void SimNetwork::set_delivery_handler(NodeId node, DeliveryHandler handler) {
+  if (node >= nodes_.size())
+    throw std::out_of_range("SimNetwork: node id out of range");
+  nodes_[node].handler = std::move(handler);
+}
+
+std::optional<TimePoint> SimNetwork::send(NodeId src, NodeId dst, Bytes frame,
+                                          uint64_t wire_size) {
+  Link& link = link_at(src, dst);
+  if (!link.configured)
+    throw std::out_of_range("SimNetwork: link not configured");
+  if (wire_size < frame.size()) wire_size = frame.size();
+
+  if (!link.up || !nodes_[src].up || !nodes_[dst].up) {
+    ++dropped_;
+    return std::nullopt;
+  }
+  if (link.drop_probability > 0 && rng_.next_bool(link.drop_probability)) {
+    ++dropped_;
+    return std::nullopt;
+  }
+
+  link.bytes_sent += wire_size;
+  Pipe& pipe = pipes_[static_cast<size_t>(link.pipe)];
+  TimePoint start = std::max(simulator_.now(), pipe.busy_until);
+  Duration xmit = pipe.bandwidth_bps > 0
+                      ? transmit_time(wire_size, pipe.bandwidth_bps)
+                      : Duration::zero();
+  pipe.busy_until = start + xmit;
+  TimePoint deliver_at = pipe.busy_until + link.latency;
+
+  simulator_.schedule_at(
+      deliver_at, [this, src, dst, frame = std::move(frame), wire_size]() {
+        Node& node = nodes_[dst];
+        if (!node.up) {  // went down while in flight
+          ++dropped_;
+          return;
+        }
+        ++node.delivered;
+        if (node.handler) node.handler(src, std::move(frame), wire_size);
+      });
+  return deliver_at;
+}
+
+void SimNetwork::set_link_up(NodeId src, NodeId dst, bool up) {
+  link_at(src, dst).up = up;
+}
+
+void SimNetwork::set_node_up(NodeId node, bool up) {
+  if (node >= nodes_.size())
+    throw std::out_of_range("SimNetwork: node id out of range");
+  nodes_[node].up = up;
+}
+
+void SimNetwork::set_drop_probability(NodeId src, NodeId dst, double p) {
+  link_at(src, dst).drop_probability = p;
+}
+
+uint64_t SimNetwork::bytes_sent(NodeId src, NodeId dst) const {
+  return link_at(src, dst).bytes_sent;
+}
+
+uint64_t SimNetwork::frames_delivered(NodeId dst) const {
+  if (dst >= nodes_.size())
+    throw std::out_of_range("SimNetwork: node id out of range");
+  return nodes_[dst].delivered;
+}
+
+Duration SimNetwork::link_latency(NodeId src, NodeId dst) const {
+  return link_at(src, dst).latency;
+}
+
+double SimNetwork::link_bandwidth(NodeId src, NodeId dst) const {
+  const Link& link = link_at(src, dst);
+  if (link.pipe < 0) return 0;
+  return pipes_[static_cast<size_t>(link.pipe)].bandwidth_bps;
+}
+
+}  // namespace stab::sim

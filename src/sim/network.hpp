@@ -1,0 +1,107 @@
+// Simulated wide-area network.
+//
+// Models exactly the properties the paper's experiments depend on:
+//   * per-directed-link propagation latency (Tables I & II),
+//   * bandwidth pipes — a transfer occupies its pipe for size/bandwidth;
+//     links may share a pipe to model region-pair long-haul paths, so
+//     replicating to two nodes behind the same pipe halves effective
+//     per-destination bandwidth (this is the mechanism behind Fig 6's
+//     MajorityRegions-vs-Paxos gap),
+//   * lossless FIFO delivery per link (constant latency + serialized pipe),
+//   * fault injection: links can be taken down (silent drop, like a WAN
+//     blackhole) and given iid drop probabilities (exercises the data
+//     plane's retransmission path).
+//
+// Messages carry real frame bytes plus a `wire_size`; bandwidth is charged
+// on wire_size so benches can replay multi-gigabyte traces without
+// materializing payloads (virtual padding).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace stab::sim {
+
+struct LinkParams {
+  Duration latency = Duration::zero();
+  double bandwidth_bps = 0;  // 0 = infinite
+  int pipe = -1;             // -1 = dedicated pipe with bandwidth_bps
+};
+
+class SimNetwork {
+ public:
+  /// Handler invoked at the destination when a frame arrives.
+  using DeliveryHandler =
+      std::function<void(NodeId src, Bytes frame, uint64_t wire_size)>;
+
+  SimNetwork(Simulator& simulator, size_t num_nodes);
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Create a shared bandwidth pipe; links referencing it contend for it.
+  int make_pipe(double bandwidth_bps);
+
+  /// Configure the directed link src -> dst. Must be called before send().
+  void set_link(NodeId src, NodeId dst, LinkParams params);
+  /// Configure both directions with the same parameters (separate pipes
+  /// unless params.pipe is set — WAN paths are full-duplex).
+  void set_link_bidir(NodeId a, NodeId b, LinkParams params);
+
+  void set_delivery_handler(NodeId node, DeliveryHandler handler);
+
+  /// Queue a frame on the link. Throws std::out_of_range if the link was
+  /// never configured. Returns the scheduled delivery time, or nullopt if
+  /// the frame was dropped (link down / random loss).
+  std::optional<TimePoint> send(NodeId src, NodeId dst, Bytes frame,
+                                uint64_t wire_size = 0);
+
+  // --- fault injection -----------------------------------------------------
+  void set_link_up(NodeId src, NodeId dst, bool up);
+  void set_node_up(NodeId node, bool up);  // all links to/from the node
+  void set_drop_probability(NodeId src, NodeId dst, double p);
+  void set_drop_rng_seed(uint64_t seed) { rng_ = Rng(seed); }
+
+  // --- introspection for tests & benches -----------------------------------
+  uint64_t bytes_sent(NodeId src, NodeId dst) const;
+  uint64_t frames_delivered(NodeId dst) const;
+  uint64_t frames_dropped() const { return dropped_; }
+  Duration link_latency(NodeId src, NodeId dst) const;
+  double link_bandwidth(NodeId src, NodeId dst) const;
+
+ private:
+  struct Pipe {
+    double bandwidth_bps = 0;
+    TimePoint busy_until = kTimeZero;
+  };
+  struct Link {
+    bool configured = false;
+    bool up = true;
+    Duration latency = Duration::zero();
+    int pipe = -1;
+    double drop_probability = 0;
+    uint64_t bytes_sent = 0;
+  };
+  struct Node {
+    bool up = true;
+    DeliveryHandler handler;
+    uint64_t delivered = 0;
+  };
+
+  Link& link_at(NodeId src, NodeId dst);
+  const Link& link_at(NodeId src, NodeId dst) const;
+
+  Simulator& simulator_;
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;  // num_nodes^2, row-major [src][dst]
+  std::vector<Pipe> pipes_;
+  Rng rng_{0xfeedfacecafebeefULL};
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace stab::sim

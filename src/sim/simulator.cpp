@@ -1,0 +1,56 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace stab::sim {
+
+TimerId Simulator::schedule_at(TimePoint t, std::function<void()> fn) {
+  if (t < now_) t = now_;  // never schedule into the past
+  Key key{t, next_tie_++};
+  TimerId id = key.tie;  // tie counter doubles as the timer id
+  queue_.emplace(key, std::move(fn));
+  timers_.emplace(id, key);
+  return id;
+}
+
+void Simulator::cancel(TimerId id) {
+  auto it = timers_.find(id);
+  if (it == timers_.end()) return;
+  queue_.erase(it->second);
+  timers_.erase(it);
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto it = queue_.begin();
+  assert(it->first.time >= now_);
+  now_ = it->first.time;
+  auto fn = std::move(it->second);
+  timers_.erase(it->first.tie);
+  queue_.erase(it);
+  ++processed_;
+  fn();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(TimePoint t) {
+  while (!queue_.empty() && queue_.begin()->first.time <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+bool Simulator::run_until_pred(const std::function<bool()>& pred,
+                               TimePoint deadline) {
+  if (pred()) return true;
+  while (!queue_.empty() && queue_.begin()->first.time <= deadline) {
+    step();
+    if (pred()) return true;
+  }
+  return pred();
+}
+
+}  // namespace stab::sim

@@ -1,0 +1,69 @@
+// Deterministic discrete-event simulator with virtual time.
+//
+// The simulator is an Env, so every Stabilizer component runs unmodified on
+// virtual time. Events at equal timestamps fire in scheduling order (stable
+// FIFO tie-break), which makes whole-cluster runs bit-for-bit reproducible —
+// the property all the paper-figure benches rely on (DESIGN.md §3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "common/env.hpp"
+#include "common/types.hpp"
+
+namespace stab::sim {
+
+class Simulator : public Env {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // --- Env interface -------------------------------------------------------
+  TimePoint now() const override { return now_; }
+  TimerId schedule_after(Duration delay, std::function<void()> fn) override {
+    return schedule_at(now_ + (delay < Duration::zero() ? Duration::zero()
+                                                        : delay),
+                       std::move(fn));
+  }
+  void cancel(TimerId id) override;
+
+  // --- simulation control --------------------------------------------------
+  TimerId schedule_at(TimePoint t, std::function<void()> fn);
+
+  /// Execute the next pending event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run until the event queue drains.
+  void run();
+
+  /// Run all events with timestamp <= t, then advance the clock to t.
+  void run_until(TimePoint t);
+
+  /// Run until `pred()` turns true (checked after every event) or the queue
+  /// drains or the clock passes `deadline`. Returns pred()'s final value.
+  bool run_until_pred(const std::function<bool()>& pred, TimePoint deadline);
+
+  size_t pending_events() const { return queue_.size(); }
+  uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Key {
+    TimePoint time;
+    uint64_t tie;
+    bool operator<(const Key& o) const {
+      return time != o.time ? time < o.time : tie < o.tie;
+    }
+  };
+
+  TimePoint now_ = kTimeZero;
+  uint64_t next_tie_ = 1;
+  uint64_t processed_ = 0;
+  std::map<Key, std::function<void()>> queue_;
+  std::unordered_map<TimerId, Key> timers_;  // id -> queue key, for cancel
+};
+
+}  // namespace stab::sim

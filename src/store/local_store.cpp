@@ -1,0 +1,253 @@
+#include "store/local_store.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+#include "common/logging.hpp"
+
+namespace stab::store {
+
+namespace {
+
+std::array<uint32_t, 256> make_crc_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr uint8_t kWalPut = 1;
+constexpr uint8_t kWalErase = 2;
+
+}  // namespace
+
+uint32_t crc32(BytesView data) {
+  static const std::array<uint32_t, 256> table = make_crc_table();
+  uint32_t c = 0xffffffffu;
+  for (uint8_t b : data) c = table[(c ^ b) & 0xff] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+LocalStore::LocalStore(std::string wal_path) : wal_path_(std::move(wal_path)) {
+  if (!wal_path_.empty()) {
+    wal_ = std::fopen(wal_path_.c_str(), "ab");
+    if (!wal_) STAB_ERROR("store: cannot open WAL " << wal_path_);
+  }
+}
+
+LocalStore::~LocalStore() {
+  if (wal_) std::fclose(wal_);
+}
+
+LocalStore::LocalStore(LocalStore&& other) noexcept
+    : wal_path_(std::move(other.wal_path_)),
+      wal_(other.wal_),
+      wal_records_(other.wal_records_),
+      total_value_bytes_(other.total_value_bytes_),
+      map_(std::move(other.map_)) {
+  other.wal_ = nullptr;
+}
+
+LocalStore& LocalStore::operator=(LocalStore&& other) noexcept {
+  if (this != &other) {
+    if (wal_) std::fclose(wal_);
+    wal_path_ = std::move(other.wal_path_);
+    wal_ = other.wal_;
+    wal_records_ = other.wal_records_;
+    total_value_bytes_ = other.total_value_bytes_;
+    map_ = std::move(other.map_);
+    other.wal_ = nullptr;
+  }
+  return *this;
+}
+
+uint64_t LocalStore::put(const std::string& key, BytesView value,
+                         TimePoint timestamp) {
+  auto& versions = map_[key];
+  VersionedValue v;
+  v.version = versions.empty() ? 1 : versions.back().version + 1;
+  v.timestamp = timestamp;
+  v.value.assign(value.begin(), value.end());
+  total_value_bytes_ += v.value.size();
+  if (wal_) wal_append_put(key, v);
+  versions.push_back(std::move(v));
+  return versions.back().version;
+}
+
+void LocalStore::put_at_version(const std::string& key, BytesView value,
+                                TimePoint timestamp, uint64_t version) {
+  auto& versions = map_[key];
+  if (!versions.empty() && version <= versions.back().version)
+    throw std::logic_error("put_at_version: version " +
+                           std::to_string(version) + " not newer for " + key);
+  VersionedValue v;
+  v.version = version;
+  v.timestamp = timestamp;
+  v.value.assign(value.begin(), value.end());
+  total_value_bytes_ += v.value.size();
+  if (wal_) wal_append_put(key, v);
+  versions.push_back(std::move(v));
+}
+
+std::optional<VersionedValue> LocalStore::get(const std::string& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back();
+}
+
+std::optional<VersionedValue> LocalStore::get_version(const std::string& key,
+                                                      uint64_t version) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  for (const auto& v : it->second)
+    if (v.version == version) return v;
+  return std::nullopt;
+}
+
+std::optional<VersionedValue> LocalStore::get_by_time(const std::string& key,
+                                                      TimePoint t) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  const VersionedValue* best = nullptr;
+  for (const auto& v : it->second)
+    if (v.timestamp <= t) best = &v;  // versions are time-ordered
+  if (!best) return std::nullopt;
+  return *best;
+}
+
+bool LocalStore::erase(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  for (const auto& v : it->second) total_value_bytes_ -= v.value.size();
+  map_.erase(it);
+  if (wal_) wal_append_erase(key);
+  return true;
+}
+
+bool LocalStore::contains(const std::string& key) const {
+  return map_.count(key) != 0;
+}
+
+std::vector<std::string> LocalStore::keys() const {
+  std::vector<std::string> out;
+  out.reserve(map_.size());
+  for (const auto& [k, _] : map_) out.push_back(k);
+  return out;
+}
+
+// --- WAL ------------------------------------------------------------------------
+
+void LocalStore::wal_append_put(const std::string& key,
+                                const VersionedValue& v) {
+  Writer w;
+  w.u8(kWalPut);
+  w.str(key);
+  w.u64(v.version);
+  w.i64(v.timestamp.count());
+  w.blob(v.value);
+  wal_write(w.bytes());
+}
+
+void LocalStore::wal_append_erase(const std::string& key) {
+  Writer w;
+  w.u8(kWalErase);
+  w.str(key);
+  wal_write(w.bytes());
+}
+
+void LocalStore::wal_write(BytesView record) {
+  // Frame: u32 length | record | u32 crc(record).
+  Writer framed(record.size() + 8);
+  framed.u32(static_cast<uint32_t>(record.size()));
+  framed.raw(record.data(), record.size());
+  framed.u32(crc32(record));
+  const Bytes& b = framed.bytes();
+  std::fwrite(b.data(), 1, b.size(), wal_);
+  std::fflush(wal_);
+  ++wal_records_;
+}
+
+Status LocalStore::compact() {
+  if (wal_path_.empty()) return Status::ok();  // in-memory store
+  std::string tmp_path = wal_path_ + ".compact";
+  FILE* tmp = std::fopen(tmp_path.c_str(), "wb");
+  if (!tmp) return Status::error("compact: cannot create " + tmp_path);
+
+  // Write every retained version as a put record through a scratch store
+  // bound to the sidecar file.
+  {
+    LocalStore writer;
+    writer.wal_ = tmp;
+    for (const auto& [key, versions] : map_)
+      for (const VersionedValue& v : versions) writer.wal_append_put(key, v);
+    writer.wal_ = nullptr;  // keep our fclose below authoritative
+  }
+  if (std::fflush(tmp) != 0 || std::fclose(tmp) != 0)
+    return Status::error("compact: write to " + tmp_path + " failed");
+
+  // Atomic switch: rename over the old log, then reopen for appending.
+  if (wal_) std::fclose(wal_);
+  wal_ = nullptr;
+  if (std::rename(tmp_path.c_str(), wal_path_.c_str()) != 0) {
+    wal_ = std::fopen(wal_path_.c_str(), "ab");  // keep logging to the old
+    return Status::error("compact: rename failed");
+  }
+  wal_ = std::fopen(wal_path_.c_str(), "ab");
+  if (!wal_) return Status::error("compact: reopen failed");
+  return Status::ok();
+}
+
+Result<LocalStore> LocalStore::recover(const std::string& wal_path) {
+  FILE* f = std::fopen(wal_path.c_str(), "rb");
+  LocalStore store;  // in-memory while replaying
+  if (f) {
+    for (;;) {
+      uint8_t lenbuf[4];
+      if (std::fread(lenbuf, 1, 4, f) != 4) break;
+      uint32_t len;
+      std::memcpy(&len, lenbuf, 4);
+      if (len > (64u << 20)) break;  // corrupt length
+      Bytes record(len);
+      if (std::fread(record.data(), 1, len, f) != len) break;
+      uint8_t crcbuf[4];
+      if (std::fread(crcbuf, 1, 4, f) != 4) break;
+      uint32_t crc;
+      std::memcpy(&crc, crcbuf, 4);
+      if (crc != crc32(record)) break;  // corrupted tail: stop
+      try {
+        Reader r(record);
+        uint8_t op = r.u8();
+        std::string key = r.str();
+        if (op == kWalPut) {
+          uint64_t version = r.u64();
+          TimePoint ts{r.i64()};
+          Bytes value = r.blob();
+          auto& versions = store.map_[key];
+          store.total_value_bytes_ += value.size();
+          versions.push_back(VersionedValue{version, ts, std::move(value)});
+        } else if (op == kWalErase) {
+          store.erase(key);
+        } else {
+          break;
+        }
+      } catch (const CodecError&) {
+        break;
+      }
+    }
+    std::fclose(f);
+  }
+  // Re-open for appending so new puts continue the log.
+  store.wal_path_ = wal_path;
+  store.wal_ = std::fopen(wal_path.c_str(), "ab");
+  if (!store.wal_)
+    return Result<LocalStore>::error("cannot open WAL for append: " +
+                                     wal_path);
+  return store;
+}
+
+}  // namespace stab::store

@@ -1,0 +1,96 @@
+// Local versioned K/V object store — the single-data-center substrate
+// Stabilizer extends with geo-replication (substitutes the Derecho object
+// store, DESIGN.md §3).
+//
+// Features the paper relies on:
+//   * put/get with per-key versions,
+//   * get_by_time (temporal queries, Derecho-style),
+//   * append-only write-ahead log with CRC-checked recovery, so a restarted
+//     primary can rebuild its pool and resume Stabilizer (§III-E).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace stab::store {
+
+struct VersionedValue {
+  uint64_t version = 0;  // per-key, starts at 1
+  TimePoint timestamp = kTimeZero;
+  Bytes value;
+};
+
+/// CRC-32 (IEEE) used by the WAL.
+uint32_t crc32(BytesView data);
+
+class LocalStore {
+ public:
+  /// In-memory store; pass a path to enable the write-ahead log.
+  explicit LocalStore(std::string wal_path = "");
+  ~LocalStore();
+
+  LocalStore(LocalStore&&) noexcept;
+  LocalStore& operator=(LocalStore&&) noexcept;
+  LocalStore(const LocalStore&) = delete;
+  LocalStore& operator=(const LocalStore&) = delete;
+
+  /// Stores a new version of `key`; returns the version number.
+  uint64_t put(const std::string& key, BytesView value,
+               TimePoint timestamp = kTimeZero);
+
+  /// Stores a version chosen by the caller — used by replication mirrors to
+  /// record exactly the owner's version. Must exceed the latest stored
+  /// version (throws std::logic_error otherwise).
+  void put_at_version(const std::string& key, BytesView value,
+                      TimePoint timestamp, uint64_t version);
+
+  /// Latest version, or nullopt.
+  std::optional<VersionedValue> get(const std::string& key) const;
+  /// A specific version, or nullopt.
+  std::optional<VersionedValue> get_version(const std::string& key,
+                                            uint64_t version) const;
+  /// Latest version with timestamp <= t, or nullopt (Derecho get_by_time).
+  std::optional<VersionedValue> get_by_time(const std::string& key,
+                                            TimePoint t) const;
+
+  /// Removes all versions of `key`; returns whether it existed.
+  bool erase(const std::string& key);
+
+  bool contains(const std::string& key) const;
+  size_t num_keys() const { return map_.size(); }
+  std::vector<std::string> keys() const;
+  uint64_t total_value_bytes() const { return total_value_bytes_; }
+
+  /// Replays a WAL into a fresh store (keeps logging to the same file).
+  /// Truncated or corrupted tail records are dropped, matching the
+  /// prefix-durability a crashed append-only log provides.
+  static Result<LocalStore> recover(const std::string& wal_path);
+
+  /// Rewrites the WAL as a snapshot of the live state (erased keys and the
+  /// history of overwrites disappear from disk; retained versions are
+  /// preserved). Crash-safe: the snapshot is written to a sidecar file and
+  /// atomically renamed over the log. No-op for in-memory stores.
+  Status compact();
+
+  uint64_t wal_records_written() const { return wal_records_; }
+
+ private:
+  void wal_append_put(const std::string& key, const VersionedValue& v);
+  void wal_append_erase(const std::string& key);
+  void wal_write(BytesView record);
+
+  std::string wal_path_;
+  FILE* wal_ = nullptr;
+  uint64_t wal_records_ = 0;
+  uint64_t total_value_bytes_ = 0;
+  std::map<std::string, std::vector<VersionedValue>> map_;
+};
+
+}  // namespace stab::store

@@ -1,0 +1,207 @@
+// Unit tests for src/common: codec, result, rng, time helpers, stats,
+// realtime env.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/bytes.hpp"
+#include "common/realtime_env.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace stab {
+namespace {
+
+TEST(Codec, RoundTripScalars) {
+  Writer w;
+  w.u8(0x7f);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f64(3.5);
+  Bytes b = std::move(w).take();
+
+  Reader r(b);
+  EXPECT_EQ(r.u8(), 0x7f);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.5);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, RoundTripBlobAndString) {
+  Writer w;
+  w.str("hello");
+  w.blob(to_bytes("world"));
+  w.str("");
+  Bytes b = std::move(w).take();
+
+  Reader r(b);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(to_string(r.blob()), "world");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, TruncatedThrows) {
+  Writer w;
+  w.u64(7);
+  Bytes b = std::move(w).take();
+  b.resize(4);
+  Reader r(b);
+  EXPECT_THROW(r.u64(), CodecError);
+}
+
+TEST(Codec, BlobLengthBeyondBufferThrows) {
+  Writer w;
+  w.u32(1000);  // claims 1000 bytes follow
+  w.u8(1);
+  Bytes b = std::move(w).take();
+  Reader r(b);
+  EXPECT_THROW(r.blob(), CodecError);
+}
+
+TEST(Codec, ReaderTracksRemaining) {
+  Writer w;
+  w.u32(1);
+  w.u32(2);
+  Bytes b = std::move(w).take();
+  Reader r(b);
+  EXPECT_EQ(r.remaining(), 8u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+  r.u32();
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Result, OkAndError) {
+  Result<int> ok = 7;
+  EXPECT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.value(), 7);
+
+  auto err = Result<int>::error("boom");
+  EXPECT_FALSE(err.is_ok());
+  EXPECT_EQ(err.message(), "boom");
+  EXPECT_THROW(err.value(), std::runtime_error);
+  EXPECT_EQ(err.value_or(9), 9);
+}
+
+TEST(Status, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.is_ok());
+  Status e = Status::error("bad");
+  EXPECT_FALSE(e.is_ok());
+  EXPECT_EQ(e.message(), "bad");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, RangeBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.next_range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ParetoIsHeavyTailedAboveScale) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.next_pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Time, TransmitTime) {
+  // 1 MB over 8 Mbit/s = 1 second.
+  EXPECT_EQ(transmit_time(1'000'000, 8e6), seconds(1));
+  EXPECT_EQ(transmit_time(123, 0), Duration::zero());
+}
+
+TEST(Time, MsRoundTrip) {
+  EXPECT_NEAR(to_ms(from_ms(53.87)), 53.87, 1e-9);
+  EXPECT_NEAR(to_sec(from_sec(0.25)), 0.25, 1e-12);
+}
+
+TEST(Stats, BasicMoments) {
+  Series s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+}
+
+TEST(Stats, EmptySeriesIsSafe) {
+  Series s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.percentile(50), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RealtimeEnv, FiresTimerOnce) {
+  RealtimeEnv env;
+  std::atomic<int> fired{0};
+  env.schedule_after(millis(5), [&] { ++fired; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST(RealtimeEnv, OrdersTimers) {
+  RealtimeEnv env;
+  std::mutex m;
+  std::vector<int> order;
+  env.schedule_after(millis(20), [&] {
+    std::lock_guard<std::mutex> l(m);
+    order.push_back(2);
+  });
+  env.schedule_after(millis(5), [&] {
+    std::lock_guard<std::mutex> l(m);
+    order.push_back(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::lock_guard<std::mutex> l(m);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(RealtimeEnv, CancelPreventsFiring) {
+  RealtimeEnv env;
+  std::atomic<int> fired{0};
+  TimerId id = env.schedule_after(millis(30), [&] { ++fired; });
+  env.cancel(id);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_EQ(fired.load(), 0);
+}
+
+TEST(RealtimeEnv, RunSyncExecutesOnEnvThread) {
+  RealtimeEnv env;
+  bool ran = false;
+  env.run_sync([&] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST(RealtimeEnv, PostRunsSoon) {
+  RealtimeEnv env;
+  std::atomic<bool> ran{false};
+  env.post([&] { ran = true; });
+  for (int i = 0; i < 200 && !ran; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(ran.load());
+}
+
+}  // namespace
+}  // namespace stab

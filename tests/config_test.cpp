@@ -1,0 +1,187 @@
+// Tests for topology building, the config parser, and the paper presets.
+#include <gtest/gtest.h>
+
+#include "config/topology.hpp"
+
+namespace stab {
+namespace {
+
+TEST(Topology, AddAndLookupNodes) {
+  Topology t;
+  NodeId a = t.add_node("Foo", "Wisc");
+  NodeId b = t.add_node("Bar", "Wisc");
+  NodeId c = t.add_node("Baz", "Utah");
+  EXPECT_EQ(t.num_nodes(), 3u);
+  EXPECT_EQ(t.node(a).name, "Foo");
+  EXPECT_EQ(t.az_of(b), "Wisc");
+  EXPECT_EQ(t.find_node("Baz"), c);
+  EXPECT_FALSE(t.find_node("Nope").has_value());
+}
+
+TEST(Topology, DuplicateNameThrows) {
+  Topology t;
+  t.add_node("A", "az1");
+  EXPECT_THROW(t.add_node("A", "az2"), std::invalid_argument);
+}
+
+TEST(Topology, EmptyNameThrows) {
+  Topology t;
+  EXPECT_THROW(t.add_node("", "az"), std::invalid_argument);
+  EXPECT_THROW(t.add_node("x", ""), std::invalid_argument);
+}
+
+TEST(Topology, AzGrouping) {
+  Topology t;
+  t.add_node("A", "east");
+  t.add_node("B", "west");
+  t.add_node("C", "east");
+  auto azs = t.az_names();
+  ASSERT_EQ(azs.size(), 2u);
+  EXPECT_EQ(azs[0], "east");
+  EXPECT_EQ(azs[1], "west");
+  EXPECT_EQ(t.nodes_in_az("east"), (std::vector<NodeId>{0, 2}));
+  EXPECT_TRUE(t.has_az("west"));
+  EXPECT_FALSE(t.has_az("north"));
+}
+
+TEST(Topology, LinksSurviveNodeGrowth) {
+  Topology t;
+  NodeId a = t.add_node("A", "az");
+  NodeId b = t.add_node("B", "az");
+  LinkSpec s;
+  s.latency = millis(5);
+  s.bandwidth_bps = mbps(100);
+  t.set_link(a, b, s);
+  t.add_node("C", "az");  // must not invalidate existing link
+  const LinkSpec* l = t.link(a, b);
+  ASSERT_NE(l, nullptr);
+  EXPECT_EQ(l->latency, millis(5));
+  EXPECT_EQ(t.link(b, a), nullptr);  // directed
+}
+
+TEST(Topology, BidirLink) {
+  Topology t;
+  NodeId a = t.add_node("A", "az");
+  NodeId b = t.add_node("B", "az");
+  LinkSpec s;
+  s.latency = millis(3);
+  t.set_link_bidir(a, b, s);
+  EXPECT_NE(t.link(a, b), nullptr);
+  EXPECT_NE(t.link(b, a), nullptr);
+}
+
+TEST(TopologyParser, ParsesNodesAndLinks) {
+  auto res = parse_topology(R"(
+# comment
+node Foo az Wisc
+node Bar az Utah
+
+link Foo Bar lat_ms 17.8 bw_mbps 361.82
+bilink Bar Foo lat_ms 1 bw_mbps 10 pipe north
+)");
+  ASSERT_TRUE(res.is_ok()) << res.message();
+  Topology& t = res.value();
+  EXPECT_EQ(t.num_nodes(), 2u);
+  const LinkSpec* l = t.link(0, 1);
+  ASSERT_NE(l, nullptr);
+  // bilink overwrote the directed link
+  EXPECT_NEAR(to_ms(l->latency), 1.0, 1e-9);
+  EXPECT_EQ(l->pipe_group, "north");
+}
+
+TEST(TopologyParser, ForwardLinkReferences) {
+  auto res = parse_topology(R"(
+link A B lat_ms 2 bw_mbps 5
+node A az x
+node B az y
+)");
+  ASSERT_TRUE(res.is_ok()) << res.message();
+  EXPECT_NE(res.value().link(0, 1), nullptr);
+}
+
+TEST(TopologyParser, ReportsLineNumbers) {
+  auto res = parse_topology("node A az x\nbogus line here\n");
+  ASSERT_FALSE(res.is_ok());
+  EXPECT_NE(res.message().find("line 2"), std::string::npos);
+}
+
+TEST(TopologyParser, UnknownNodeInLink) {
+  auto res = parse_topology("node A az x\nlink A Z lat_ms 1 bw_mbps 1\n");
+  ASSERT_FALSE(res.is_ok());
+  EXPECT_NE(res.message().find("unknown node"), std::string::npos);
+}
+
+TEST(TopologyParser, MalformedLink) {
+  auto res = parse_topology("node A az x\nnode B az y\nlink A B latms 1\n");
+  EXPECT_FALSE(res.is_ok());
+}
+
+// --- paper presets ----------------------------------------------------------
+
+TEST(Ec2Topology, MatchesPaperStructure) {
+  Topology t = ec2_topology();
+  EXPECT_EQ(t.num_nodes(), 8u);
+  auto azs = t.az_names();
+  ASSERT_EQ(azs.size(), 4u);
+  EXPECT_EQ(t.nodes_in_az("North_California").size(), 2u);
+  EXPECT_EQ(t.nodes_in_az("North_Virginia").size(), 4u);
+  EXPECT_EQ(t.nodes_in_az("Oregon").size(), 1u);
+  EXPECT_EQ(t.nodes_in_az("Ohio").size(), 1u);
+  // Node "1" (the sender) is index 0.
+  EXPECT_EQ(t.find_node("1"), NodeId{0});
+  EXPECT_EQ(t.az_of(0), "North_California");
+}
+
+TEST(Ec2Topology, TableOneLinkParameters) {
+  Topology t = ec2_topology();
+  NodeId n1 = *t.find_node("1");
+  NodeId n2 = *t.find_node("2");
+  NodeId n7 = *t.find_node("7");   // Oregon
+  NodeId n8 = *t.find_node("8");   // Ohio
+  NodeId n3 = *t.find_node("3");   // North Virginia
+
+  // one-way latency = Table I RTT / 2; bandwidth = half-throttled Thp
+  const LinkSpec* intra = t.link(n1, n2);
+  ASSERT_NE(intra, nullptr);
+  EXPECT_NEAR(to_ms(intra->latency), 3.7 / 2, 1e-9);
+  EXPECT_NEAR(intra->bandwidth_bps / 1e6, 333.5, 1e-9);
+
+  EXPECT_NEAR(to_ms(t.link(n1, n7)->latency), 23.29 / 2, 1e-9);
+  EXPECT_NEAR(t.link(n1, n7)->bandwidth_bps / 1e6, 56.5, 1e-9);
+  EXPECT_NEAR(to_ms(t.link(n1, n8)->latency), 53.87 / 2, 1e-9);
+  EXPECT_NEAR(t.link(n1, n8)->bandwidth_bps / 1e6, 44.5, 1e-9);
+  EXPECT_NEAR(to_ms(t.link(n1, n3)->latency), 64.12 / 2, 1e-9);
+  EXPECT_NEAR(t.link(n1, n3)->bandwidth_bps / 1e6, 37.0, 1e-9);
+}
+
+TEST(Ec2Topology, FullMeshFromSender) {
+  Topology t = ec2_topology();
+  for (NodeId b = 1; b < t.num_nodes(); ++b)
+    EXPECT_NE(t.link(0, b), nullptr) << "missing link 1 -> " << b + 1;
+}
+
+TEST(CloudlabTopology, MatchesTableTwo) {
+  Topology t = cloudlab_topology();
+  EXPECT_EQ(t.num_nodes(), 5u);
+  using namespace cloudlab;
+  EXPECT_EQ(t.node(kUtah1).name, "Utah1");
+  EXPECT_EQ(t.node(kWisconsin).name, "Wisconsin");
+
+  EXPECT_NEAR(to_ms(t.link(kUtah1, kUtah2)->latency), 0.124 / 2, 1e-9);
+  EXPECT_NEAR(t.link(kUtah1, kUtah2)->bandwidth_bps / 1e6, 9246.99, 1e-6);
+  EXPECT_NEAR(to_ms(t.link(kUtah1, kWisconsin)->latency), 35.612 / 2, 1e-9);
+  EXPECT_NEAR(t.link(kUtah1, kClemson)->bandwidth_bps / 1e6, 416.27, 1e-6);
+  EXPECT_NEAR(to_ms(t.link(kUtah1, kMassachusetts)->latency), 48.083 / 2,
+              1e-9);
+}
+
+TEST(Describe, MentionsNodesAndAzs) {
+  Topology t = cloudlab_topology();
+  std::string d = t.describe();
+  EXPECT_NE(d.find("Utah1"), std::string::npos);
+  EXPECT_NE(d.find("az Wisc"), std::string::npos);
+  EXPECT_NE(d.find("lat_ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stab

@@ -1,0 +1,295 @@
+// Control plane tests: stability-type registry, AckTable monotonic merge,
+// FrontierEngine (register/change/monitor/waitfor, incremental re-eval,
+// predicate-gap semantics), and property tests on monotonicity.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "config/topology.hpp"
+#include "control/frontier_engine.hpp"
+
+namespace stab {
+namespace {
+
+TEST(StabilityTypes, BuiltinsPreRegistered) {
+  StabilityTypeRegistry reg;
+  EXPECT_EQ(reg.find("received"), StabilityTypeRegistry::kReceived);
+  EXPECT_EQ(reg.find("persisted"), StabilityTypeRegistry::kPersisted);
+  EXPECT_EQ(reg.find("delivered"), StabilityTypeRegistry::kDelivered);
+  EXPECT_EQ(reg.count(), 3u);
+}
+
+TEST(StabilityTypes, RegistersNewTypesIdempotently) {
+  StabilityTypeRegistry reg;
+  StabilityTypeId a = reg.get_or_register("verified");
+  StabilityTypeId b = reg.get_or_register("verified");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(reg.name(a), "verified");
+  EXPECT_EQ(reg.count(), 4u);
+  EXPECT_FALSE(reg.find("countersigned").has_value());
+}
+
+TEST(AckTable, MonotonicMerge) {
+  AckTable t(4);
+  EXPECT_TRUE(t.update(0, 1, 10));
+  EXPECT_EQ(t.get(0, 1), 10);
+  EXPECT_FALSE(t.update(0, 1, 10));  // no change
+  EXPECT_FALSE(t.update(0, 1, 5));   // stale report ignored
+  EXPECT_EQ(t.get(0, 1), 10);
+  EXPECT_TRUE(t.update(0, 1, 11));
+  EXPECT_EQ(t.get(0, 1), 11);
+}
+
+TEST(AckTable, UnsetCellsReadNoSeq) {
+  AckTable t(4);
+  EXPECT_EQ(t.get(0, 0), kNoSeq);
+  EXPECT_EQ(t.get(7, 2), kNoSeq);  // unknown type
+  EXPECT_TRUE(t.row(9).empty());
+}
+
+TEST(AckTable, OutOfRangeNodeIgnored) {
+  AckTable t(2);
+  EXPECT_FALSE(t.update(0, 5, 3));
+}
+
+TEST(AckTable, RowsGrowPerType) {
+  AckTable t(3);
+  t.update(4, 2, 9);
+  EXPECT_EQ(t.num_types(), 5u);
+  auto row = t.row(4);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[2], 9);
+  EXPECT_EQ(row[0], kNoSeq);
+}
+
+// --- FrontierEngine -----------------------------------------------------------
+
+class FrontierTest : public ::testing::Test {
+ protected:
+  FrontierTest()
+      : topo_(ec2_topology()), engine_(topo_, 0, types_) {}
+  Topology topo_;
+  StabilityTypeRegistry types_;
+  FrontierEngine engine_;
+};
+
+TEST_F(FrontierTest, RegisterAndEvaluate) {
+  ASSERT_TRUE(engine_.register_predicate("all", "MIN($ALLWNODES-$MYWNODE)"));
+  EXPECT_TRUE(engine_.has_predicate("all"));
+  EXPECT_EQ(engine_.frontier("all"), kNoSeq);
+
+  for (NodeId n = 1; n < 8; ++n) engine_.on_ack(0, n, 5);
+  EXPECT_EQ(engine_.frontier("all"), 5);
+}
+
+TEST_F(FrontierTest, DuplicateRegisterFails) {
+  ASSERT_TRUE(engine_.register_predicate("p", "MAX($ALLWNODES)"));
+  Status st = engine_.register_predicate("p", "MIN($ALLWNODES)");
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_NE(st.message().find("already registered"), std::string::npos);
+}
+
+TEST_F(FrontierTest, BadSourceFails) {
+  EXPECT_FALSE(engine_.register_predicate("p", "NOPE($1)").is_ok());
+  EXPECT_FALSE(engine_.has_predicate("p"));
+}
+
+TEST_F(FrontierTest, UnknownKeyOperations) {
+  EXPECT_FALSE(engine_.change_predicate("x", "MAX($1)").is_ok());
+  EXPECT_FALSE(engine_.remove_predicate("x").is_ok());
+  EXPECT_FALSE(engine_.monitor("x", [](SeqNum, BytesView) {}).is_ok());
+  EXPECT_FALSE(engine_.waitfor("x", 1, [](SeqNum) {}).is_ok());
+  EXPECT_EQ(engine_.frontier("x"), kNoSeq);
+}
+
+TEST_F(FrontierTest, MonitorFiresOnAdvance) {
+  ASSERT_TRUE(engine_.register_predicate("one", "MAX($ALLWNODES-$MYWNODE)"));
+  std::vector<SeqNum> seen;
+  ASSERT_TRUE(engine_.monitor(
+      "one", [&](SeqNum f, BytesView) { seen.push_back(f); }));
+
+  engine_.on_ack(0, 3, 2);
+  engine_.on_ack(0, 4, 1);  // MAX already 2: no advance, no fire
+  engine_.on_ack(0, 4, 7);
+  EXPECT_EQ(seen, (std::vector<SeqNum>{2, 7}));
+}
+
+TEST_F(FrontierTest, MonitorReceivesExtraBytes) {
+  ASSERT_TRUE(engine_.register_predicate("one", "MAX($ALLWNODES-$MYWNODE)"));
+  std::string got;
+  ASSERT_TRUE(engine_.monitor("one", [&](SeqNum, BytesView extra) {
+    got = to_string(extra);
+  }));
+  Bytes extra = to_bytes("app-data");
+  engine_.on_ack(0, 2, 1, extra);
+  EXPECT_EQ(got, "app-data");
+}
+
+TEST_F(FrontierTest, WaitforFiresOnceAtCoverage) {
+  ASSERT_TRUE(engine_.register_predicate("maj",
+      "KTH_MAX(SIZEOF($ALLWNODES)/2+1,($ALLWNODES-$MYWNODE))"));
+  int fired = 0;
+  SeqNum at = kNoSeq;
+  ASSERT_TRUE(engine_.waitfor("maj", 10, [&](SeqNum f) {
+    ++fired;
+    at = f;
+  }));
+  // majority = 5 of the 7 remote nodes
+  for (NodeId n = 1; n <= 4; ++n) engine_.on_ack(0, n, 12);
+  EXPECT_EQ(fired, 0);  // only 4 remotes at 12
+  engine_.on_ack(0, 5, 12);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(at, 12);
+  engine_.on_ack(0, 6, 50);
+  EXPECT_EQ(fired, 1);  // never re-fires
+}
+
+TEST_F(FrontierTest, WaitforAlreadySatisfiedFiresImmediately) {
+  ASSERT_TRUE(engine_.register_predicate("one", "MAX($ALLWNODES-$MYWNODE)"));
+  engine_.on_ack(0, 2, 9);
+  int fired = 0;
+  ASSERT_TRUE(engine_.waitfor("one", 5, [&](SeqNum f) {
+    ++fired;
+    EXPECT_EQ(f, 9);
+  }));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(FrontierTest, WaitersWakeInSeqOrder) {
+  ASSERT_TRUE(engine_.register_predicate("one", "MAX($ALLWNODES-$MYWNODE)"));
+  std::vector<int> order;
+  engine_.waitfor("one", 30, [&](SeqNum) { order.push_back(30); });
+  engine_.waitfor("one", 10, [&](SeqNum) { order.push_back(10); });
+  engine_.waitfor("one", 20, [&](SeqNum) { order.push_back(20); });
+  engine_.on_ack(0, 1, 25);
+  EXPECT_EQ(order, (std::vector<int>{10, 20}));
+  engine_.on_ack(0, 1, 30);
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 30}));
+}
+
+TEST_F(FrontierTest, ChangePredicateRecomputesAndMayRegress) {
+  // §VI-D dynamic reconfiguration: all_sites <-> three_sites.
+  ASSERT_TRUE(engine_.register_predicate(
+      "p", "KTH_MAX(3,($ALLWNODES-$MYWNODE))"));
+  engine_.on_ack(0, 1, 100);
+  engine_.on_ack(0, 2, 100);
+  engine_.on_ack(0, 3, 100);
+  EXPECT_EQ(engine_.frontier("p"), 100);
+
+  // Switch to all-sites: only 3 of 7 remotes have acked -> regress to kNoSeq.
+  ASSERT_TRUE(engine_.change_predicate("p", "MIN($ALLWNODES-$MYWNODE)"));
+  EXPECT_EQ(engine_.frontier("p"), kNoSeq);
+
+  // Remaining sites catch up; frontier recovers.
+  for (NodeId n = 4; n < 8; ++n) engine_.on_ack(0, n, 90);
+  EXPECT_EQ(engine_.frontier("p"), 90);
+}
+
+TEST_F(FrontierTest, ChangePredicateKeepsWaiters) {
+  ASSERT_TRUE(engine_.register_predicate("p", "MIN($ALLWNODES-$MYWNODE)"));
+  int fired = 0;
+  engine_.waitfor("p", 5, [&](SeqNum) { ++fired; });
+  // Weaken the predicate: now a single remote ack suffices.
+  ASSERT_TRUE(engine_.change_predicate("p", "MAX($ALLWNODES-$MYWNODE)"));
+  engine_.on_ack(0, 6, 7);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(FrontierTest, RemovePredicate) {
+  ASSERT_TRUE(engine_.register_predicate("p", "MAX($ALLWNODES)"));
+  ASSERT_TRUE(engine_.remove_predicate("p"));
+  EXPECT_FALSE(engine_.has_predicate("p"));
+  EXPECT_EQ(engine_.frontier("p"), kNoSeq);
+}
+
+TEST_F(FrontierTest, AutoRegistersCustomTypes) {
+  ASSERT_TRUE(
+      engine_.register_predicate("v", "MIN(($ALLWNODES-$MYWNODE).verified)"));
+  auto id = types_.find("verified");
+  ASSERT_TRUE(id.has_value());
+  for (NodeId n = 1; n < 8; ++n) engine_.on_ack(*id, n, 3);
+  EXPECT_EQ(engine_.frontier("v"), 3);
+  // received acks don't move a verified-only predicate
+  for (NodeId n = 1; n < 8; ++n) engine_.on_ack(0, n, 99);
+  EXPECT_EQ(engine_.frontier("v"), 3);
+}
+
+TEST_F(FrontierTest, IncrementalSkipsUnrelatedPredicates) {
+  ASSERT_TRUE(engine_.register_predicate("oregon", "MAX($AZ_Oregon)"));
+  uint64_t evals = engine_.evaluations();
+  // Acks from a node the predicate doesn't reference: no evaluation.
+  engine_.on_ack(0, 2, 5);
+  EXPECT_EQ(engine_.evaluations(), evals);
+  engine_.on_ack(0, 6, 5);  // node 7 = Oregon
+  EXPECT_EQ(engine_.evaluations(), evals + 1);
+}
+
+TEST_F(FrontierTest, StaleAckDoesNothing) {
+  ASSERT_TRUE(engine_.register_predicate("one", "MAX($ALLWNODES-$MYWNODE)"));
+  EXPECT_TRUE(engine_.on_ack(0, 1, 10));
+  uint64_t evals = engine_.evaluations();
+  EXPECT_FALSE(engine_.on_ack(0, 1, 4));
+  EXPECT_EQ(engine_.evaluations(), evals);
+}
+
+TEST_F(FrontierTest, MultipleMonitors) {
+  ASSERT_TRUE(engine_.register_predicate("p", "MAX($ALLWNODES-$MYWNODE)"));
+  int a = 0, b = 0;
+  engine_.monitor("p", [&](SeqNum, BytesView) { ++a; });
+  engine_.monitor("p", [&](SeqNum, BytesView) { ++b; });
+  engine_.on_ack(0, 1, 1);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+TEST_F(FrontierTest, PredicateKeysListed) {
+  engine_.register_predicate("a", "MAX($1)");
+  engine_.register_predicate("b", "MAX($2)");
+  auto keys = engine_.predicate_keys();
+  EXPECT_EQ(keys, (std::vector<std::string>{"a", "b"}));
+  EXPECT_NE(engine_.predicate("a"), nullptr);
+  EXPECT_EQ(engine_.predicate("zz"), nullptr);
+}
+
+// Property: under random monotone ack streams, every predicate frontier is
+// non-decreasing and consistent with a from-scratch evaluation.
+TEST(FrontierProperty, IncrementalMatchesFromScratch) {
+  Topology topo = ec2_topology();
+  for (uint64_t seed : {11u, 22u, 33u}) {
+    StabilityTypeRegistry types;
+    FrontierEngine engine(topo, 0, types);
+    const char* preds[] = {
+        "MAX($ALLWNODES-$MYWNODE)",
+        "MIN($ALLWNODES-$MYWNODE)",
+        "KTH_MAX(SIZEOF($ALLWNODES)/2+1,($ALLWNODES-$MYWNODE))",
+        "KTH_MAX(2,MAX($AZ_North_Virginia),MAX($AZ_Oregon),MAX($AZ_Ohio))",
+        "MIN(MAX($AZ_North_Virginia),MAX($AZ_Oregon),MAX($AZ_Ohio))",
+        "MIN(($ALLWNODES-$MYWNODE).persisted)",
+    };
+    std::vector<std::string> keys;
+    for (size_t i = 0; i < std::size(preds); ++i) {
+      keys.push_back("p" + std::to_string(i));
+      ASSERT_TRUE(engine.register_predicate(keys.back(), preds[i]));
+    }
+    std::map<std::string, SeqNum> last;
+    Rng rng(seed);
+    std::vector<std::vector<int64_t>> state(
+        2, std::vector<int64_t>(8, kNoSeq));  // types 0..1
+    for (int step = 0; step < 1000; ++step) {
+      StabilityTypeId t = static_cast<StabilityTypeId>(rng.next_below(2));
+      NodeId n = static_cast<NodeId>(rng.next_below(8));
+      state[t][n] += rng.next_range(0, 3);
+      engine.on_ack(t, n, state[t][n]);
+      for (const auto& key : keys) {
+        SeqNum f = engine.frontier(key);
+        auto it = last.find(key);
+        if (it != last.end()) ASSERT_GE(f, it->second) << key;
+        last[key] = f;
+        // from-scratch check via a fresh eval of the same predicate
+        ASSERT_EQ(f, engine.predicate(key)->eval(engine.acks())) << key;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stab

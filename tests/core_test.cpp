@@ -1,0 +1,459 @@
+// Integration tests for the Stabilizer core over the deterministic
+// simulator: end-to-end delivery, predicate frontiers, waitfor timing,
+// origin rule, custom stability levels, reconfiguration, buffer reclamation,
+// fault injection with retransmission, and real-time blocking waits.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/stabilizer.hpp"
+#include "net/inproc_transport.hpp"
+#include "net/sim_transport.hpp"
+
+namespace stab {
+namespace {
+
+/// An n-node Stabilizer cluster on the simulator.
+struct SimFixture {
+  explicit SimFixture(Topology topo, StabilizerOptions base = {}) {
+    cluster = std::make_unique<SimCluster>(topo, sim);
+    for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+      StabilizerOptions opts = base;
+      opts.topology = topo;
+      opts.self = n;
+      nodes.push_back(
+          std::make_unique<Stabilizer>(opts, cluster->transport(n)));
+    }
+  }
+  Stabilizer& node(NodeId n) { return *nodes.at(n); }
+
+  sim::Simulator sim;
+  std::unique_ptr<SimCluster> cluster;
+  std::vector<std::unique_ptr<Stabilizer>> nodes;
+};
+
+Topology tiny_topology(size_t n, double lat_ms = 10, double bw_mbps = 0) {
+  Topology t;
+  for (size_t i = 0; i < n; ++i)
+    t.add_node("n" + std::to_string(i), i == 0 ? "az0" : "az1");
+  LinkSpec s;
+  s.latency = from_ms(lat_ms);
+  s.bandwidth_bps = bw_mbps > 0 ? mbps(bw_mbps) : 0;
+  for (NodeId a = 0; a < n; ++a)
+    for (NodeId b = 0; b < n; ++b)
+      if (a != b) t.set_link(a, b, s);
+  return t;
+}
+
+TEST(Core, DeliversToAllPeersInOrder) {
+  SimFixture f(tiny_topology(3));
+  std::map<NodeId, std::vector<std::string>> got;
+  for (NodeId n = 1; n < 3; ++n)
+    f.node(n).set_delivery_handler(
+        [&, n](NodeId origin, SeqNum seq, BytesView payload, uint64_t) {
+          EXPECT_EQ(origin, 0u);
+          EXPECT_EQ(seq, static_cast<SeqNum>(got[n].size()));
+          got[n].push_back(to_string(payload));
+        });
+  f.node(0).send(to_bytes("one"));
+  f.node(0).send(to_bytes("two"));
+  f.sim.run();
+  EXPECT_EQ(got[1], (std::vector<std::string>{"one", "two"}));
+  EXPECT_EQ(got[2], (std::vector<std::string>{"one", "two"}));
+  EXPECT_EQ(f.node(1).delivered_through(0), 1);
+}
+
+TEST(Core, SequenceNumbersAreDense) {
+  SimFixture f(tiny_topology(2));
+  EXPECT_EQ(f.node(0).send(to_bytes("a")), 0);
+  EXPECT_EQ(f.node(0).send(to_bytes("b")), 1);
+  EXPECT_EQ(f.node(0).last_sent(), 1);
+}
+
+TEST(Core, FrontierAdvancesViaAcks) {
+  SimFixture f(tiny_topology(3, /*lat_ms=*/10));
+  ASSERT_TRUE(f.node(0).register_predicate("all", "MIN($ALLWNODES-$MYWNODE)"));
+  SeqNum seq = f.node(0).send(to_bytes("x"));
+  EXPECT_EQ(f.node(0).get_stability_frontier("all"), kNoSeq);
+  f.sim.run();
+  EXPECT_EQ(f.node(0).get_stability_frontier("all"), seq);
+}
+
+TEST(Core, WaitforFiresAtRoundTripPlusAckDelay) {
+  // one-way 10ms, ack_interval 2ms: frontier at sender ≈ 10 (data) + ≤2
+  // (ack batching) + 10 (ack return) ms.
+  SimFixture f(tiny_topology(2, 10));
+  ASSERT_TRUE(f.node(0).register_predicate("one", "MAX($ALLWNODES-$MYWNODE)"));
+  SeqNum seq = f.node(0).send(to_bytes("x"));
+  TimePoint fired_at = kTimeZero;
+  ASSERT_TRUE(f.node(0).waitfor(seq, "one",
+                                [&](SeqNum) { fired_at = f.sim.now(); }));
+  f.sim.run();
+  EXPECT_GE(to_ms(fired_at), 20.0);
+  EXPECT_LE(to_ms(fired_at), 23.0);
+}
+
+TEST(Core, OriginRuleSelfHasAllProperties) {
+  SimFixture f(tiny_topology(3));
+  ASSERT_TRUE(f.node(0).register_predicate(
+      "self_verified", "MIN($MYWNODE.verified)"));
+  SeqNum seq = f.node(0).send(to_bytes("x"));
+  // No network round-trip needed: origin has every property immediately.
+  EXPECT_EQ(f.node(0).get_stability_frontier("self_verified"), seq);
+}
+
+TEST(Core, BroadcastAcksLetEveryNodeEvaluate) {
+  SimFixture f(tiny_topology(3));
+  // Register at node 2 a predicate about node 0's stream.
+  ASSERT_TRUE(f.node(2).register_predicate("all", "MIN($ALLWNODES)"));
+  f.node(0).send(to_bytes("x"));
+  f.sim.run();
+  // Node 2 observes that everyone (including node 1) received seq 0 of
+  // node 0's stream.
+  EXPECT_EQ(f.node(2).get_stability_frontier("all", /*origin=*/0), 0);
+}
+
+TEST(Core, MonitorStreamsFrontiers) {
+  SimFixture f(tiny_topology(2));
+  ASSERT_TRUE(f.node(0).register_predicate("one", "MAX($ALLWNODES-$MYWNODE)"));
+  std::vector<SeqNum> fronts;
+  ASSERT_TRUE(f.node(0).monitor_stability_frontier(
+      "one", [&](SeqNum s, BytesView) { fronts.push_back(s); }));
+  for (int i = 0; i < 5; ++i) f.node(0).send(to_bytes("m"));
+  f.sim.run();
+  ASSERT_FALSE(fronts.empty());
+  EXPECT_EQ(fronts.back(), 4);
+  for (size_t i = 1; i < fronts.size(); ++i) EXPECT_GT(fronts[i], fronts[i - 1]);
+}
+
+TEST(Core, AckBatchingCoalesces) {
+  // 100 messages sent back-to-back: receiver acks must be far fewer than
+  // 100 thanks to monotonic coalescing.
+  SimFixture f(tiny_topology(2, 5));
+  for (int i = 0; i < 100; ++i) f.node(0).send(to_bytes("m"));
+  f.sim.run();
+  EXPECT_EQ(f.node(1).stats().messages_delivered, 100u);
+  EXPECT_LT(f.node(1).stats().ack_batches_sent, 30u);
+  // ... and the sender still learned the final frontier exactly.
+  EXPECT_EQ(f.node(0)
+                .engine()
+                .acks()
+                .get(StabilityTypeRegistry::kReceived, 1),
+            99);
+}
+
+TEST(Core, SendBufferReclaimedAfterGlobalReceipt) {
+  SimFixture f(tiny_topology(3));
+  f.node(0).send(to_bytes("payload"));
+  EXPECT_GT(f.node(0).send_buffer_bytes(), 0u);
+  f.sim.run();
+  EXPECT_EQ(f.node(0).send_buffer_bytes(), 0u);
+}
+
+TEST(Core, ExcludedPeerDoesNotBlockReclaim) {
+  SimFixture f(tiny_topology(3));
+  f.cluster->network().set_node_up(2, false);  // node 2 crashes
+  f.node(0).send(to_bytes("x"));
+  f.sim.run();
+  EXPECT_GT(f.node(0).send_buffer_bytes(), 0u);  // pinned by dead node 2
+  f.node(0).set_peer_excluded(2, true);
+  EXPECT_EQ(f.node(0).send_buffer_bytes(), 0u);
+  EXPECT_TRUE(f.node(0).peer_excluded(2));
+}
+
+TEST(Core, PredicatesReferencingAidsFaultHandling) {
+  SimFixture f(tiny_topology(4));
+  f.node(0).register_predicate("all", "MIN($ALLWNODES-$MYWNODE)");
+  f.node(0).register_predicate("n2only", "MAX($3)");  // node index 3 = id 2
+  f.node(0).register_predicate("n1only", "MAX($2)");
+  auto keys = f.node(0).predicates_referencing(2);
+  EXPECT_EQ(keys, (std::vector<std::string>{"all", "n2only"}));
+}
+
+TEST(Core, ChangePredicateMidStream) {
+  SimFixture f(tiny_topology(4, 10));
+  f.cluster->network().set_node_up(3, false);  // slowest/never acks
+  ASSERT_TRUE(f.node(0).register_predicate("p", "MIN($ALLWNODES-$MYWNODE)"));
+  SeqNum seq = f.node(0).send(to_bytes("x"));
+  f.sim.run();
+  EXPECT_EQ(f.node(0).get_stability_frontier("p"), kNoSeq);  // node 3 missing
+  // Reconfigure to exclude the dead node (the §VI-D mechanism).
+  ASSERT_TRUE(f.node(0).change_predicate("p", "MIN($ALLWNODES-$MYWNODE-$4)"));
+  EXPECT_EQ(f.node(0).get_stability_frontier("p"), seq);
+}
+
+TEST(Core, CustomStabilityLevelRoundTrip) {
+  SimFixture f(tiny_topology(2, 10));
+  ASSERT_TRUE(f.node(0).register_predicate(
+      "ver", "MIN(($ALLWNODES-$MYWNODE).verified)"));
+  f.node(1).register_predicate("ver", "MIN(($ALLWNODES-$MYWNODE).verified)");
+
+  SeqNum seq = f.node(0).send(to_bytes("x"));
+  std::string extra_seen;
+  f.node(0).monitor_stability_frontier(
+      "ver", [&](SeqNum, BytesView extra) { extra_seen = to_string(extra); });
+
+  // Node 1 verifies the message after delivery.
+  f.node(1).set_delivery_handler(
+      [&](NodeId origin, SeqNum s, BytesView, uint64_t) {
+        f.node(1).report_stability("verified", origin, s, to_bytes("sig"));
+      });
+  f.sim.run();
+  EXPECT_EQ(f.node(0).get_stability_frontier("ver"), seq);
+  EXPECT_EQ(extra_seen, "sig");
+}
+
+TEST(Core, SendLargeSplitsAtEightKb) {
+  SimFixture f(tiny_topology(2));
+  Bytes big(20 * 1024, 0xab);
+  auto [first, last] = f.node(0).send_large(big);
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(last, 2);  // 20 KB -> 3 chunks of <= 8 KB
+
+  std::vector<size_t> sizes;
+  Bytes reassembled;
+  f.node(1).set_delivery_handler(
+      [&](NodeId, SeqNum, BytesView payload, uint64_t) {
+        sizes.push_back(payload.size());
+        reassembled.insert(reassembled.end(), payload.begin(), payload.end());
+      });
+  f.sim.run();
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 8192u);
+  EXPECT_EQ(sizes[2], 20u * 1024 - 2 * 8192);
+  EXPECT_EQ(reassembled, big);
+}
+
+TEST(Core, SendLargeVirtualPadding) {
+  SimFixture f(tiny_topology(2));
+  // 1 KB of real manifest + 100 KB virtual: 13 chunks, bandwidth charged
+  // for the padding but no bytes materialized.
+  Bytes manifest(1024, 1);
+  auto [first, last] = f.node(0).send_large(manifest, 100 * 1024);
+  EXPECT_EQ(last - first + 1, (1 + 100 + 7) / 8);
+  uint64_t wire_total = 0;
+  f.node(1).set_delivery_handler(
+      [&](NodeId, SeqNum, BytesView, uint64_t wire) { wire_total += wire; });
+  f.sim.run();
+  EXPECT_GE(wire_total, 101u * 1024);
+}
+
+TEST(Core, MultipleConcurrentStreams) {
+  SimFixture f(tiny_topology(3, 5));
+  for (NodeId n = 0; n < 3; ++n)
+    f.node(n).register_predicate("all", "MIN($ALLWNODES-$MYWNODE)");
+  f.node(0).send(to_bytes("from0"));
+  f.node(1).send(to_bytes("from1"));
+  f.node(2).send(to_bytes("from2"));
+  f.sim.run();
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(f.node(n).get_stability_frontier("all"), 0) << n;
+    for (NodeId o = 0; o < 3; ++o)
+      if (o != n) EXPECT_EQ(f.node(n).delivered_through(o), 0);
+  }
+}
+
+TEST(Core, LossyLinkRecoveredByRetransmission) {
+  Topology topo = tiny_topology(2, 5);
+  StabilizerOptions base;
+  base.retransmit_timeout = millis(50);
+  SimFixture f(topo, base);
+  f.cluster->network().set_drop_probability(0, 1, 0.3);
+  f.cluster->network().set_drop_rng_seed(1234);
+
+  std::vector<SeqNum> delivered;
+  f.node(1).set_delivery_handler(
+      [&](NodeId, SeqNum seq, BytesView, uint64_t) {
+        delivered.push_back(seq);
+      });
+  const int kCount = 200;
+  for (int i = 0; i < kCount; ++i) f.node(0).send(to_bytes("m"));
+  f.sim.run_until(seconds(60));
+
+  ASSERT_EQ(delivered.size(), static_cast<size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) EXPECT_EQ(delivered[i], i);
+  EXPECT_GT(f.node(0).stats().retransmissions, 0u);
+  EXPECT_EQ(f.node(1).delivered_through(0), kCount - 1);
+}
+
+TEST(Core, LossyBothDirectionsStillConverges) {
+  Topology topo = tiny_topology(3, 2);
+  StabilizerOptions base;
+  base.retransmit_timeout = millis(20);
+  SimFixture f(topo, base);
+  for (NodeId a = 0; a < 3; ++a)
+    for (NodeId b = 0; b < 3; ++b)
+      if (a != b) f.cluster->network().set_drop_probability(a, b, 0.2);
+  f.cluster->network().set_drop_rng_seed(77);
+
+  f.node(0).register_predicate("all", "MIN($ALLWNODES-$MYWNODE)");
+  const int kCount = 50;
+  for (int i = 0; i < kCount; ++i) f.node(0).send(to_bytes("m"));
+  bool ok = f.sim.run_until_pred(
+      [&] { return f.node(0).get_stability_frontier("all") == kCount - 1; },
+      seconds(120));
+  EXPECT_TRUE(ok) << "frontier stuck at "
+                  << f.node(0).get_stability_frontier("all");
+}
+
+TEST(Core, SendWindowLimitsInFlight) {
+  StabilizerOptions base;
+  base.send_window = 4;
+  SimFixture f(tiny_topology(2, 10), base);
+  for (int i = 0; i < 20; ++i) f.node(0).send(to_bytes("m"));
+  // Only the window's worth of frames may be on the wire before any ack.
+  EXPECT_EQ(f.node(0).stats().frames_transmitted, 4u);
+  // As acks flow back the rest drain; everything is delivered in order.
+  std::vector<SeqNum> got;
+  f.node(1).set_delivery_handler(
+      [&](NodeId, SeqNum seq, BytesView, uint64_t) { got.push_back(seq); });
+  f.sim.run();
+  ASSERT_EQ(got.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(got[i], i);
+  EXPECT_EQ(f.node(0).stats().frames_transmitted, 20u);
+}
+
+TEST(Core, SendWindowIsPerPeer) {
+  // A dead peer's full window must not stop the healthy peer's flow.
+  StabilizerOptions base;
+  base.send_window = 2;
+  SimFixture f(tiny_topology(3, 5), base);
+  f.cluster->network().set_node_up(2, false);
+  size_t delivered = 0;
+  f.node(1).set_delivery_handler(
+      [&](NodeId, SeqNum, BytesView, uint64_t) { ++delivered; });
+  for (int i = 0; i < 10; ++i) f.node(0).send(to_bytes("m"));
+  f.sim.run();
+  EXPECT_EQ(delivered, 10u);  // node 1 got everything
+  // Node 0 transmitted all 10 DATA frames to node 1 but only the 2-message
+  // window toward the dead node 2 (dropped frames also include ack batches
+  // aimed at node 2, so count transmissions, not drops).
+  EXPECT_EQ(f.node(0).stats().frames_transmitted, 12u);
+}
+
+TEST(Core, WindowedAndUnwindowedDeliverIdentically) {
+  for (size_t window : {0u, 1u, 3u, 16u}) {
+    StabilizerOptions base;
+    base.send_window = window;
+    SimFixture f(tiny_topology(3, 7), base);
+    std::vector<SeqNum> got;
+    f.node(2).set_delivery_handler(
+        [&](NodeId, SeqNum seq, BytesView, uint64_t) { got.push_back(seq); });
+    for (int i = 0; i < 30; ++i) f.node(0).send(to_bytes("x"));
+    f.sim.run();
+    ASSERT_EQ(got.size(), 30u) << "window " << window;
+    for (int i = 0; i < 30; ++i) EXPECT_EQ(got[i], i);
+  }
+}
+
+TEST(Core, StatsAreCoherent) {
+  SimFixture f(tiny_topology(3));
+  for (int i = 0; i < 10; ++i) f.node(0).send(to_bytes("x"));
+  f.sim.run();
+  const auto& st = f.node(0).stats();
+  EXPECT_EQ(st.messages_sent, 10u);
+  EXPECT_EQ(st.frames_transmitted, 20u);  // 10 msgs x 2 peers
+  EXPECT_EQ(f.node(1).stats().messages_delivered, 10u);
+  EXPECT_GT(st.ack_entries_applied, 0u);
+}
+
+TEST(Core, SendLargeEdgeCases) {
+  SimFixture f(tiny_topology(2));
+  // Exact multiple of the split size: no ragged tail chunk.
+  Bytes exact(16 * 1024, 1);
+  auto [f1, l1] = f.node(0).send_large(exact);
+  EXPECT_EQ(l1 - f1 + 1, 2);
+  // Empty payload still produces one (empty) message.
+  auto [f2, l2] = f.node(0).send_large({});
+  EXPECT_EQ(f2, l2);
+  std::vector<size_t> sizes;
+  f.node(1).set_delivery_handler(
+      [&](NodeId, SeqNum, BytesView p, uint64_t) { sizes.push_back(p.size()); });
+  f.sim.run();
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 8192u);
+  EXPECT_EQ(sizes[1], 8192u);
+  EXPECT_EQ(sizes[2], 0u);
+}
+
+TEST(Core, SingleNodeClusterIsTriviallyStable) {
+  Topology topo;
+  topo.add_node("solo", "az");
+  sim::Simulator sim;
+  SimCluster cluster(topo, sim);
+  StabilizerOptions opts;
+  opts.topology = topo;
+  opts.self = 0;
+  Stabilizer node(opts, cluster.transport(0));
+  ASSERT_TRUE(node.register_predicate("all", "MIN($ALLWNODES)"));
+  SeqNum seq = node.send(to_bytes("solo"));
+  // Origin rule: instantly stable; buffer instantly reclaimed.
+  EXPECT_EQ(node.get_stability_frontier("all"), seq);
+  EXPECT_EQ(node.send_buffer_bytes(), 0u);
+}
+
+TEST(Core, WaitforBeforeAnySendFiresImmediately) {
+  SimFixture f(tiny_topology(2));
+  ASSERT_TRUE(f.node(0).register_predicate("one", "MAX($ALLWNODES)"));
+  // Frontier starts at kNoSeq; waiting for kNoSeq is already satisfied.
+  int fired = 0;
+  ASSERT_TRUE(f.node(0).waitfor(kNoSeq, "one", [&](SeqNum) { ++fired; }));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Core, SendRawValidatesKindSpace) {
+  SimFixture f(tiny_topology(2));
+  EXPECT_THROW(f.node(0).send_raw(1, Bytes{0x01}), std::invalid_argument);
+  f.node(0).send_raw(1, Bytes{0x41});  // application space: fine
+}
+
+TEST(Core, ErrorsPropagate) {
+  SimFixture f(tiny_topology(2));
+  EXPECT_FALSE(f.node(0).register_predicate("bad", "NOPE($1)").is_ok());
+  EXPECT_FALSE(f.node(0).change_predicate("missing", "MAX($1)").is_ok());
+  EXPECT_FALSE(f.node(0)
+                   .monitor_stability_frontier("missing",
+                                               [](SeqNum, BytesView) {})
+                   .is_ok());
+  EXPECT_FALSE(
+      f.node(0).waitfor(1, "missing", [](SeqNum) {}).is_ok());
+  EXPECT_EQ(f.node(0).get_stability_frontier("missing"), kNoSeq);
+}
+
+// --- real-time (in-process) ----------------------------------------------------
+
+TEST(CoreRealtime, BlockingWaitforOverInProc) {
+  Topology topo = tiny_topology(3, 1);
+  InProcCluster cluster(3, &topo);
+  std::vector<std::unique_ptr<Stabilizer>> nodes;
+  for (NodeId n = 0; n < 3; ++n) {
+    StabilizerOptions opts;
+    opts.topology = topo;
+    opts.self = n;
+    opts.ack_interval = millis(1);
+    nodes.push_back(std::make_unique<Stabilizer>(opts, cluster.transport(n)));
+  }
+  ASSERT_TRUE(nodes[0]->register_predicate("all", "MIN($ALLWNODES-$MYWNODE)"));
+  SeqNum seq = nodes[0]->send(to_bytes("rt"));
+  EXPECT_TRUE(nodes[0]->waitfor_blocking(seq, "all", seconds(10)));
+  EXPECT_EQ(nodes[0]->get_stability_frontier("all"), seq);
+  nodes.clear();
+  cluster.shutdown();
+}
+
+TEST(CoreRealtime, BlockingWaitforTimesOut) {
+  Topology topo = tiny_topology(2, 1);
+  InProcCluster cluster(2, &topo);
+  StabilizerOptions opts;
+  opts.topology = topo;
+  opts.self = 0;
+  Stabilizer node0(opts, cluster.transport(0));
+  // No Stabilizer on node 1: acks never come back.
+  ASSERT_TRUE(node0.register_predicate("all", "MIN($ALLWNODES-$MYWNODE)"));
+  SeqNum seq = node0.send(to_bytes("x"));
+  EXPECT_FALSE(node0.waitfor_blocking(seq, "all", millis(100)));
+}
+
+}  // namespace
+}  // namespace stab

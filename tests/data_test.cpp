@@ -1,0 +1,132 @@
+// Unit tests for the data plane primitives: wire codec, sequencer,
+// out-buffer, receive tracker.
+#include <gtest/gtest.h>
+
+#include "data/out_buffer.hpp"
+#include "data/receive_tracker.hpp"
+#include "data/wire.hpp"
+
+namespace stab::data {
+namespace {
+
+TEST(Wire, DataRoundTrip) {
+  DataFrame in;
+  in.origin = 3;
+  in.seq = 12345678901LL;
+  in.payload = to_bytes("payload-bytes");
+  in.virtual_size = 7777;
+  Bytes enc = encode(in);
+  EXPECT_EQ(peek_kind(enc), FrameKind::kData);
+  DataFrame out = decode_data(enc);
+  EXPECT_EQ(out.origin, in.origin);
+  EXPECT_EQ(out.seq, in.seq);
+  EXPECT_EQ(out.payload, in.payload);
+  EXPECT_EQ(out.virtual_size, in.virtual_size);
+}
+
+TEST(Wire, AckBatchRoundTrip) {
+  AckBatchFrame in;
+  in.reporter = 5;
+  in.entries.push_back(AckEntry{1, 0, 99, {}});
+  in.entries.push_back(AckEntry{2, 3, -1, to_bytes("extra")});
+  Bytes enc = encode(in);
+  EXPECT_EQ(peek_kind(enc), FrameKind::kAckBatch);
+  AckBatchFrame out = decode_ack_batch(enc);
+  EXPECT_EQ(out.reporter, 5u);
+  ASSERT_EQ(out.entries.size(), 2u);
+  EXPECT_EQ(out.entries[0].about_origin, 1u);
+  EXPECT_EQ(out.entries[0].seq, 99);
+  EXPECT_EQ(out.entries[1].type, 3u);
+  EXPECT_EQ(to_string(out.entries[1].extra), "extra");
+}
+
+TEST(Wire, PeekRejectsGarbage) {
+  EXPECT_FALSE(peek_kind(Bytes{}).has_value());
+  EXPECT_FALSE(peek_kind(Bytes{0x77}).has_value());
+}
+
+TEST(Wire, DecodeWrongKindThrows) {
+  DataFrame d;
+  d.payload = to_bytes("x");
+  Bytes enc = encode(d);
+  EXPECT_THROW(decode_ack_batch(enc), CodecError);
+}
+
+TEST(Wire, DecodeTruncatedThrows) {
+  DataFrame d;
+  d.payload = to_bytes("hello world");
+  Bytes enc = encode(d);
+  enc.resize(enc.size() - 4);
+  EXPECT_THROW(decode_data(enc), CodecError);
+}
+
+TEST(Sequencer, StartsAtZeroMonotonic) {
+  Sequencer s;
+  EXPECT_EQ(s.last_assigned(), kNoSeq);
+  EXPECT_EQ(s.next(), 0);
+  EXPECT_EQ(s.next(), 1);
+  EXPECT_EQ(s.last_assigned(), 1);
+}
+
+TEST(OutBuffer, PushGetReclaim) {
+  OutBuffer b;
+  b.push(0, to_bytes("a"), 0);
+  b.push(1, to_bytes("bb"), 10);
+  b.push(2, to_bytes("ccc"), 0);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.buffered_bytes(), 1u + 2 + 10 + 3);
+  ASSERT_NE(b.get(1), nullptr);
+  EXPECT_EQ(to_string(b.get(1)->payload), "bb");
+  EXPECT_EQ(b.get(1)->virtual_size, 10u);
+
+  b.reclaim_through(1);
+  EXPECT_EQ(b.base(), 2);
+  EXPECT_EQ(b.get(0), nullptr);
+  EXPECT_EQ(b.get(1), nullptr);
+  ASSERT_NE(b.get(2), nullptr);
+  EXPECT_EQ(b.buffered_bytes(), 3u);
+}
+
+TEST(OutBuffer, NonContiguousPushThrows) {
+  OutBuffer b;
+  b.push(0, {}, 0);
+  EXPECT_THROW(b.push(2, {}, 0), std::logic_error);
+  EXPECT_THROW(b.push(0, {}, 0), std::logic_error);
+}
+
+TEST(OutBuffer, ReclaimBeyondEndIsSafe) {
+  OutBuffer b;
+  b.push(0, to_bytes("x"), 0);
+  b.reclaim_through(100);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.base(), 1);
+  b.push(1, to_bytes("y"), 0);  // contiguity maintained after full reclaim
+  EXPECT_EQ(b.get(1)->seq, 1);
+}
+
+TEST(OutBuffer, GetOutOfRange) {
+  OutBuffer b;
+  EXPECT_EQ(b.get(0), nullptr);
+  EXPECT_EQ(b.get(-1), nullptr);
+}
+
+TEST(ReceiveTracker, AcceptsInOrder) {
+  ReceiveTracker t(2);
+  EXPECT_EQ(t.received_through(0), kNoSeq);
+  EXPECT_EQ(t.on_frame(0, 0), ReceiveTracker::Verdict::kAccept);
+  EXPECT_EQ(t.on_frame(0, 1), ReceiveTracker::Verdict::kAccept);
+  EXPECT_EQ(t.received_through(0), 1);
+  EXPECT_EQ(t.received_through(1), kNoSeq);  // independent per origin
+}
+
+TEST(ReceiveTracker, ClassifiesDupAndGap) {
+  ReceiveTracker t(1);
+  t.on_frame(0, 0);
+  EXPECT_EQ(t.on_frame(0, 0), ReceiveTracker::Verdict::kStaleDuplicate);
+  EXPECT_EQ(t.on_frame(0, 5), ReceiveTracker::Verdict::kGap);
+  EXPECT_EQ(t.received_through(0), 0);  // gap did not advance
+  EXPECT_EQ(t.on_frame(0, 1), ReceiveTracker::Verdict::kAccept);
+}
+
+}  // namespace
+}  // namespace stab::data

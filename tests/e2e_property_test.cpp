@@ -1,0 +1,182 @@
+// End-to-end property tests over whole simulated clusters.
+//
+// The paper's §III-A invariant: "Each WAN node detects stability
+// independently and asynchronously, but all WAN nodes reach the same
+// conclusions eventually." Plus core API contracts: monitor monotonicity,
+// waitfor firing exactly once at coverage, and quiescent frontiers matching
+// the delivered state.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "core/stabilizer.hpp"
+#include "net/sim_transport.hpp"
+
+namespace stab {
+namespace {
+
+struct RandomCluster {
+  RandomCluster(uint64_t seed, size_t num_nodes) : rng(seed) {
+    for (size_t i = 0; i < num_nodes; ++i)
+      topo.add_node("n" + std::to_string(i + 1),
+                    "az" + std::to_string(i % 2 + 1));
+    for (NodeId a = 0; a < num_nodes; ++a)
+      for (NodeId b = 0; b < num_nodes; ++b)
+        if (a != b) {
+          LinkSpec s;
+          s.latency = from_ms(1 + rng.next_double() * 60);
+          s.bandwidth_bps = mbps(20 + rng.next_double() * 200);
+          topo.set_link(a, b, s);
+        }
+    cluster = std::make_unique<SimCluster>(topo, sim);
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      StabilizerOptions opts;
+      opts.topology = topo;
+      opts.self = n;
+      opts.broadcast_acks = true;  // everyone evaluates everything
+      opts.ack_interval = millis(static_cast<int64_t>(rng.next_range(1, 5)));
+      nodes.push_back(
+          std::make_unique<Stabilizer>(opts, cluster->transport(n)));
+    }
+  }
+
+  Rng rng;
+  Topology topo;
+  sim::Simulator sim;
+  std::unique_ptr<SimCluster> cluster;
+  std::vector<std::unique_ptr<Stabilizer>> nodes;
+};
+
+class E2EProperty : public ::testing::TestWithParam<uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, E2EProperty,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+TEST_P(E2EProperty, AllNodesReachTheSameConclusions) {
+  RandomCluster c(GetParam(), 4 + GetParam() % 3);  // 4..6 nodes
+  const size_t n = c.topo.num_nodes();
+
+  // Explicit-set predicates (same meaning at every evaluating node).
+  std::map<std::string, std::string> preds;
+  preds["all"] = "MIN($ALLWNODES)";
+  preds["any"] = "MAX($ALLWNODES)";
+  preds["maj"] = "KTH_MAX(SIZEOF($ALLWNODES)/2+1,$ALLWNODES)";
+  preds["pair"] = "MIN($1,$" + std::to_string(n) + ")";
+  for (auto& node : c.nodes)
+    for (const auto& [key, src] : preds)
+      ASSERT_TRUE(node->register_predicate(key, src)) << key;
+
+  // Random workload: every node originates messages at random times.
+  std::vector<SeqNum> last_sent(n, kNoSeq);
+  for (int i = 0; i < 120; ++i) {
+    NodeId origin = static_cast<NodeId>(c.rng.next_below(n));
+    c.sim.schedule_at(millis(c.rng.next_range(0, 2000)), [&, origin] {
+      Bytes payload(c.rng.next_range(0, 2000));
+      last_sent[origin] =
+          c.nodes[origin]->send(payload, c.rng.next_range(0, 50000));
+    });
+  }
+
+  // Monitor monotonicity on a sample of (node, key, origin) triples.
+  struct Cursor {
+    SeqNum last = kNoSeq;
+    int fired = 0;
+  };
+  std::vector<std::unique_ptr<Cursor>> cursors;
+  for (NodeId node = 0; node < n; ++node)
+    for (NodeId origin = 0; origin < n; ++origin) {
+      cursors.push_back(std::make_unique<Cursor>());
+      Cursor* cur = cursors.back().get();
+      ASSERT_TRUE(c.nodes[node]->monitor_stability_frontier(
+          "maj",
+          [cur](SeqNum f, BytesView) {
+            EXPECT_GT(f, cur->last) << "monitor regressed";
+            cur->last = f;
+            ++cur->fired;
+          },
+          origin));
+    }
+
+  c.sim.run();
+
+  // 1. Quiescent agreement: every node holds identical frontiers for every
+  //    (predicate, origin stream).
+  for (const auto& [key, src] : preds) {
+    for (NodeId origin = 0; origin < n; ++origin) {
+      SeqNum expected = c.nodes[0]->get_stability_frontier(key, origin);
+      for (NodeId node = 1; node < n; ++node)
+        EXPECT_EQ(c.nodes[node]->get_stability_frontier(key, origin),
+                  expected)
+            << "disagreement on " << key << " for origin " << origin
+            << " at node " << node;
+    }
+  }
+
+  // 2. Everything delivered: frontiers equal the origin's last message.
+  for (NodeId origin = 0; origin < n; ++origin) {
+    if (last_sent[origin] == kNoSeq) continue;
+    EXPECT_EQ(c.nodes[0]->get_stability_frontier("all", origin),
+              last_sent[origin]);
+    EXPECT_EQ(c.nodes[0]->get_stability_frontier("maj", origin),
+              last_sent[origin]);
+  }
+
+  // 3. Send buffers fully reclaimed (everything acknowledged everywhere).
+  for (auto& node : c.nodes) EXPECT_EQ(node->send_buffer_bytes(), 0u);
+}
+
+TEST_P(E2EProperty, WaitforFiresExactlyOnceAtCoverage) {
+  RandomCluster c(GetParam() * 7, 4);
+  Stabilizer& sender = *c.nodes[0];
+  ASSERT_TRUE(sender.register_predicate("all", "MIN($ALLWNODES-$MYWNODE)"));
+
+  struct Wait {
+    SeqNum seq;
+    int fired = 0;
+    SeqNum frontier_at_fire = kNoSeq;
+  };
+  std::vector<std::unique_ptr<Wait>> waits;
+
+  for (int i = 0; i < 60; ++i) {
+    c.sim.schedule_at(millis(c.rng.next_range(0, 800)), [&] {
+      SeqNum seq = sender.send(to_bytes("m"));
+      waits.push_back(std::make_unique<Wait>());
+      Wait* w = waits.back().get();
+      w->seq = seq;
+      sender.waitfor(seq, "all", [&, w](SeqNum frontier) {
+        ++w->fired;
+        w->frontier_at_fire = frontier;
+        // Coverage contract: fired only once the frontier reaches the seq.
+        EXPECT_GE(frontier, w->seq);
+        EXPECT_EQ(sender.get_stability_frontier("all"), frontier);
+      });
+    });
+  }
+  c.sim.run();
+  ASSERT_FALSE(waits.empty());
+  for (const auto& w : waits) {
+    EXPECT_EQ(w->fired, 1) << "seq " << w->seq;
+    EXPECT_GE(w->frontier_at_fire, w->seq);
+  }
+}
+
+TEST_P(E2EProperty, MyMacrosExpandPerEvaluatingNode) {
+  // $MYWNODE / $MYAZWNODES are relative to the evaluating node; this is a
+  // feature (each site states its own locality), so agreement is NOT
+  // expected for them — verify the per-node expansions instead.
+  RandomCluster c(GetParam() * 13, 4);
+  for (auto& node : c.nodes)
+    ASSERT_TRUE(node->register_predicate("mine", "MIN($MYAZWNODES)"));
+  for (NodeId n = 0; n < 4; ++n) {
+    const auto* pred = c.nodes[n]->engine().predicate("mine");
+    ASSERT_NE(pred, nullptr);
+    // az1 = {n1, n3} (indices 0, 2), az2 = {n2, n4} (indices 1, 3).
+    std::string expected =
+        n % 2 == 0 ? "MIN($1,$3)" : "MIN($2,$4)";
+    EXPECT_EQ(pred->expanded(), expected) << "node " << n;
+  }
+}
+
+}  // namespace
+}  // namespace stab

@@ -1,0 +1,294 @@
+// WAN K/V integration tests on the simulated cluster: ownership, mirroring,
+// chunked large values, stability-gated reads, persisted-level reporting,
+// temporal reads across nodes, and mirror-convergence properties.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "kv/wan_kv.hpp"
+#include "net/sim_transport.hpp"
+
+namespace stab::kv {
+namespace {
+
+/// Owner = key's leading digit ("0:foo" -> node 0), mirroring the paper's
+/// per-site pool model.
+NodeId pool_owner(const std::string& key) {
+  return key.empty() ? 0 : static_cast<NodeId>(key[0] - '0');
+}
+
+struct KvCluster {
+  explicit KvCluster(size_t n, double lat_ms = 5) {
+    Topology topo;
+    for (size_t i = 0; i < n; ++i)
+      t_add(topo, i);
+    LinkSpec s;
+    s.latency = from_ms(lat_ms);
+    for (NodeId a = 0; a < n; ++a)
+      for (NodeId b = 0; b < n; ++b)
+        if (a != b) topo.set_link(a, b, s);
+    cluster = std::make_unique<SimCluster>(topo, sim);
+    for (NodeId i = 0; i < n; ++i) {
+      StabilizerOptions opts;
+      opts.topology = topo;
+      opts.self = i;
+      stabs.push_back(
+          std::make_unique<Stabilizer>(opts, cluster->transport(i)));
+      stores.push_back(std::make_unique<store::LocalStore>());
+      kvs.push_back(
+          std::make_unique<WanKV>(*stabs.back(), *stores.back(), pool_owner));
+    }
+  }
+  static void t_add(Topology& topo, size_t i) {
+    topo.add_node(std::to_string(i), i < 2 ? "east" : "west");
+  }
+  WanKV& kv(NodeId n) { return *kvs.at(n); }
+
+  sim::Simulator sim;
+  std::unique_ptr<SimCluster> cluster;
+  std::vector<std::unique_ptr<Stabilizer>> stabs;
+  std::vector<std::unique_ptr<store::LocalStore>> stores;
+  std::vector<std::unique_ptr<WanKV>> kvs;
+};
+
+TEST(WanKv, PutIsLocallyStableImmediately) {
+  KvCluster c(3);
+  auto put = c.kv(0).put("0:a", to_bytes("v"));
+  ASSERT_TRUE(put.is_ok()) << put.message();
+  EXPECT_EQ(put.value().version, 1u);
+  auto v = c.kv(0).get("0:a");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(to_string(v->value), "v");
+}
+
+TEST(WanKv, RejectsNonOwnerWrites) {
+  KvCluster c(3);
+  auto put = c.kv(0).put("2:foreign", to_bytes("v"));
+  ASSERT_FALSE(put.is_ok());
+  EXPECT_NE(put.message().find("primary-site"), std::string::npos);
+}
+
+TEST(WanKv, MirrorsToAllNodes) {
+  KvCluster c(3);
+  ASSERT_TRUE(c.kv(0).put("0:k", to_bytes("mirrored")).is_ok());
+  c.sim.run();
+  for (NodeId n = 1; n < 3; ++n) {
+    auto v = c.kv(n).get("0:k");
+    ASSERT_TRUE(v.has_value()) << "node " << n;
+    EXPECT_EQ(to_string(v->value), "mirrored");
+    EXPECT_EQ(v->version, 1u);
+  }
+  EXPECT_EQ(c.kv(1).mirrored_puts(), 1u);
+}
+
+TEST(WanKv, VersionsMatchAcrossMirrors) {
+  KvCluster c(2);
+  c.kv(0).put("0:k", to_bytes("v1"));
+  c.kv(0).put("0:k", to_bytes("v2"));
+  c.kv(0).put("0:k", to_bytes("v3"));
+  c.sim.run();
+  auto v = c.kv(1).get("0:k");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->version, 3u);
+  EXPECT_EQ(to_string(c.kv(1).get("0:k")->value), "v3");
+  // historic version preserved at the mirror
+  EXPECT_EQ(to_string(c.stores[1]->get_version("0:k", 1)->value), "v1");
+}
+
+TEST(WanKv, LargeValueChunksAndReassembles) {
+  KvCluster c(2);
+  Rng rng(5);
+  Bytes big(100 * 1024);
+  for (auto& b : big) b = static_cast<uint8_t>(rng.next_u64());
+  auto put = c.kv(0).put("0:big", big);
+  ASSERT_TRUE(put.is_ok());
+  EXPECT_GT(put.value().last_seq, put.value().first_seq);  // chunked
+  c.sim.run();
+  auto v = c.kv(1).get("0:big");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->value, big);
+}
+
+TEST(WanKv, VirtualPaddingPutsCarryNoBytes) {
+  KvCluster c(2);
+  // 3 MB virtual file with a tiny real manifest.
+  auto put = c.kv(0).put("0:trace", to_bytes("manifest"), 3 * 1024 * 1024);
+  ASSERT_TRUE(put.is_ok());
+  EXPECT_GT(put.value().last_seq - put.value().first_seq, 300);
+  c.sim.run();
+  auto v = c.kv(1).get("0:trace");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(to_string(v->value), "manifest");  // only the real bytes land
+}
+
+TEST(WanKv, GetStableGatesOnPredicate) {
+  KvCluster c(3, /*lat_ms=*/10);
+  ASSERT_TRUE(c.kv(0).register_predicate("all", "MIN($ALLWNODES-$MYWNODE)"));
+  auto put = c.kv(0).put("0:k", to_bytes("v"));
+  ASSERT_TRUE(put.is_ok());
+  // Not yet acked by everyone.
+  EXPECT_FALSE(c.kv(0).get_stable("0:k", "all").has_value());
+  EXPECT_TRUE(c.kv(0).get("0:k").has_value());  // plain read still works
+  c.sim.run();
+  auto v = c.kv(0).get_stable("0:k", "all");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(to_string(v->value), "v");
+}
+
+TEST(WanKv, GetStableAtMirrorUsesOriginStream) {
+  KvCluster c(3, 10);
+  // Node 1 wants to read node 0's data only once every node has it.
+  ASSERT_TRUE(c.kv(1).register_predicate("all", "MIN($ALLWNODES)"));
+  c.kv(0).put("0:k", to_bytes("v"));
+  c.sim.run();
+  auto v = c.kv(1).get_stable("0:k", "all");
+  ASSERT_TRUE(v.has_value());
+}
+
+TEST(WanKv, WaitPutFiresAtStability) {
+  KvCluster c(3, 10);
+  ASSERT_TRUE(c.kv(0).register_predicate("one", "MAX($ALLWNODES-$MYWNODE)"));
+  auto put = c.kv(0).put("0:k", to_bytes("v"));
+  ASSERT_TRUE(put.is_ok());
+  TimePoint fired = kTimeZero;
+  ASSERT_TRUE(c.kv(0).wait_put(put.value(), "one",
+                               [&](SeqNum) { fired = c.sim.now(); }));
+  c.sim.run();
+  EXPECT_GT(fired, kTimeZero);
+  EXPECT_GE(to_ms(fired), 20.0);  // ≥ one-way + ack return
+}
+
+TEST(WanKv, PersistedLevelReported) {
+  KvCluster c(2, 5);
+  ASSERT_TRUE(c.kv(0).register_predicate(
+      "persisted_everywhere", "MIN(($ALLWNODES-$MYWNODE).persisted)"));
+  auto put = c.kv(0).put("0:k", to_bytes("v"));
+  c.sim.run();
+  EXPECT_EQ(c.kv(0).get_stability_frontier("persisted_everywhere"),
+            put.value().last_seq);
+}
+
+TEST(WanKv, GetByTimeAtMirror) {
+  KvCluster c(2, 5);
+  c.kv(0).put("0:k", to_bytes("early"));
+  c.sim.run();
+  TimePoint mid = c.sim.now();
+  c.sim.run_until(c.sim.now() + millis(100));
+  c.kv(0).put("0:k", to_bytes("late"));
+  c.sim.run();
+  auto v = c.kv(1).get_by_time("0:k", mid);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(to_string(v->value), "early");
+}
+
+TEST(WanKv, ConcurrentOwnersDoNotInterfere) {
+  KvCluster c(3, 5);
+  c.kv(0).put("0:x", to_bytes("from0"));
+  c.kv(1).put("1:y", to_bytes("from1"));
+  c.kv(2).put("2:z", to_bytes("from2"));
+  c.sim.run();
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(to_string(c.kv(n).get("0:x")->value), "from0");
+    EXPECT_EQ(to_string(c.kv(n).get("1:y")->value), "from1");
+    EXPECT_EQ(to_string(c.kv(n).get("2:z")->value), "from2");
+  }
+}
+
+TEST(WanKv, EraseReplicatesToMirrors) {
+  KvCluster c(3);
+  c.kv(0).put("0:k", to_bytes("v"));
+  c.sim.run();
+  ASSERT_TRUE(c.kv(2).get("0:k").has_value());
+
+  auto erased = c.kv(0).erase("0:k");
+  ASSERT_TRUE(erased.is_ok()) << erased.message();
+  EXPECT_FALSE(c.kv(0).get("0:k").has_value());  // locally gone at once
+  c.sim.run();
+  for (NodeId n = 0; n < 3; ++n)
+    EXPECT_FALSE(c.kv(n).get("0:k").has_value()) << "node " << n;
+}
+
+TEST(WanKv, EraseRespectsOwnership) {
+  KvCluster c(2);
+  auto res = c.kv(0).erase("1:foreign");
+  EXPECT_FALSE(res.is_ok());
+}
+
+TEST(WanKv, ErasedKeyCanBeRecreatedEverywhere) {
+  KvCluster c(2);
+  c.kv(0).put("0:k", to_bytes("first"));
+  c.sim.run();
+  ASSERT_TRUE(c.kv(0).erase("0:k").is_ok());
+  c.sim.run();
+  c.kv(0).put("0:k", to_bytes("second"));
+  c.sim.run();
+  auto v = c.kv(1).get("0:k");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(to_string(v->value), "second");
+  EXPECT_EQ(v->version, 1u);  // version space restarted consistently
+}
+
+TEST(WanKv, EraseStabilityTrackable) {
+  KvCluster c(3, 10);
+  ASSERT_TRUE(c.kv(0).register_predicate("all", "MIN($ALLWNODES-$MYWNODE)"));
+  c.kv(0).put("0:k", to_bytes("v"));
+  c.sim.run();
+  auto seq = c.kv(0).erase("0:k");
+  ASSERT_TRUE(seq.is_ok());
+  bool gone_everywhere = false;
+  c.kv(0).stabilizer().waitfor(seq.value(), "all",
+                               [&](SeqNum) { gone_everywhere = true; });
+  c.sim.run();
+  EXPECT_TRUE(gone_everywhere);
+}
+
+TEST(WanKv, DefaultOwnerIsDeterministicHash) {
+  sim::Simulator sim;
+  Topology topo;
+  topo.add_node("a", "az");
+  topo.add_node("b", "az");
+  LinkSpec s;
+  topo.set_link_bidir(0, 1, s);
+  SimCluster cluster(topo, sim);
+  StabilizerOptions opts;
+  opts.topology = topo;
+  opts.self = 0;
+  Stabilizer stab(opts, cluster.transport(0));
+  store::LocalStore store;
+  WanKV kv(stab, store);  // default hash owner
+  NodeId o1 = kv.owner_of("somekey");
+  EXPECT_EQ(o1, kv.owner_of("somekey"));
+  EXPECT_LT(o1, 2u);
+}
+
+// Property: random interleaved puts from all owners; after quiescence every
+// node's view of every key is identical (mirror convergence).
+TEST(WanKvProperty, MirrorsConverge) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    KvCluster c(3, 2);
+    Rng rng(seed);
+    for (int i = 0; i < 200; ++i) {
+      NodeId owner = static_cast<NodeId>(rng.next_below(3));
+      std::string key =
+          std::to_string(owner) + ":k" + std::to_string(rng.next_below(10));
+      Bytes value(rng.next_range(0, 64));
+      for (auto& b : value) b = static_cast<uint8_t>(rng.next_u64());
+      ASSERT_TRUE(c.kv(owner).put(key, value).is_ok());
+      if (rng.next_bool(0.2)) c.sim.run_until(c.sim.now() + millis(3));
+    }
+    c.sim.run();
+    for (const std::string& key : c.stores[0]->keys()) {
+      auto v0 = c.kv(0).get(key);
+      for (NodeId n = 1; n < 3; ++n) {
+        auto vn = c.kv(n).get(key);
+        ASSERT_TRUE(vn.has_value()) << key << " missing at node " << n;
+        EXPECT_EQ(v0->version, vn->version) << key;
+        EXPECT_EQ(v0->value, vn->value) << key;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stab::kv

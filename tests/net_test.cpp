@@ -1,0 +1,252 @@
+// Tests for the transports: sim (with topology pipes), in-process threads,
+// and real TCP sockets on loopback.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "config/topology.hpp"
+#include "net/inproc_transport.hpp"
+#include "net/sim_transport.hpp"
+#include "net/tcp_transport.hpp"
+
+namespace stab {
+namespace {
+
+// --- SimCluster -------------------------------------------------------------
+
+TEST(SimCluster, WiresTopologyLatency) {
+  sim::Simulator sim;
+  SimCluster cluster(cloudlab_topology(), sim);
+  auto& t0 = cluster.transport(cloudlab::kUtah1);
+  auto& t2 = cluster.transport(cloudlab::kWisconsin);
+
+  TimePoint got = kTimeZero;
+  t2.set_receive_handler(
+      [&](NodeId src, Bytes, uint64_t) {
+        EXPECT_EQ(src, cloudlab::kUtah1);
+        got = sim.now();
+      });
+  t0.send(cloudlab::kWisconsin, to_bytes("ping"));
+  sim.run();
+  EXPECT_NEAR(to_ms(got), 35.612 / 2, 0.01);
+}
+
+TEST(SimCluster, PipeGroupsShareBandwidth) {
+  Topology topo;
+  NodeId a = topo.add_node("a", "az1");
+  NodeId b = topo.add_node("b", "az2");
+  NodeId c = topo.add_node("c", "az2");
+  LinkSpec s;
+  s.bandwidth_bps = 8e6;
+  s.pipe_group = "to_az2";
+  topo.set_link(a, b, s);
+  topo.set_link(a, c, s);
+
+  sim::Simulator sim;
+  SimCluster cluster(topo, sim);
+  TimePoint at_b = kTimeZero, at_c = kTimeZero;
+  cluster.transport(b).set_receive_handler(
+      [&](NodeId, Bytes, uint64_t) { at_b = sim.now(); });
+  cluster.transport(c).set_receive_handler(
+      [&](NodeId, Bytes, uint64_t) { at_c = sim.now(); });
+
+  cluster.transport(a).send(b, Bytes(), 1'000'000);
+  cluster.transport(a).send(c, Bytes(), 1'000'000);
+  sim.run();
+  EXPECT_EQ(at_b, seconds(1));
+  EXPECT_EQ(at_c, seconds(2));  // shared pipe serialized the transfers
+}
+
+TEST(SimCluster, SelfDescribes) {
+  sim::Simulator sim;
+  SimCluster cluster(ec2_topology(), sim);
+  EXPECT_EQ(cluster.transport(0).self(), 0u);
+  EXPECT_EQ(cluster.transport(0).cluster_size(), 8u);
+  EXPECT_EQ(&cluster.transport(3).env(), &sim);
+}
+
+// --- InProcCluster ----------------------------------------------------------
+
+TEST(InProc, DeliversBetweenThreads) {
+  InProcCluster cluster(3);
+  std::atomic<int> got{0};
+  cluster.transport(1).set_receive_handler(
+      [&](NodeId src, Bytes frame, uint64_t) {
+        EXPECT_EQ(src, 0u);
+        EXPECT_EQ(to_string(frame), "hello");
+        ++got;
+      });
+  cluster.transport(0).send(1, to_bytes("hello"));
+  for (int i = 0; i < 500 && got == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(got.load(), 1);
+}
+
+TEST(InProc, FifoPerPeer) {
+  InProcCluster cluster(2);
+  std::mutex m;
+  std::vector<uint32_t> got;
+  cluster.transport(1).set_receive_handler(
+      [&](NodeId, Bytes frame, uint64_t) {
+        Reader r(frame);
+        std::lock_guard<std::mutex> l(m);
+        got.push_back(r.u32());
+      });
+  const int kCount = 200;
+  for (int i = 0; i < kCount; ++i) {
+    Writer w;
+    w.u32(static_cast<uint32_t>(i));
+    cluster.transport(0).send(1, std::move(w).take());
+  }
+  for (int i = 0; i < 2000; ++i) {
+    {
+      std::lock_guard<std::mutex> l(m);
+      if (got.size() == kCount) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::lock_guard<std::mutex> l(m);
+  ASSERT_EQ(got.size(), static_cast<size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) EXPECT_EQ(got[i], static_cast<uint32_t>(i));
+}
+
+TEST(InProc, AppliesTopologyLatency) {
+  Topology topo;
+  topo.add_node("a", "x");
+  topo.add_node("b", "y");
+  LinkSpec s;
+  s.latency = millis(50);
+  topo.set_link(0, 1, s);
+  InProcCluster cluster(2, &topo);
+  std::atomic<bool> got{false};
+  auto start = std::chrono::steady_clock::now();
+  std::atomic<int64_t> elapsed_ms{0};
+  cluster.transport(1).set_receive_handler([&](NodeId, Bytes, uint64_t) {
+    elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+    got = true;
+  });
+  cluster.transport(0).send(1, to_bytes("x"));
+  for (int i = 0; i < 1000 && !got; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_TRUE(got.load());
+  EXPECT_GE(elapsed_ms.load(), 45);
+}
+
+// --- TcpTransport -----------------------------------------------------------
+
+uint16_t pick_base_port() {
+  // Different per-process-ish base to dodge TIME_WAIT collisions between
+  // test invocations.
+  return static_cast<uint16_t>(20000 + (::getpid() % 500) * 64);
+}
+
+TEST(Tcp, ConnectsAndDelivers) {
+  auto addrs = loopback_addrs(2, pick_base_port());
+  TcpTransport a(0, addrs), b(1, addrs);
+  ASSERT_TRUE(a.wait_connected(seconds(5)));
+  ASSERT_TRUE(b.wait_connected(seconds(5)));
+
+  std::atomic<int> got{0};
+  b.set_receive_handler([&](NodeId src, Bytes frame, uint64_t) {
+    EXPECT_EQ(src, 0u);
+    EXPECT_EQ(to_string(frame), "over tcp");
+    ++got;
+  });
+  a.send(1, to_bytes("over tcp"));
+  for (int i = 0; i < 2000 && got == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(got.load(), 1);
+}
+
+TEST(Tcp, BidirectionalAndFifo) {
+  auto addrs = loopback_addrs(3, static_cast<uint16_t>(pick_base_port() + 8));
+  TcpTransport a(0, addrs), b(1, addrs), c(2, addrs);
+  ASSERT_TRUE(a.wait_connected(seconds(5)));
+  ASSERT_TRUE(b.wait_connected(seconds(5)));
+  ASSERT_TRUE(c.wait_connected(seconds(5)));
+
+  std::mutex m;
+  std::vector<uint32_t> at_c;
+  c.set_receive_handler([&](NodeId src, Bytes frame, uint64_t) {
+    Reader r(frame);
+    uint32_t v = r.u32();
+    std::lock_guard<std::mutex> l(m);
+    if (src == 0) at_c.push_back(v);
+  });
+  std::atomic<int> at_a{0};
+  a.set_receive_handler([&](NodeId src, Bytes, uint64_t) {
+    if (src == 2) ++at_a;
+  });
+
+  const int kCount = 300;
+  for (int i = 0; i < kCount; ++i) {
+    Writer w;
+    w.u32(static_cast<uint32_t>(i));
+    a.send(2, std::move(w).take());
+  }
+  c.send(0, to_bytes("reply"));
+
+  for (int i = 0; i < 5000; ++i) {
+    {
+      std::lock_guard<std::mutex> l(m);
+      if (at_c.size() == kCount && at_a > 0) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::lock_guard<std::mutex> l(m);
+  ASSERT_EQ(at_c.size(), static_cast<size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) EXPECT_EQ(at_c[i], static_cast<uint32_t>(i));
+  EXPECT_GE(at_a.load(), 1);
+}
+
+TEST(Tcp, BuffersWhilePeerDown) {
+  auto addrs = loopback_addrs(2, static_cast<uint16_t>(pick_base_port() + 16));
+  TcpTransport a(0, addrs);
+  // Peer 1 is not up yet; frames must be buffered, not lost.
+  a.send(1, to_bytes("early-1"));
+  a.send(1, to_bytes("early-2"));
+
+  TcpTransport b(1, addrs);
+  std::mutex m;
+  std::vector<std::string> got;
+  b.set_receive_handler([&](NodeId, Bytes frame, uint64_t) {
+    std::lock_guard<std::mutex> l(m);
+    got.push_back(to_string(frame));
+  });
+  for (int i = 0; i < 5000; ++i) {
+    {
+      std::lock_guard<std::mutex> l(m);
+      if (got.size() == 2) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::lock_guard<std::mutex> l(m);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], "early-1");
+  EXPECT_EQ(got[1], "early-2");
+}
+
+TEST(Tcp, LargeFrame) {
+  auto addrs = loopback_addrs(2, static_cast<uint16_t>(pick_base_port() + 24));
+  TcpTransport a(0, addrs), b(1, addrs);
+  ASSERT_TRUE(a.wait_connected(seconds(5)));
+
+  Bytes big(512 * 1024);
+  for (size_t i = 0; i < big.size(); ++i)
+    big[i] = static_cast<uint8_t>(i * 31 + 7);
+  std::atomic<bool> ok{false};
+  b.set_receive_handler([&](NodeId, Bytes frame, uint64_t) {
+    ok = (frame == big);
+  });
+  a.send(1, big);
+  for (int i = 0; i < 5000 && !ok; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(ok.load());
+}
+
+}  // namespace
+}  // namespace stab

@@ -1,0 +1,286 @@
+// Pub/sub broker tests (§V-B): publish/subscribe, active-broker tracking,
+// dynamic predicate reconfiguration (§VI-D), and reliable-broadcast
+// frontiers.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/sim_transport.hpp"
+#include "pubsub/broker.hpp"
+
+namespace stab::pubsub {
+namespace {
+
+struct PubSubFixture {
+  explicit PubSubFixture(Topology topo) : topo_(std::move(topo)) {
+    cluster = std::make_unique<SimCluster>(topo_, sim);
+    for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
+      StabilizerOptions opts;
+      opts.topology = topo_;
+      opts.self = n;
+      stabs.push_back(
+          std::make_unique<Stabilizer>(opts, cluster->transport(n)));
+      brokers.push_back(std::make_unique<Broker>(*stabs.back()));
+    }
+  }
+  Broker& broker(NodeId n) { return *brokers.at(n); }
+
+  Topology topo_;
+  sim::Simulator sim;
+  std::unique_ptr<SimCluster> cluster;
+  std::vector<std::unique_ptr<Stabilizer>> stabs;
+  std::vector<std::unique_ptr<Broker>> brokers;
+};
+
+Topology mesh(size_t n, double lat_ms) {
+  Topology t;
+  for (size_t i = 0; i < n; ++i) t.add_node("b" + std::to_string(i), "az");
+  LinkSpec s;
+  s.latency = from_ms(lat_ms);
+  for (NodeId a = 0; a < n; ++a)
+    for (NodeId b = 0; b < n; ++b)
+      if (a != b) t.set_link(a, b, s);
+  return t;
+}
+
+TEST(PubSub, DeliversToRemoteSubscribers) {
+  PubSubFixture f(mesh(3, 5));
+  std::vector<std::string> got1, got2;
+  f.broker(1).subscribe([&](NodeId origin, SeqNum, BytesView m) {
+    EXPECT_EQ(origin, 0u);
+    got1.push_back(to_string(m));
+  });
+  f.broker(2).subscribe(
+      [&](NodeId, SeqNum, BytesView m) { got2.push_back(to_string(m)); });
+  f.sim.run();  // propagate SUB announcements
+
+  f.broker(0).publish(to_bytes("hello"));
+  f.broker(0).publish(to_bytes("world"));
+  f.sim.run();
+  EXPECT_EQ(got1, (std::vector<std::string>{"hello", "world"}));
+  EXPECT_EQ(got2, got1);
+  EXPECT_EQ(f.broker(1).delivered_to_subscribers(), 2u);
+}
+
+TEST(PubSub, LocalSubscribersGetSynchronousDelivery) {
+  PubSubFixture f(mesh(2, 50));
+  std::vector<std::string> got;
+  f.broker(0).subscribe(
+      [&](NodeId, SeqNum, BytesView m) { got.push_back(to_string(m)); });
+  f.broker(0).publish(to_bytes("local"));
+  // No sim.run() needed: local delivery happens inside publish().
+  EXPECT_EQ(got, (std::vector<std::string>{"local"}));
+}
+
+TEST(PubSub, SubscriptionTransitionsAnnounce) {
+  PubSubFixture f(mesh(3, 1));
+  uint64_t id1 = f.broker(1).subscribe([](NodeId, SeqNum, BytesView) {});
+  uint64_t id2 = f.broker(1).subscribe([](NodeId, SeqNum, BytesView) {});
+  f.sim.run();
+  // Publisher site 0 sees site 1 active.
+  EXPECT_TRUE(f.broker(0).active_sites().count(1));
+  EXPECT_EQ(f.broker(1).local_subscribers(), 2u);
+
+  f.broker(1).unsubscribe(id1);
+  f.sim.run();
+  EXPECT_TRUE(f.broker(0).active_sites().count(1));  // still one subscriber
+
+  f.broker(1).unsubscribe(id2);
+  f.sim.run();
+  EXPECT_FALSE(f.broker(0).active_sites().count(1));
+}
+
+TEST(PubSub, PredicateTracksActiveSites) {
+  PubSubFixture f(mesh(4, 1));
+  EXPECT_EQ(f.broker(0).current_predicate_source(), "MIN($MYWNODE)");
+  f.broker(2).subscribe([](NodeId, SeqNum, BytesView) {});
+  f.broker(3).subscribe([](NodeId, SeqNum, BytesView) {});
+  f.sim.run();
+  EXPECT_EQ(f.broker(0).current_predicate_source(), "MIN($3,$4)");
+  // Publisher's own subscribers don't add itself to its remote list.
+  f.broker(0).subscribe([](NodeId, SeqNum, BytesView) {});
+  f.sim.run();
+  EXPECT_EQ(f.broker(0).current_predicate_source(), "MIN($3,$4)");
+}
+
+TEST(PubSub, ReliableFrontierCoversActiveSitesOnly) {
+  PubSubFixture f(mesh(3, 10));
+  f.broker(1).subscribe([](NodeId, SeqNum, BytesView) {});
+  f.sim.run();
+  // Site 2 has no subscribers: its (lack of) acks must not hold back the
+  // reliable frontier.
+  f.cluster->network().set_node_up(2, false);
+  SeqNum seq = f.broker(0).publish(to_bytes("m"));
+  TimePoint reliable_at = kTimeZero;
+  ASSERT_TRUE(f.broker(0).wait_reliable(seq, [&](SeqNum) {
+    reliable_at = f.sim.now();
+  }));
+  f.sim.run();
+  EXPECT_GT(reliable_at, kTimeZero);
+  EXPECT_EQ(f.broker(0).reliable_frontier(), seq);
+}
+
+TEST(PubSub, DynamicReconfigurationLowersLatency) {
+  // The §VI-D mechanism: while the slow site subscribes, reliability waits
+  // for it; after it unsubscribes, the frontier advances at fast-site speed.
+  Topology topo = mesh(3, 1);
+  LinkSpec slow;
+  slow.latency = from_ms(40);
+  topo.set_link_bidir(0, 2, slow);  // site 2 is slow
+  PubSubFixture f(topo);
+
+  f.broker(1).subscribe([](NodeId, SeqNum, BytesView) {});
+  uint64_t slow_sub = f.broker(2).subscribe([](NodeId, SeqNum, BytesView) {});
+  f.sim.run();
+  EXPECT_EQ(f.broker(0).current_predicate_source(), "MIN($2,$3)");
+
+  TimePoint t0 = f.sim.now();
+  SeqNum s1 = f.broker(0).publish(to_bytes("with-slow"));
+  TimePoint with_slow = kTimeZero;
+  f.broker(0).wait_reliable(s1, [&](SeqNum) { with_slow = f.sim.now(); });
+  f.sim.run();
+  double lat_with = to_ms(with_slow - t0);
+  EXPECT_GE(lat_with, 80.0);  // bounded by the 40ms one-way slow site
+
+  f.broker(2).unsubscribe(slow_sub);
+  f.sim.run();
+  EXPECT_EQ(f.broker(0).current_predicate_source(), "MIN($2)");
+
+  TimePoint t1 = f.sim.now();
+  SeqNum s2 = f.broker(0).publish(to_bytes("without-slow"));
+  TimePoint without_slow = kTimeZero;
+  f.broker(0).wait_reliable(s2, [&](SeqNum) { without_slow = f.sim.now(); });
+  f.sim.run();
+  double lat_without = to_ms(without_slow - t1);
+  EXPECT_LT(lat_without, 10.0);  // now bounded by the 1ms fast site
+  EXPECT_LT(lat_without, lat_with / 4);
+}
+
+// --- multiple topics (paper §V-B's named extension) --------------------------
+
+TEST(PubSubTopics, TopicsIsolateTraffic) {
+  PubSubFixture f(mesh(3, 2));
+  std::vector<std::string> sports, news;
+  f.broker(1).subscribe("sports", [&](NodeId, SeqNum, BytesView m) {
+    sports.push_back(to_string(m));
+  });
+  f.broker(2).subscribe("news", [&](NodeId, SeqNum, BytesView m) {
+    news.push_back(to_string(m));
+  });
+  f.sim.run();
+
+  f.broker(0).publish("sports", to_bytes("goal!"));
+  f.broker(0).publish("news", to_bytes("headline"));
+  f.broker(0).publish("weather", to_bytes("sunny"));  // nobody subscribed
+  f.sim.run();
+  EXPECT_EQ(sports, (std::vector<std::string>{"goal!"}));
+  EXPECT_EQ(news, (std::vector<std::string>{"headline"}));
+}
+
+TEST(PubSubTopics, PerTopicActiveSitesAndPredicates) {
+  PubSubFixture f(mesh(4, 2));
+  f.broker(1).subscribe("a", [](NodeId, SeqNum, BytesView) {});
+  f.broker(2).subscribe("b", [](NodeId, SeqNum, BytesView) {});
+  f.broker(3).subscribe("b", [](NodeId, SeqNum, BytesView) {});
+  f.sim.run();
+  EXPECT_EQ(f.broker(0).current_predicate_source("a"), "MIN($2)");
+  EXPECT_EQ(f.broker(0).current_predicate_source("b"), "MIN($3,$4)");
+  EXPECT_TRUE(f.broker(0).active_sites("a").count(1));
+  EXPECT_FALSE(f.broker(0).active_sites("a").count(2));
+  auto topics = f.broker(0).topics();
+  EXPECT_GE(topics.size(), 3u);  // "", "a", "b"
+}
+
+TEST(PubSubTopics, PerTopicReliability) {
+  Topology topo = mesh(3, 1);
+  LinkSpec slow;
+  slow.latency = from_ms(40);
+  topo.set_link_bidir(0, 2, slow);
+  PubSubFixture f(topo);
+  f.broker(1).subscribe("fast_topic", [](NodeId, SeqNum, BytesView) {});
+  f.broker(2).subscribe("slow_topic", [](NodeId, SeqNum, BytesView) {});
+  f.sim.run();
+
+  TimePoint t0 = f.sim.now();
+  SeqNum s1 = f.broker(0).publish("fast_topic", to_bytes("x"));
+  SeqNum s2 = f.broker(0).publish("slow_topic", to_bytes("y"));
+  TimePoint fast_at = kTimeZero, slow_at = kTimeZero;
+  f.broker(0).wait_reliable(s1, [&](SeqNum) { fast_at = f.sim.now(); },
+                            "fast_topic");
+  f.broker(0).wait_reliable(s2, [&](SeqNum) { slow_at = f.sim.now(); },
+                            "slow_topic");
+  f.sim.run();
+  EXPECT_LT(to_ms(fast_at - t0), 10.0);   // only site 1's ack needed
+  EXPECT_GT(to_ms(slow_at - t0), 75.0);   // gated by the 40 ms site
+}
+
+TEST(PubSubTopics, UnsubscribeIsPerTopic) {
+  PubSubFixture f(mesh(2, 1));
+  uint64_t a = f.broker(1).subscribe("a", [](NodeId, SeqNum, BytesView) {});
+  f.broker(1).subscribe("b", [](NodeId, SeqNum, BytesView) {});
+  f.sim.run();
+  f.broker(1).unsubscribe(a);
+  f.sim.run();
+  EXPECT_FALSE(f.broker(0).active_sites("a").count(1));
+  EXPECT_TRUE(f.broker(0).active_sites("b").count(1));
+  EXPECT_EQ(f.broker(1).local_subscribers("a"), 0u);
+  EXPECT_EQ(f.broker(1).local_subscribers("b"), 1u);
+}
+
+// --- persistence (paper §V-B's other named extension) -------------------------
+
+TEST(PubSubPersistence, MessagesPersistBeforeDelivery) {
+  Topology topo = mesh(2, 5);
+  sim::Simulator sim;
+  SimCluster cluster(topo, sim);
+  store::LocalStore store0, store1;
+  StabilizerOptions opts0, opts1;
+  opts0.topology = opts1.topology = topo;
+  opts0.self = 0;
+  opts1.self = 1;
+  Stabilizer s0(opts0, cluster.transport(0));
+  Stabilizer s1(opts1, cluster.transport(1));
+  BrokerOptions b0, b1;
+  b0.persistence = &store0;
+  b1.persistence = &store1;
+  Broker pub(s0, b0), sub(s1, b1);
+
+  sub.subscribe("t", [](NodeId, SeqNum, BytesView) {});
+  sim.run();
+  SeqNum seq = pub.publish("t", to_bytes("durable message"));
+  sim.run();
+
+  // Both ends persisted the message under its stream coordinates.
+  std::string key = "pubsub/t/0/" + std::to_string(seq);
+  ASSERT_TRUE(store0.contains(key));
+  ASSERT_TRUE(store1.contains(key));
+  EXPECT_EQ(to_string(store1.get(key)->value), "durable message");
+  EXPECT_GE(pub.persisted_messages(), 1u);
+
+  // The persisted level is reported, so durability-aware predicates work.
+  ASSERT_TRUE(s0.register_predicate(
+      "durable", "MIN(($ALLWNODES-$MYWNODE).persisted)"));
+  sim.run();
+  EXPECT_GE(s0.get_stability_frontier("durable"), seq);
+}
+
+TEST(PubSub, ManyMessagesSaturateAndDeliverAll) {
+  Topology topo = mesh(2, 2);
+  LinkSpec s;
+  s.latency = from_ms(2);
+  s.bandwidth_bps = mbps(100);
+  topo.set_link_bidir(0, 1, s);
+  PubSubFixture f(topo);
+  size_t got = 0;
+  f.broker(1).subscribe([&](NodeId, SeqNum, BytesView) { ++got; });
+  f.sim.run();
+  const int kCount = 500;
+  Bytes msg(8 * 1024, 0x5a);
+  for (int i = 0; i < kCount; ++i) f.broker(0).publish(msg);
+  f.sim.run();
+  EXPECT_EQ(got, static_cast<size_t>(kCount));
+  EXPECT_EQ(f.broker(0).published(), static_cast<uint64_t>(kCount));
+}
+
+}  // namespace
+}  // namespace stab::pubsub

@@ -1,0 +1,132 @@
+// PulsarLite baseline tests: forwarding, acks, GC pause model, and the
+// original-Pulsar drop behaviour vs the paper's buffering patch.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/sim_transport.hpp"
+#include "pulsar/pulsar_lite.hpp"
+
+namespace stab::pulsar {
+namespace {
+
+Topology mesh(size_t n, double lat_ms, double bw_mbps = 0) {
+  Topology t;
+  for (size_t i = 0; i < n; ++i) t.add_node("pl" + std::to_string(i), "az");
+  LinkSpec s;
+  s.latency = from_ms(lat_ms);
+  if (bw_mbps > 0) s.bandwidth_bps = mbps(bw_mbps);
+  for (NodeId a = 0; a < n; ++a)
+    for (NodeId b = 0; b < n; ++b)
+      if (a != b) t.set_link(a, b, s);
+  return t;
+}
+
+struct PulsarFixture {
+  PulsarFixture(Topology topo, PulsarOptions base = {}) : topo_(std::move(topo)) {
+    cluster = std::make_unique<SimCluster>(topo_, sim);
+    for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
+      PulsarOptions opts = base;
+      opts.self = n;
+      opts.brokers.clear();
+      for (NodeId m = 0; m < topo_.num_nodes(); ++m) opts.brokers.push_back(m);
+      brokers.push_back(
+          std::make_unique<PulsarBroker>(opts, cluster->transport(n)));
+    }
+  }
+  PulsarBroker& broker(NodeId n) { return *brokers.at(n); }
+
+  Topology topo_;
+  sim::Simulator sim;
+  std::unique_ptr<SimCluster> cluster;
+  std::vector<std::unique_ptr<PulsarBroker>> brokers;
+};
+
+TEST(PulsarLite, ForwardsToRemoteSubscribers) {
+  PulsarFixture f(mesh(3, 5));
+  std::vector<std::string> got;
+  f.broker(1).subscribe([&](NodeId origin, uint64_t, BytesView m) {
+    EXPECT_EQ(origin, 0u);
+    got.push_back(to_string(m));
+  });
+  f.broker(0).publish(to_bytes("m1"));
+  f.broker(0).publish(to_bytes("m2"));
+  f.sim.run();
+  EXPECT_EQ(got, (std::vector<std::string>{"m1", "m2"}));
+  EXPECT_EQ(f.broker(1).delivered(), 2u);
+}
+
+TEST(PulsarLite, AcksFlowBackToOrigin) {
+  PulsarFixture f(mesh(2, 10));
+  f.broker(1).subscribe([](NodeId, uint64_t, BytesView) {});
+  std::vector<std::pair<NodeId, uint64_t>> acks;
+  f.broker(0).set_ack_handler(
+      [&](NodeId site, uint64_t id) { acks.emplace_back(site, id); });
+  uint64_t id = f.broker(0).publish(to_bytes("x"));
+  f.sim.run();
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0].first, 1u);
+  EXPECT_EQ(acks[0].second, id);
+  // e2e latency ≈ 2 * one-way + processing.
+  EXPECT_GE(to_ms(f.sim.now()), 20.0);
+}
+
+TEST(PulsarLite, ProcessingDelayQueuesAtHighRate) {
+  PulsarOptions base;
+  base.proc_delay = millis(1);  // exaggerated CPU cost
+  PulsarFixture f(mesh(2, 0), base);
+  TimePoint last_delivery = kTimeZero;
+  f.broker(1).subscribe(
+      [&](NodeId, uint64_t, BytesView) { last_delivery = f.sim.now(); });
+  for (int i = 0; i < 100; ++i) f.broker(0).publish(to_bytes("m"));
+  f.sim.run();
+  // 100 messages through two serial 1ms stages: >= 100ms of queueing.
+  EXPECT_GE(to_ms(last_delivery), 100.0);
+}
+
+TEST(PulsarLite, GcPausesAccumulate) {
+  PulsarOptions base;
+  base.gc_alloc_per_msg = 1 << 20;   // 1 MB garbage per message
+  base.gc_heap_budget = 8 << 20;     // pause every 8 messages
+  PulsarFixture f(mesh(2, 1), base);
+  f.broker(1).subscribe([](NodeId, uint64_t, BytesView) {});
+  for (int i = 0; i < 64; ++i) f.broker(0).publish(to_bytes("m"));
+  f.sim.run();
+  EXPECT_GE(f.broker(0).gc_pauses() + f.broker(1).gc_pauses(), 8u);
+  EXPECT_GT(f.broker(0).total_gc_time() + f.broker(1).total_gc_time(),
+            Duration::zero());
+}
+
+TEST(PulsarLite, OriginalDropsWhenLinkSlow) {
+  PulsarOptions base;
+  base.buffer_when_slow = false;           // original Pulsar behaviour
+  base.slow_link_outstanding_cap = 64 * 1024;
+  // Slow link: 1 Mbit/s.
+  PulsarFixture f(mesh(2, 5, /*bw_mbps=*/1), base);
+  size_t got = 0;
+  f.broker(1).subscribe([&](NodeId, uint64_t, BytesView) { ++got; });
+  Bytes msg(8 * 1024, 1);
+  for (int i = 0; i < 200; ++i) f.broker(0).publish(msg);
+  f.sim.run();
+  EXPECT_GT(f.broker(0).dropped(), 0u);
+  EXPECT_LT(got, 200u);
+}
+
+TEST(PulsarLite, PatchedVersionBuffersEverything) {
+  PulsarOptions base;
+  base.buffer_when_slow = true;  // the paper's patch
+  PulsarFixture f(mesh(2, 5, /*bw_mbps=*/1), base);
+  std::vector<uint64_t> got;
+  f.broker(1).subscribe(
+      [&](NodeId, uint64_t id, BytesView) { got.push_back(id); });
+  Bytes msg(8 * 1024, 1);
+  for (int i = 0; i < 200; ++i) f.broker(0).publish(msg);
+  f.sim.run();
+  EXPECT_EQ(f.broker(0).dropped(), 0u);
+  ASSERT_EQ(got.size(), 200u);
+  // Sender order preserved.
+  for (size_t i = 1; i < got.size(); ++i) EXPECT_EQ(got[i], got[i - 1] + 1);
+}
+
+}  // namespace
+}  // namespace stab::pulsar

@@ -1,0 +1,239 @@
+// Quorum protocol tests (§IV-B): configuration validation, write-quorum
+// semantics via the KTH_MIN predicate, read-sees-latest-committed-write, and
+// the CloudLab Fig 3 setup's latency behaviour.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "net/sim_transport.hpp"
+#include "quorum/quorum_kv.hpp"
+
+namespace stab::quorum {
+namespace {
+
+struct QuorumFixture {
+  QuorumFixture(Topology topo, QuorumOptions qopts) : topo_(std::move(topo)) {
+    cluster = std::make_unique<SimCluster>(topo_, sim);
+    for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
+      StabilizerOptions opts;
+      opts.topology = topo_;
+      opts.self = n;
+      stabs.push_back(
+          std::make_unique<Stabilizer>(opts, cluster->transport(n)));
+      nodes.push_back(std::make_unique<QuorumNode>(*stabs.back(), qopts));
+    }
+  }
+  QuorumNode& node(NodeId n) { return *nodes.at(n); }
+
+  Topology topo_;
+  sim::Simulator sim;
+  std::unique_ptr<SimCluster> cluster;
+  std::vector<std::unique_ptr<Stabilizer>> stabs;
+  std::vector<std::unique_ptr<QuorumNode>> nodes;
+};
+
+Topology mesh(size_t n, double lat_ms) {
+  Topology t;
+  for (size_t i = 0; i < n; ++i) t.add_node("q" + std::to_string(i), "az");
+  LinkSpec s;
+  s.latency = from_ms(lat_ms);
+  for (NodeId a = 0; a < n; ++a)
+    for (NodeId b = 0; b < n; ++b)
+      if (a != b) t.set_link(a, b, s);
+  return t;
+}
+
+TEST(QuorumConfig, RejectsNonIntersectingQuorums) {
+  sim::Simulator sim;
+  Topology topo = mesh(3, 1);
+  SimCluster cluster(topo, sim);
+  StabilizerOptions opts;
+  opts.topology = topo;
+  opts.self = 0;
+  Stabilizer stab(opts, cluster.transport(0));
+
+  QuorumOptions q;
+  q.servers = {0, 1, 2};
+  q.read_quorum = 1;
+  q.write_quorum = 2;  // 1 + 2 == 3: no intersection
+  EXPECT_THROW(QuorumNode(stab, q), std::invalid_argument);
+  q.read_quorum = 0;
+  q.write_quorum = 2;
+  EXPECT_THROW(QuorumNode(stab, q), std::invalid_argument);
+  q.read_quorum = 4;
+  EXPECT_THROW(QuorumNode(stab, q), std::invalid_argument);
+  q.servers.clear();
+  EXPECT_THROW(QuorumNode(stab, q), std::invalid_argument);
+}
+
+TEST(QuorumConfig, BuildsWritePredicateFromServers) {
+  sim::Simulator sim;
+  Topology topo = mesh(4, 1);
+  SimCluster cluster(topo, sim);
+  StabilizerOptions opts;
+  opts.topology = topo;
+  opts.self = 0;
+  Stabilizer stab(opts, cluster.transport(0));
+  QuorumOptions q;
+  q.servers = {0, 2, 3};
+  q.read_quorum = 2;
+  q.write_quorum = 2;
+  QuorumNode node(stab, q);
+  EXPECT_EQ(node.write_predicate(), "KTH_MAX(2,$1,$3,$4)");
+  EXPECT_TRUE(node.is_server());
+}
+
+TEST(Quorum, WriteCompletesAtWriteQuorum) {
+  QuorumOptions q;
+  q.servers = {0, 1, 2};
+  q.read_quorum = 2;
+  q.write_quorum = 2;
+  QuorumFixture f(mesh(3, 10), q);
+
+  TimePoint committed_at = kTimeZero;
+  uint64_t version = 0;
+  f.node(0).write("k", to_bytes("v"), [&](uint64_t v) {
+    committed_at = f.sim.now();
+    version = v;
+  });
+  f.sim.run();
+  EXPECT_GT(version, 0u);
+  // Version-read round (RTT 20ms: self + one remote) + write round: the
+  // writer counts itself via the origin rule, so one more server ack is
+  // needed — one-way 10ms + ack interval + 10ms back.
+  EXPECT_GE(to_ms(committed_at), 40.0);
+  EXPECT_LE(to_ms(committed_at), 48.0);
+}
+
+TEST(Quorum, ReadSeesCommittedWrite) {
+  QuorumOptions q;
+  q.servers = {0, 1, 2};
+  q.read_quorum = 2;
+  q.write_quorum = 2;
+  QuorumFixture f(mesh(4, 5), q);
+
+  bool write_done = false;
+  f.node(3).write("k", to_bytes("value-1"), [&](uint64_t) {
+    write_done = true;
+    // Read from a different node after the write committed.
+    f.node(0).read("k", [&](ReadResult r) {
+      EXPECT_TRUE(r.found);
+      EXPECT_EQ(to_string(r.value), "value-1");
+      EXPECT_GE(r.responses, 2u);
+      write_done = true;
+    });
+  });
+  f.sim.run();
+  EXPECT_TRUE(write_done);
+}
+
+TEST(Quorum, ReadMissingKey) {
+  QuorumOptions q;
+  q.servers = {0, 1, 2};
+  q.read_quorum = 2;
+  q.write_quorum = 2;
+  QuorumFixture f(mesh(3, 5), q);
+  bool done = false;
+  f.node(0).read("nope", [&](ReadResult r) {
+    EXPECT_FALSE(r.found);
+    done = true;
+  });
+  f.sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Quorum, LatestVersionWinsAcrossWriters) {
+  QuorumOptions q;
+  q.servers = {0, 1, 2};
+  q.read_quorum = 2;
+  q.write_quorum = 2;
+  QuorumFixture f(mesh(3, 5), q);
+
+  // Sequential writes from different writers; later must win.
+  f.node(0).write("k", to_bytes("from-0"), [&](uint64_t) {
+    f.node(1).write("k", to_bytes("from-1"), [&](uint64_t) {
+      f.node(2).read("k", [&](ReadResult r) {
+        ASSERT_TRUE(r.found);
+        EXPECT_EQ(to_string(r.value), "from-1");
+      });
+    });
+  });
+  f.sim.run();
+}
+
+TEST(Quorum, Fig3SetupReadLatencyTracksSecondFastestServer) {
+  // Fig 3: quorum servers UT1, WI, CLEM; writer UT2, reader UT1; Nr=Nw=2.
+  // The read completes when the 2nd response arrives: UT1 locally (0 ms) +
+  // the faster of WI (35.6 RTT) / CLEM (50.9 RTT) => ~RTT(WI).
+  Topology topo = cloudlab_topology();
+  QuorumOptions q;
+  q.servers = {cloudlab::kUtah1, cloudlab::kWisconsin, cloudlab::kClemson};
+  q.read_quorum = 2;
+  q.write_quorum = 2;
+  QuorumFixture f(topo, q);
+
+  f.node(cloudlab::kUtah2).write("obj", to_bytes("x"), [](uint64_t) {});
+  f.sim.run();
+
+  TimePoint start = f.sim.now();
+  TimePoint done = kTimeZero;
+  f.node(cloudlab::kUtah1).read("obj", [&](ReadResult r) {
+    EXPECT_TRUE(r.found);
+    done = f.sim.now();
+  });
+  f.sim.run();
+  double latency_ms = to_ms(done - start);
+  EXPECT_NEAR(latency_ms, 35.612, 2.0);  // ≈ RTT of Wisconsin
+}
+
+TEST(Quorum, ServersStoreReplicas) {
+  QuorumOptions q;
+  q.servers = {0, 1};
+  q.read_quorum = 1;
+  q.write_quorum = 2;
+  QuorumFixture f(mesh(2, 1), q);
+  f.node(0).write("k", to_bytes("v"), [](uint64_t) {});
+  f.sim.run();
+  auto at1 = f.node(1).local_value("k");
+  ASSERT_TRUE(at1.has_value());
+  EXPECT_EQ(to_string(at1->second), "v");
+}
+
+// Property: quorum intersection — any committed write is visible to every
+// subsequent quorum read, across random quorum configurations.
+TEST(QuorumProperty, CommittedWritesAlwaysVisible) {
+  Rng rng(42);
+  for (int iter = 0; iter < 10; ++iter) {
+    size_t n = 3 + rng.next_below(3);           // 3..5 servers
+    size_t nw = 1 + rng.next_below(n);          // 1..n
+    size_t nr = n - nw + 1;                     // minimal intersecting read
+    QuorumOptions q;
+    for (NodeId i = 0; i < n; ++i) q.servers.push_back(i);
+    q.read_quorum = nr;
+    q.write_quorum = nw;
+    QuorumFixture f(mesh(n, 1 + rng.next_below(20)), q);
+
+    int committed = 0, verified = 0;
+    for (int w = 0; w < 5; ++w) {
+      std::string value = "v" + std::to_string(w);
+      f.node(static_cast<NodeId>(rng.next_below(n)))
+          .write("key", to_bytes(value), [&, value](uint64_t) {
+            ++committed;
+            f.node(static_cast<NodeId>(rng.next_below(n)))
+                .read("key", [&, value](ReadResult r) {
+                  ASSERT_TRUE(r.found);
+                  // Read must see this write or a newer one.
+                  EXPECT_GE(to_string(r.value).back(), value.back());
+                  ++verified;
+                });
+          });
+      f.sim.run();
+    }
+    EXPECT_EQ(committed, 5);
+    EXPECT_EQ(verified, 5);
+  }
+}
+
+}  // namespace
+}  // namespace stab::quorum

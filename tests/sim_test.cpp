@@ -1,0 +1,309 @@
+// Unit and property tests for the deterministic simulator and the simulated
+// WAN (latency, bandwidth pipes, FIFO, fault injection).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace stab::sim {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), kTimeZero);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_after(millis(30), [&] { order.push_back(3); });
+  s.schedule_after(millis(10), [&] { order.push_back(1); });
+  s.schedule_after(millis(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), millis(30));
+}
+
+TEST(Simulator, EqualTimestampsFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    s.schedule_after(millis(5), [&, i] { order.push_back(i); });
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_after(millis(10), [&] {
+    order.push_back(1);
+    s.schedule_after(millis(10), [&] { order.push_back(2); });
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(s.now(), millis(20));
+}
+
+TEST(Simulator, CancelRemovesEvent) {
+  Simulator s;
+  int fired = 0;
+  TimerId id = s.schedule_after(millis(10), [&] { ++fired; });
+  s.cancel(id);
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator s;
+  int fired = 0;
+  TimerId id = s.schedule_after(millis(10), [&] { ++fired; });
+  s.run();
+  s.cancel(id);  // must not crash or corrupt
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, RunUntilAdvancesClockPastQuietPeriod) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_after(millis(10), [&] { ++fired; });
+  s.run_until(millis(500));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), millis(500));
+}
+
+TEST(Simulator, RunUntilDoesNotRunLaterEvents) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_after(millis(100), [&] { ++fired; });
+  s.run_until(millis(50));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(s.pending_events(), 1u);
+}
+
+TEST(Simulator, RunUntilPred) {
+  Simulator s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i)
+    s.schedule_after(millis(i * 10), [&] { ++count; });
+  bool ok = s.run_until_pred([&] { return count >= 5; }, millis(10000));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulator, RunUntilPredDeadline) {
+  Simulator s;
+  bool never = false;
+  s.schedule_after(seconds(100), [&] { never = true; });
+  bool ok = s.run_until_pred([&] { return never; }, seconds(1));
+  EXPECT_FALSE(ok);
+}
+
+TEST(Simulator, SchedulingInPastClampsToNow) {
+  Simulator s;
+  s.schedule_after(millis(10), [&] {
+    // negative delay must not rewind the clock
+    s.schedule_after(millis(-5), [] {});
+  });
+  s.run();
+  EXPECT_EQ(s.now(), millis(10));
+}
+
+// --- SimNetwork -------------------------------------------------------------
+
+struct Delivery {
+  NodeId src;
+  TimePoint at;
+  Bytes frame;
+};
+
+class SimNetworkTest : public ::testing::Test {
+ protected:
+  SimNetworkTest() : net_(sim_, 3) {
+    for (NodeId n = 0; n < 3; ++n) {
+      net_.set_delivery_handler(n, [this, n](NodeId src, Bytes f, uint64_t) {
+        got_[n].push_back(Delivery{src, sim_.now(), std::move(f)});
+      });
+    }
+  }
+  Simulator sim_;
+  SimNetwork net_;
+  std::vector<Delivery> got_[3];
+};
+
+TEST_F(SimNetworkTest, LatencyOnlyDelivery) {
+  LinkParams p;
+  p.latency = millis(10);
+  net_.set_link(0, 1, p);
+  net_.send(0, 1, to_bytes("hi"));
+  sim_.run();
+  ASSERT_EQ(got_[1].size(), 1u);
+  EXPECT_EQ(got_[1][0].at, millis(10));
+  EXPECT_EQ(to_string(got_[1][0].frame), "hi");
+}
+
+TEST_F(SimNetworkTest, BandwidthAddsTransmitTime) {
+  LinkParams p;
+  p.latency = millis(10);
+  p.bandwidth_bps = 8e6;  // 1 MB/s
+  net_.set_link(0, 1, p);
+  net_.send(0, 1, Bytes(), /*wire_size=*/1'000'000);  // 1 MB -> 1 s
+  sim_.run();
+  ASSERT_EQ(got_[1].size(), 1u);
+  EXPECT_EQ(got_[1][0].at, seconds(1) + millis(10));
+}
+
+TEST_F(SimNetworkTest, BackToBackSendsSerializeOnPipe) {
+  LinkParams p;
+  p.latency = millis(0);
+  p.bandwidth_bps = 8e6;
+  net_.set_link(0, 1, p);
+  net_.send(0, 1, Bytes(), 1'000'000);
+  net_.send(0, 1, Bytes(), 1'000'000);
+  sim_.run();
+  ASSERT_EQ(got_[1].size(), 2u);
+  EXPECT_EQ(got_[1][0].at, seconds(1));
+  EXPECT_EQ(got_[1][1].at, seconds(2));
+}
+
+TEST_F(SimNetworkTest, SharedPipeContends) {
+  int pipe = net_.make_pipe(8e6);
+  LinkParams p;
+  p.pipe = pipe;
+  net_.set_link(0, 1, p);
+  net_.set_link(0, 2, p);
+  net_.send(0, 1, Bytes(), 1'000'000);
+  net_.send(0, 2, Bytes(), 1'000'000);
+  sim_.run();
+  ASSERT_EQ(got_[1].size(), 1u);
+  ASSERT_EQ(got_[2].size(), 1u);
+  EXPECT_EQ(got_[1][0].at, seconds(1));
+  EXPECT_EQ(got_[2][0].at, seconds(2));  // waited for the shared pipe
+}
+
+TEST_F(SimNetworkTest, DedicatedPipesDoNotContend) {
+  LinkParams p;
+  p.bandwidth_bps = 8e6;
+  net_.set_link(0, 1, p);
+  net_.set_link(0, 2, p);
+  net_.send(0, 1, Bytes(), 1'000'000);
+  net_.send(0, 2, Bytes(), 1'000'000);
+  sim_.run();
+  EXPECT_EQ(got_[1][0].at, seconds(1));
+  EXPECT_EQ(got_[2][0].at, seconds(1));
+}
+
+TEST_F(SimNetworkTest, FifoPerLink) {
+  LinkParams p;
+  p.latency = millis(5);
+  p.bandwidth_bps = 1e6;
+  net_.set_link(0, 1, p);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    Writer w;
+    w.u32(static_cast<uint32_t>(i));
+    net_.send(0, 1, std::move(w).take(), rng.next_range(10, 5000));
+  }
+  sim_.run();
+  ASSERT_EQ(got_[1].size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    Reader r(got_[1][i].frame);
+    EXPECT_EQ(r.u32(), static_cast<uint32_t>(i));
+    if (i > 0) {
+      EXPECT_GE(got_[1][i].at, got_[1][i - 1].at);
+    }
+  }
+}
+
+TEST_F(SimNetworkTest, LinkDownDropsSilently) {
+  LinkParams p;
+  p.latency = millis(1);
+  net_.set_link(0, 1, p);
+  net_.set_link_up(0, 1, false);
+  auto res = net_.send(0, 1, to_bytes("x"));
+  EXPECT_FALSE(res.has_value());
+  sim_.run();
+  EXPECT_TRUE(got_[1].empty());
+  EXPECT_EQ(net_.frames_dropped(), 1u);
+
+  net_.set_link_up(0, 1, true);
+  net_.send(0, 1, to_bytes("y"));
+  sim_.run();
+  EXPECT_EQ(got_[1].size(), 1u);
+}
+
+TEST_F(SimNetworkTest, NodeDownDropsInFlight) {
+  LinkParams p;
+  p.latency = millis(10);
+  net_.set_link(0, 1, p);
+  net_.send(0, 1, to_bytes("x"));
+  net_.set_node_up(1, false);  // goes down while frame is in flight
+  sim_.run();
+  EXPECT_TRUE(got_[1].empty());
+  EXPECT_EQ(net_.frames_dropped(), 1u);
+}
+
+TEST_F(SimNetworkTest, DropProbabilityIsApplied) {
+  LinkParams p;
+  net_.set_link(0, 1, p);
+  net_.set_drop_probability(0, 1, 0.5);
+  net_.set_drop_rng_seed(99);
+  const int kSends = 2000;
+  for (int i = 0; i < kSends; ++i) net_.send(0, 1, Bytes{1});
+  sim_.run();
+  double rate = static_cast<double>(got_[1].size()) / kSends;
+  EXPECT_GT(rate, 0.4);
+  EXPECT_LT(rate, 0.6);
+}
+
+TEST_F(SimNetworkTest, UnconfiguredLinkThrows) {
+  EXPECT_THROW(net_.send(0, 1, Bytes{}), std::out_of_range);
+}
+
+TEST_F(SimNetworkTest, AccountsBytesSent) {
+  LinkParams p;
+  net_.set_link(0, 1, p);
+  net_.send(0, 1, Bytes(100), 500);
+  net_.send(0, 1, Bytes(50));
+  sim_.run();
+  EXPECT_EQ(net_.bytes_sent(0, 1), 550u);
+  EXPECT_EQ(net_.frames_delivered(1), 2u);
+}
+
+// Property: on a lossless link, delivery time = queueing-aware analytic
+// formula, for random message sizes.
+TEST(SimNetworkProperty, DeliveryMatchesAnalyticModel) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Simulator sim;
+    SimNetwork net(sim, 2);
+    LinkParams p;
+    p.latency = millis(7);
+    p.bandwidth_bps = 2e6;
+    net.set_link(0, 1, p);
+    std::vector<TimePoint> deliveries;
+    net.set_delivery_handler(
+        1, [&](NodeId, Bytes, uint64_t) { deliveries.push_back(sim.now()); });
+
+    Rng rng(seed);
+    TimePoint busy = kTimeZero;
+    std::vector<TimePoint> expected;
+    for (int i = 0; i < 100; ++i) {
+      uint64_t size = static_cast<uint64_t>(rng.next_range(1, 100000));
+      TimePoint start = std::max(sim.now(), busy);
+      Duration xmit = transmit_time(size, 2e6);
+      busy = start + xmit;
+      expected.push_back(busy + millis(7));
+      net.send(0, 1, Bytes(), size);
+    }
+    sim.run();
+    ASSERT_EQ(deliveries.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i)
+      EXPECT_EQ(deliveries[i], expected[i]) << "message " << i;
+  }
+}
+
+}  // namespace
+}  // namespace stab::sim

@@ -1,0 +1,206 @@
+// Local object store tests: versioning, temporal reads, WAL persistence and
+// crash recovery (including corrupted-tail truncation).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "store/local_store.hpp"
+
+namespace stab::store {
+namespace {
+
+std::string temp_wal(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("stab_store_test_" + tag + "_" + std::to_string(::getpid()) +
+           ".wal"))
+      .string();
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC-32 of "123456789" is 0xCBF43926.
+  Bytes data = to_bytes("123456789");
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+  EXPECT_EQ(crc32(Bytes{}), 0u);
+}
+
+TEST(LocalStore, PutGetVersions) {
+  LocalStore s;
+  EXPECT_EQ(s.put("k", to_bytes("v1")), 1u);
+  EXPECT_EQ(s.put("k", to_bytes("v2")), 2u);
+  EXPECT_EQ(s.put("other", to_bytes("x")), 1u);  // versions are per key
+
+  auto latest = s.get("k");
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->version, 2u);
+  EXPECT_EQ(to_string(latest->value), "v2");
+
+  auto v1 = s.get_version("k", 1);
+  ASSERT_TRUE(v1.has_value());
+  EXPECT_EQ(to_string(v1->value), "v1");
+  EXPECT_FALSE(s.get_version("k", 9).has_value());
+  EXPECT_FALSE(s.get("missing").has_value());
+}
+
+TEST(LocalStore, GetByTime) {
+  LocalStore s;
+  s.put("k", to_bytes("at10"), millis(10));
+  s.put("k", to_bytes("at20"), millis(20));
+  s.put("k", to_bytes("at30"), millis(30));
+
+  EXPECT_FALSE(s.get_by_time("k", millis(5)).has_value());
+  EXPECT_EQ(to_string(s.get_by_time("k", millis(10))->value), "at10");
+  EXPECT_EQ(to_string(s.get_by_time("k", millis(25))->value), "at20");
+  EXPECT_EQ(to_string(s.get_by_time("k", millis(99))->value), "at30");
+}
+
+TEST(LocalStore, EraseAndAccounting) {
+  LocalStore s;
+  s.put("a", to_bytes("12345"));
+  s.put("a", to_bytes("678"));
+  s.put("b", to_bytes("yy"));
+  EXPECT_EQ(s.total_value_bytes(), 10u);
+  EXPECT_EQ(s.num_keys(), 2u);
+  EXPECT_TRUE(s.erase("a"));
+  EXPECT_FALSE(s.erase("a"));
+  EXPECT_EQ(s.total_value_bytes(), 2u);
+  EXPECT_FALSE(s.contains("a"));
+  EXPECT_EQ(s.keys(), (std::vector<std::string>{"b"}));
+}
+
+TEST(LocalStore, PutAtVersionEnforcesMonotonicity) {
+  LocalStore s;
+  s.put_at_version("k", to_bytes("v5"), kTimeZero, 5);
+  EXPECT_THROW(s.put_at_version("k", to_bytes("v5"), kTimeZero, 5),
+               std::logic_error);
+  EXPECT_THROW(s.put_at_version("k", to_bytes("v4"), kTimeZero, 4),
+               std::logic_error);
+  s.put_at_version("k", to_bytes("v9"), kTimeZero, 9);
+  EXPECT_EQ(s.get("k")->version, 9u);
+}
+
+TEST(LocalStore, WalRecovery) {
+  std::string path = temp_wal("recovery");
+  std::remove(path.c_str());
+  {
+    LocalStore s(path);
+    s.put("k1", to_bytes("hello"), millis(7));
+    s.put("k1", to_bytes("world"), millis(9));
+    s.put("k2", to_bytes("zzz"));
+    s.erase("k2");
+    EXPECT_EQ(s.wal_records_written(), 4u);
+  }
+  auto recovered = LocalStore::recover(path);
+  ASSERT_TRUE(recovered.is_ok()) << recovered.message();
+  LocalStore& s = recovered.value();
+  EXPECT_EQ(s.num_keys(), 1u);
+  auto v = s.get("k1");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->version, 2u);
+  EXPECT_EQ(to_string(v->value), "world");
+  EXPECT_EQ(v->timestamp, millis(9));
+  EXPECT_FALSE(s.contains("k2"));
+  // The recovered store keeps logging.
+  s.put("k3", to_bytes("new"));
+  auto again = LocalStore::recover(path);
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_TRUE(again.value().contains("k3"));
+  std::remove(path.c_str());
+}
+
+TEST(LocalStore, RecoveryTruncatesCorruptedTail) {
+  std::string path = temp_wal("corrupt");
+  std::remove(path.c_str());
+  {
+    LocalStore s(path);
+    s.put("good", to_bytes("data"));
+    s.put("partial", to_bytes("will-be-corrupted"));
+  }
+  // Corrupt the last few bytes (the CRC of the final record).
+  {
+    FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, -2, SEEK_END);
+    uint8_t junk = 0xFF;
+    std::fwrite(&junk, 1, 1, f);
+    std::fclose(f);
+  }
+  auto recovered = LocalStore::recover(path);
+  ASSERT_TRUE(recovered.is_ok());
+  EXPECT_TRUE(recovered.value().contains("good"));
+  EXPECT_FALSE(recovered.value().contains("partial"));
+  std::remove(path.c_str());
+}
+
+TEST(LocalStore, CompactionShrinksWalAndPreservesState) {
+  std::string path = temp_wal("compact_shrink");
+  std::remove(path.c_str());
+  {
+    LocalStore s(path);
+    for (int i = 0; i < 50; ++i)
+      s.put("hot", to_bytes("value-" + std::to_string(i)), millis(i));
+    s.put("gone", to_bytes("x"));
+    s.erase("gone");
+    uintmax_t before = std::filesystem::file_size(path);
+    ASSERT_TRUE(s.compact());
+    uintmax_t after = std::filesystem::file_size(path);
+    EXPECT_LT(after, before);  // overwrite history + erased key dropped?
+    // No: compaction keeps all retained versions of "hot"; the shrink comes
+    // from dropping "gone"'s put+erase pair — still strictly smaller.
+    // Logging continues after compaction.
+    s.put("post", to_bytes("y"));
+  }
+  auto recovered = LocalStore::recover(path);
+  ASSERT_TRUE(recovered.is_ok()) << recovered.message();
+  LocalStore& s = recovered.value();
+  EXPECT_FALSE(s.contains("gone"));
+  EXPECT_TRUE(s.contains("post"));
+  auto hot = s.get("hot");
+  ASSERT_TRUE(hot.has_value());
+  EXPECT_EQ(hot->version, 50u);
+  EXPECT_EQ(to_string(hot->value), "value-49");
+  // Historic versions survive compaction (temporal reads still work).
+  EXPECT_EQ(to_string(s.get_by_time("hot", millis(10))->value), "value-10");
+  std::remove(path.c_str());
+}
+
+TEST(LocalStore, CompactInMemoryIsNoop) {
+  LocalStore s;
+  s.put("k", to_bytes("v"));
+  EXPECT_TRUE(s.compact());
+  EXPECT_TRUE(s.contains("k"));
+}
+
+TEST(LocalStore, RecoveryFromMissingFileIsEmpty) {
+  std::string path = temp_wal("missing");
+  std::remove(path.c_str());
+  auto recovered = LocalStore::recover(path);
+  ASSERT_TRUE(recovered.is_ok());
+  EXPECT_EQ(recovered.value().num_keys(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(LocalStore, LargeValuesRoundTrip) {
+  LocalStore s;
+  Bytes big(1 << 20);
+  for (size_t i = 0; i < big.size(); ++i)
+    big[i] = static_cast<uint8_t>(i * 2654435761u >> 24);
+  s.put("big", big);
+  EXPECT_EQ(s.get("big")->value, big);
+}
+
+TEST(LocalStore, MoveTransfersWalOwnership) {
+  std::string path = temp_wal("move");
+  std::remove(path.c_str());
+  LocalStore a(path);
+  a.put("k", to_bytes("v"));
+  LocalStore b = std::move(a);
+  b.put("k2", to_bytes("v2"));
+  auto recovered = LocalStore::recover(path);
+  ASSERT_TRUE(recovered.is_ok());
+  EXPECT_EQ(recovered.value().num_keys(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace stab::store
