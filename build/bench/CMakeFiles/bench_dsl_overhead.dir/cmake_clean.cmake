@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dsl_overhead.dir/bench_dsl_overhead.cpp.o"
+  "CMakeFiles/bench_dsl_overhead.dir/bench_dsl_overhead.cpp.o.d"
+  "bench_dsl_overhead"
+  "bench_dsl_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dsl_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

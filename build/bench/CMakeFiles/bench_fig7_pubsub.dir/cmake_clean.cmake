@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_pubsub.dir/bench_fig7_pubsub.cpp.o"
+  "CMakeFiles/bench_fig7_pubsub.dir/bench_fig7_pubsub.cpp.o.d"
+  "bench_fig7_pubsub"
+  "bench_fig7_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_reconfig.cpp" "bench/CMakeFiles/bench_fig8_reconfig.dir/bench_fig8_reconfig.cpp.o" "gcc" "bench/CMakeFiles/bench_fig8_reconfig.dir/bench_fig8_reconfig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/stab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/stab_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/stab_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/stab_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/stab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/stab_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_predicates.dir/bench_table3_predicates.cpp.o"
+  "CMakeFiles/bench_table3_predicates.dir/bench_table3_predicates.cpp.o.d"
+  "bench_table3_predicates"
+  "bench_table3_predicates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_predicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

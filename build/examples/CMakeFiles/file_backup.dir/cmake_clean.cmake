@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_backup.dir/file_backup.cpp.o"
+  "CMakeFiles/file_backup.dir/file_backup.cpp.o.d"
+  "file_backup"
+  "file_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

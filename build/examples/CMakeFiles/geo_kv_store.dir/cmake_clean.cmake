@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_kv_store.dir/geo_kv_store.cpp.o"
+  "CMakeFiles/geo_kv_store.dir/geo_kv_store.cpp.o.d"
+  "geo_kv_store"
+  "geo_kv_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_kv_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubsub_reconfig.dir/pubsub_reconfig.cpp.o"
+  "CMakeFiles/pubsub_reconfig.dir/pubsub_reconfig.cpp.o.d"
+  "pubsub_reconfig"
+  "pubsub_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubsub_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

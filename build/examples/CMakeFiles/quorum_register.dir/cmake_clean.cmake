@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quorum_register.dir/quorum_register.cpp.o"
+  "CMakeFiles/quorum_register.dir/quorum_register.cpp.o.d"
+  "quorum_register"
+  "quorum_register.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quorum_register.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("config")
+subdirs("net")
+subdirs("dsl")
+subdirs("control")
+subdirs("data")
+subdirs("core")
+subdirs("store")
+subdirs("kv")
+subdirs("backup")
+subdirs("pubsub")
+subdirs("paxos")
+subdirs("pulsar")
+subdirs("quorum")

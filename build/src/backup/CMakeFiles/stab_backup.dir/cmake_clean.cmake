@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stab_backup.dir/backup_service.cpp.o"
+  "CMakeFiles/stab_backup.dir/backup_service.cpp.o.d"
+  "CMakeFiles/stab_backup.dir/trace.cpp.o"
+  "CMakeFiles/stab_backup.dir/trace.cpp.o.d"
+  "libstab_backup.a"
+  "libstab_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stab_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

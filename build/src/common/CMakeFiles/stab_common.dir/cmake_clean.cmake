@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stab_common.dir/logging.cpp.o"
+  "CMakeFiles/stab_common.dir/logging.cpp.o.d"
+  "CMakeFiles/stab_common.dir/realtime_env.cpp.o"
+  "CMakeFiles/stab_common.dir/realtime_env.cpp.o.d"
+  "libstab_common.a"
+  "libstab_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stab_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

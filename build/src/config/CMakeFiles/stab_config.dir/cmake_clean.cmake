@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stab_config.dir/topology.cpp.o"
+  "CMakeFiles/stab_config.dir/topology.cpp.o.d"
+  "libstab_config.a"
+  "libstab_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stab_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

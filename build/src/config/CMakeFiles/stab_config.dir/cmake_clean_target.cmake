@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstab_config.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stab_control.dir/frontier_engine.cpp.o"
+  "CMakeFiles/stab_control.dir/frontier_engine.cpp.o.d"
+  "libstab_control.a"
+  "libstab_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stab_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

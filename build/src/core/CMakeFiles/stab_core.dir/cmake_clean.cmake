@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stab_core.dir/stabilizer.cpp.o"
+  "CMakeFiles/stab_core.dir/stabilizer.cpp.o.d"
+  "libstab_core.a"
+  "libstab_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stab_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stab_data.dir/out_buffer.cpp.o"
+  "CMakeFiles/stab_data.dir/out_buffer.cpp.o.d"
+  "CMakeFiles/stab_data.dir/wire.cpp.o"
+  "CMakeFiles/stab_data.dir/wire.cpp.o.d"
+  "libstab_data.a"
+  "libstab_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stab_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

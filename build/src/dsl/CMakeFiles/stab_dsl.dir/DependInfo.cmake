@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsl/analyzer.cpp" "src/dsl/CMakeFiles/stab_dsl.dir/analyzer.cpp.o" "gcc" "src/dsl/CMakeFiles/stab_dsl.dir/analyzer.cpp.o.d"
+  "/root/repo/src/dsl/lexer.cpp" "src/dsl/CMakeFiles/stab_dsl.dir/lexer.cpp.o" "gcc" "src/dsl/CMakeFiles/stab_dsl.dir/lexer.cpp.o.d"
+  "/root/repo/src/dsl/parser.cpp" "src/dsl/CMakeFiles/stab_dsl.dir/parser.cpp.o" "gcc" "src/dsl/CMakeFiles/stab_dsl.dir/parser.cpp.o.d"
+  "/root/repo/src/dsl/predicate.cpp" "src/dsl/CMakeFiles/stab_dsl.dir/predicate.cpp.o" "gcc" "src/dsl/CMakeFiles/stab_dsl.dir/predicate.cpp.o.d"
+  "/root/repo/src/dsl/program.cpp" "src/dsl/CMakeFiles/stab_dsl.dir/program.cpp.o" "gcc" "src/dsl/CMakeFiles/stab_dsl.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/stab_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/stab_config.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

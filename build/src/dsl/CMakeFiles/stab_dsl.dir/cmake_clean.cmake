@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stab_dsl.dir/analyzer.cpp.o"
+  "CMakeFiles/stab_dsl.dir/analyzer.cpp.o.d"
+  "CMakeFiles/stab_dsl.dir/lexer.cpp.o"
+  "CMakeFiles/stab_dsl.dir/lexer.cpp.o.d"
+  "CMakeFiles/stab_dsl.dir/parser.cpp.o"
+  "CMakeFiles/stab_dsl.dir/parser.cpp.o.d"
+  "CMakeFiles/stab_dsl.dir/predicate.cpp.o"
+  "CMakeFiles/stab_dsl.dir/predicate.cpp.o.d"
+  "CMakeFiles/stab_dsl.dir/program.cpp.o"
+  "CMakeFiles/stab_dsl.dir/program.cpp.o.d"
+  "libstab_dsl.a"
+  "libstab_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stab_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

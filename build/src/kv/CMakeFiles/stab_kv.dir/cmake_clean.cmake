@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stab_kv.dir/wan_kv.cpp.o"
+  "CMakeFiles/stab_kv.dir/wan_kv.cpp.o.d"
+  "libstab_kv.a"
+  "libstab_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stab_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/inproc_transport.cpp" "src/net/CMakeFiles/stab_net.dir/inproc_transport.cpp.o" "gcc" "src/net/CMakeFiles/stab_net.dir/inproc_transport.cpp.o.d"
+  "/root/repo/src/net/sim_transport.cpp" "src/net/CMakeFiles/stab_net.dir/sim_transport.cpp.o" "gcc" "src/net/CMakeFiles/stab_net.dir/sim_transport.cpp.o.d"
+  "/root/repo/src/net/tcp_transport.cpp" "src/net/CMakeFiles/stab_net.dir/tcp_transport.cpp.o" "gcc" "src/net/CMakeFiles/stab_net.dir/tcp_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/stab_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/stab_config.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

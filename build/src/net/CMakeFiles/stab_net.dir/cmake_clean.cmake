@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stab_net.dir/inproc_transport.cpp.o"
+  "CMakeFiles/stab_net.dir/inproc_transport.cpp.o.d"
+  "CMakeFiles/stab_net.dir/sim_transport.cpp.o"
+  "CMakeFiles/stab_net.dir/sim_transport.cpp.o.d"
+  "CMakeFiles/stab_net.dir/tcp_transport.cpp.o"
+  "CMakeFiles/stab_net.dir/tcp_transport.cpp.o.d"
+  "libstab_net.a"
+  "libstab_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stab_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

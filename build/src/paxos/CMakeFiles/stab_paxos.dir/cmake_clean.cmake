@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stab_paxos.dir/paxos.cpp.o"
+  "CMakeFiles/stab_paxos.dir/paxos.cpp.o.d"
+  "libstab_paxos.a"
+  "libstab_paxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stab_paxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stab_pubsub.dir/broker.cpp.o"
+  "CMakeFiles/stab_pubsub.dir/broker.cpp.o.d"
+  "libstab_pubsub.a"
+  "libstab_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stab_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

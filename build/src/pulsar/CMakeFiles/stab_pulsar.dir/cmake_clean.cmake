@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stab_pulsar.dir/pulsar_lite.cpp.o"
+  "CMakeFiles/stab_pulsar.dir/pulsar_lite.cpp.o.d"
+  "libstab_pulsar.a"
+  "libstab_pulsar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stab_pulsar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

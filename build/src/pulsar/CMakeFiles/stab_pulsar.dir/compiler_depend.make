@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for stab_pulsar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stab_quorum.dir/quorum_kv.cpp.o"
+  "CMakeFiles/stab_quorum.dir/quorum_kv.cpp.o.d"
+  "libstab_quorum.a"
+  "libstab_quorum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stab_quorum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stab_sim.dir/network.cpp.o"
+  "CMakeFiles/stab_sim.dir/network.cpp.o.d"
+  "CMakeFiles/stab_sim.dir/simulator.cpp.o"
+  "CMakeFiles/stab_sim.dir/simulator.cpp.o.d"
+  "libstab_sim.a"
+  "libstab_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stab_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stab_store.dir/local_store.cpp.o"
+  "CMakeFiles/stab_store.dir/local_store.cpp.o.d"
+  "libstab_store.a"
+  "libstab_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stab_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

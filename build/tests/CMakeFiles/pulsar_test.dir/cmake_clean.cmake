@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulsar_test.dir/pulsar_test.cpp.o"
+  "CMakeFiles/pulsar_test.dir/pulsar_test.cpp.o.d"
+  "pulsar_test"
+  "pulsar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulsar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
