@@ -1,0 +1,205 @@
+// Control-plane hot path microbench: indexed batch dispatch vs the legacy
+// per-entry scan.
+//
+// The frontier engine is the hot loop of every trace run: each AckBatchFrame
+// entry used to trigger an O(#predicates) scan plus a full eval of every
+// predicate referencing the updated cell. This bench measures, for P
+// registered predicates x batch size B, the number of Predicate::eval calls
+// and the wall-clock cost per ack entry under both dispatch paths:
+//   * legacy  — DispatchMode::kLegacyScan, one on_ack per entry (seed code),
+//   * indexed — DispatchMode::kIndexed, one on_ack_batch per batch (reverse
+//     dependency index + batch dedup + binding-cell skip).
+// Both paths replay the identical ack sequence and the final frontiers are
+// asserted equal. Results go to stdout and BENCH_control.json
+// (EXPERIMENTS.md "Control-plane hot path").
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "config/topology.hpp"
+#include "control/frontier_engine.hpp"
+
+namespace stab::bench {
+namespace {
+
+// Predicate pool: the Table III shapes, cycled. All reference type 0
+// ("received") cells of the 8-node EC2 topology, so every predicate is a
+// candidate on every ack — the worst case for the legacy scan.
+std::vector<std::string> predicate_pool() {
+  return {
+      "MIN($ALLWNODES)",
+      "MAX($ALLWNODES)",
+      "KTH_MAX(SIZEOF($ALLWNODES)/2+1,$ALLWNODES)",
+      "KTH_MIN(2,$ALLWNODES)",
+      "MIN($ALLWNODES-$MYWNODE)",
+      "KTH_MAX(3,($ALLWNODES-$MYWNODE))",
+      "MIN(MAX($AZ_North_Virginia),MAX($AZ_Oregon),MAX($AZ_Ohio))",
+      "KTH_MAX(2,MAX($AZ_North_Virginia),MAX($AZ_Oregon),MAX($AZ_Ohio))",
+  };
+}
+
+struct Workload {
+  std::vector<AckUpdate> updates;  // num_batches * batch_size entries
+};
+
+// A random monotone ack stream: per-node counters advance by 0..3 per
+// report, so a realistic fraction of reports is stale (max-merge no-ops).
+Workload make_workload(size_t num_batches, size_t batch_size,
+                       size_t num_nodes, uint64_t seed) {
+  Workload w;
+  Rng rng(seed);
+  std::vector<int64_t> counter(num_nodes, kNoSeq);
+  w.updates.reserve(num_batches * batch_size);
+  for (size_t b = 0; b < num_batches; ++b)
+    for (size_t i = 0; i < batch_size; ++i) {
+      NodeId n = static_cast<NodeId>(rng.next_below(num_nodes));
+      counter[n] += rng.next_range(0, 3);
+      w.updates.push_back(AckUpdate{0, n, counter[n], {}});
+    }
+  return w;
+}
+
+struct RunResult {
+  uint64_t evals = 0;
+  uint64_t skipped_index = 0;
+  uint64_t skipped_binding = 0;
+  double ns_per_ack = 0;
+  std::vector<SeqNum> frontiers;
+};
+
+RunResult run(const Topology& topo, size_t num_predicates, size_t batch_size,
+              const Workload& w, FrontierEngine::DispatchMode mode) {
+  StabilityTypeRegistry types;
+  FrontierEngine engine(topo, 0, types);
+  engine.set_dispatch_mode(mode);
+  auto pool = predicate_pool();
+  std::vector<std::string> keys;
+  for (size_t p = 0; p < num_predicates; ++p) {
+    keys.push_back("p" + std::to_string(p));
+    Status st = engine.register_predicate(keys.back(), pool[p % pool.size()]);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "register failed: %s\n", st.message().c_str());
+      std::exit(1);
+    }
+  }
+  const uint64_t evals0 = engine.predicate_evals();
+  const uint64_t idx0 = engine.evals_skipped_index();
+  const uint64_t bind0 = engine.evals_skipped_binding();
+
+  auto start = std::chrono::steady_clock::now();
+  if (mode == FrontierEngine::DispatchMode::kLegacyScan) {
+    for (const AckUpdate& u : w.updates)
+      engine.on_ack(u.type, u.node, u.seq, u.extra);
+  } else {
+    for (size_t off = 0; off < w.updates.size(); off += batch_size)
+      engine.on_ack_batch(
+          std::span<const AckUpdate>(w.updates.data() + off, batch_size));
+  }
+  auto elapsed = std::chrono::steady_clock::now() - start;
+
+  RunResult r;
+  r.evals = engine.predicate_evals() - evals0;
+  r.skipped_index = engine.evals_skipped_index() - idx0;
+  r.skipped_binding = engine.evals_skipped_binding() - bind0;
+  r.ns_per_ack = static_cast<double>(
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         elapsed)
+                         .count()) /
+                 static_cast<double>(w.updates.size());
+  for (const auto& k : keys) r.frontiers.push_back(engine.frontier(k));
+  return r;
+}
+
+}  // namespace
+}  // namespace stab::bench
+
+int main() {
+  using namespace stab;
+  using namespace stab::bench;
+
+  print_header("Control-plane hot path: indexed batch dispatch",
+               "DESIGN.md §4c / ISSUE 1 tentpole");
+
+  Topology topo = ec2_topology();
+  const size_t predicates[] = {1, 2, 4, 8, 16, 32, 64};
+  const size_t batches[] = {1, 4, 16, 64, 256};
+  const size_t total_acks = 65536;  // per cell, split into batches
+
+  std::FILE* json = std::fopen("BENCH_control.json", "w");
+  if (!json) {
+    std::fprintf(stderr, "cannot open BENCH_control.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"rows\": [\n");
+
+  std::printf(
+      "%5s %6s | %14s %14s %8s | %12s %12s | %10s %10s\n", "preds", "batch",
+      "legacy evals", "indexed evals", "reduct", "legacy ns/ack",
+      "indexed ns/ack", "skip_idx", "skip_bind");
+
+  double headline_reduction = 0;
+  bool first_row = true;
+  for (size_t p : predicates) {
+    for (size_t b : batches) {
+      const size_t num_batches = total_acks / b;
+      Workload w = make_workload(num_batches, b, topo.num_nodes(),
+                                 /*seed=*/p * 1000 + b);
+      RunResult legacy =
+          run(topo, p, b, w, FrontierEngine::DispatchMode::kLegacyScan);
+      RunResult indexed =
+          run(topo, p, b, w, FrontierEngine::DispatchMode::kIndexed);
+      if (legacy.frontiers != indexed.frontiers) {
+        std::fprintf(stderr,
+                     "FRONTIER MISMATCH at predicates=%zu batch=%zu\n", p, b);
+        return 1;
+      }
+      const double acks = static_cast<double>(w.updates.size());
+      const double legacy_epa = static_cast<double>(legacy.evals) / acks;
+      const double indexed_epa = static_cast<double>(indexed.evals) / acks;
+      const double reduction =
+          indexed.evals ? static_cast<double>(legacy.evals) /
+                              static_cast<double>(indexed.evals)
+                        : 0;
+      if (p == 16 && b == 64) headline_reduction = reduction;
+      std::printf(
+          "%5zu %6zu | %14.3f %14.3f %7.1fx | %12.1f %12.1f | %10llu %10llu\n",
+          p, b, legacy_epa, indexed_epa, reduction, legacy.ns_per_ack,
+          indexed.ns_per_ack,
+          static_cast<unsigned long long>(indexed.skipped_index),
+          static_cast<unsigned long long>(indexed.skipped_binding));
+      std::fprintf(
+          json,
+          "%s    {\"predicates\": %zu, \"batch\": %zu, "
+          "\"legacy_evals_per_ack\": %.4f, \"indexed_evals_per_ack\": %.4f, "
+          "\"eval_reduction\": %.2f, \"legacy_ns_per_ack\": %.1f, "
+          "\"indexed_ns_per_ack\": %.1f, \"evals_skipped_index\": %llu, "
+          "\"evals_skipped_binding\": %llu}",
+          first_row ? "" : ",\n", p, b, legacy_epa, indexed_epa, reduction,
+          legacy.ns_per_ack, indexed.ns_per_ack,
+          static_cast<unsigned long long>(indexed.skipped_index),
+          static_cast<unsigned long long>(indexed.skipped_binding));
+      first_row = false;
+    }
+  }
+
+  std::printf(
+      "\npredicate_evals reduction at 16 predicates / batch 64: %.1fx "
+      "(acceptance floor: 5x)\n",
+      headline_reduction);
+  std::fprintf(json,
+               "\n  ],\n  \"reduction_16pred_batch64\": %.2f,\n"
+               "  \"acceptance_floor\": 5.0\n}\n",
+               headline_reduction);
+  std::fclose(json);
+  if (headline_reduction < 5.0) {
+    std::fprintf(stderr, "FAIL: reduction %.2f < 5x\n", headline_reduction);
+    return 1;
+  }
+  std::printf("wrote BENCH_control.json\n");
+  return 0;
+}

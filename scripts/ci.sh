@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 CI: plain build + full ctest, then an AddressSanitizer pass over the
+# control-plane and core suites (the two that exercise the indexed dispatch /
+# batched ack hot path and its re-entrant callback surface).
+#
+# Usage: scripts/ci.sh [extra cmake args...]
+# Env:   STAB_CI_SANITIZER=address|thread|undefined  (default: address)
+#        STAB_CI_SKIP_SANITIZER=1                    skip the sanitized pass
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+SAN="${STAB_CI_SANITIZER:-address}"
+
+echo "==> tier-1: configure + build (build/)"
+cmake -B "$ROOT/build" -S "$ROOT" "$@"
+cmake --build "$ROOT/build" -j
+
+echo "==> tier-1: ctest"
+ctest --test-dir "$ROOT/build" --output-on-failure
+
+if [[ "${STAB_CI_SKIP_SANITIZER:-0}" == "1" ]]; then
+  echo "==> sanitizer pass skipped (STAB_CI_SKIP_SANITIZER=1)"
+  exit 0
+fi
+
+SAN_DIR="$ROOT/build-$SAN"
+echo "==> $SAN sanitizer: configure + build (build-$SAN/)"
+cmake -B "$SAN_DIR" -S "$ROOT" -DSTAB_SANITIZE="$SAN" "$@"
+cmake --build "$SAN_DIR" -j --target control_test core_test
+
+echo "==> $SAN sanitizer: control_test + core_test"
+"$SAN_DIR/tests/control_test"
+"$SAN_DIR/tests/core_test"
+
+echo "==> CI OK"

@@ -25,6 +25,27 @@ Result<dsl::Predicate> FrontierEngine::compile(const std::string& source) {
   return dsl::Predicate::compile(source, ctx, mode_);
 }
 
+void FrontierEngine::index_entry(Entry& entry) {
+  for (StabilityTypeId t : entry.predicate.referenced_types())
+    for (NodeId n : entry.predicate.referenced_nodes()) {
+      uint64_t key = cell_key(t, n);
+      index_[key].push_back(&entry);
+      entry.index_keys.push_back(key);
+    }
+}
+
+void FrontierEngine::deindex_entry(Entry& entry) {
+  for (uint64_t key : entry.index_keys) {
+    auto it = index_.find(key);
+    if (it == index_.end()) continue;
+    auto& bucket = it->second;
+    bucket.erase(std::remove(bucket.begin(), bucket.end(), &entry),
+                 bucket.end());
+    if (bucket.empty()) index_.erase(it);
+  }
+  entry.index_keys.clear();
+}
+
 Status FrontierEngine::register_predicate(const std::string& key,
                                           const std::string& source) {
   if (entries_.count(key))
@@ -38,6 +59,7 @@ Status FrontierEngine::register_predicate(const std::string& key,
     acks_.ensure_type(t);
   Entry& ref = *entry;
   entries_.emplace(key, std::move(entry));
+  index_entry(ref);
   // Initial evaluation so frontier() is meaningful immediately.
   reevaluate(ref, {}, /*allow_regress=*/true);
   return Status::ok();
@@ -50,17 +72,27 @@ Status FrontierEngine::change_predicate(const std::string& key,
     return Status::error("predicate '" + key + "' not registered");
   auto pred = compile(source);
   if (!pred.is_ok()) return Status::error(pred.message());
+  deindex_entry(*it->second);
   it->second->predicate = std::move(pred).value();
   for (StabilityTypeId t : it->second->predicate.referenced_types())
     acks_.ensure_type(t);
+  index_entry(*it->second);
   // Recompute across the swap; the frontier may regress (predicate gap).
   reevaluate(*it->second, {}, /*allow_regress=*/true);
   return Status::ok();
 }
 
 Status FrontierEngine::remove_predicate(const std::string& key) {
-  if (!entries_.erase(key))
+  auto it = entries_.find(key);
+  if (it == entries_.end())
     return Status::error("predicate '" + key + "' not registered");
+  std::unique_ptr<Entry> entry = std::move(it->second);
+  deindex_entry(*entry);
+  entries_.erase(it);
+  // Fail pending waiters explicitly (removal can never cover their seq):
+  // each fires once with kNoSeq so blocking callers don't hang forever.
+  // The entry is already unlinked, so callbacks may re-register the key.
+  for (auto& w : entry->waiters) w.fn(kNoSeq);
   return Status::ok();
 }
 
@@ -110,17 +142,108 @@ Status FrontierEngine::waitfor(const std::string& key, SeqNum seq,
   return Status::ok();
 }
 
+void FrontierEngine::dispatch_cell(StabilityTypeId type, NodeId node,
+                                   int64_t old_value, SeqNum seq,
+                                   BytesView extra) {
+  if (dispatch_ == DispatchMode::kLegacyScan) {
+    for (auto& [key, entry] : entries_) {
+      // Skip predicates that cannot be affected by this cell.
+      if (!entry->predicate.references_type(type) ||
+          !entry->predicate.references_node(node)) {
+        ++evals_skipped_index_;
+        continue;
+      }
+      reevaluate(*entry, extra, /*allow_regress=*/false);
+    }
+    return;
+  }
+  auto it = index_.find(cell_key(type, node));
+  const size_t affected = it == index_.end() ? 0 : it->second.size();
+  evals_skipped_index_ += entries_.size() - affected;
+  if (affected == 0) return;
+  // Bounds-checked index loop: monitor/waiter callbacks may re-enter and
+  // grow/shrink this bucket via register/change_predicate.
+  auto& bucket = it->second;
+  for (size_t i = 0; i < bucket.size(); ++i) {
+    Entry* e = bucket[i];
+    if (e->predicate.eval_skippable(old_value, seq, e->frontier)) {
+      ++evals_skipped_binding_;
+      continue;
+    }
+    reevaluate(*e, extra, /*allow_regress=*/false);
+  }
+}
+
 bool FrontierEngine::on_ack(StabilityTypeId type, NodeId node, SeqNum seq,
                             BytesView extra) {
-  if (!acks_.update(type, node, seq)) return false;
-  for (auto& [key, entry] : entries_) {
-    // Skip predicates that cannot be affected by this cell.
-    if (!entry->predicate.references_type(type) ||
-        !entry->predicate.references_node(node))
-      continue;
-    reevaluate(*entry, extra, /*allow_regress=*/false);
-  }
+  int64_t old_value = kNoSeq;
+  if (!acks_.update(type, node, seq, &old_value)) return false;
+  dispatch_cell(type, node, old_value, seq, extra);
   return true;
+}
+
+size_t FrontierEngine::on_ack_batch(std::span<const AckUpdate> updates) {
+  if (dispatch_ == DispatchMode::kLegacyScan) {
+    // Differential baseline: the seed's per-report behaviour.
+    size_t advanced = 0;
+    for (const AckUpdate& u : updates)
+      if (on_ack(u.type, u.node, u.seq, u.extra)) ++advanced;
+    return advanced;
+  }
+
+  // Phase 1: max-merge the whole batch, collecting the deduplicated set of
+  // affected entries. `stamp` is captured locally so that re-entrant
+  // batches (a monitor calling send/report_stability) cannot corrupt this
+  // invocation's dedup marks — a re-entrant touch merely causes one extra
+  // idempotent eval.
+  const uint64_t stamp = ++batch_stamp_;
+  std::vector<Entry*> dirty;
+  size_t advanced = 0;
+  for (const AckUpdate& u : updates) {
+    int64_t old_value = kNoSeq;
+    if (!acks_.update(u.type, u.node, u.seq, &old_value)) continue;
+    ++advanced;
+    auto it = index_.find(cell_key(u.type, u.node));
+    const size_t affected = it == index_.end() ? 0 : it->second.size();
+    evals_skipped_index_ += entries_.size() - affected;
+    if (affected == 0) continue;
+    for (Entry* e : it->second) {
+      // Binding-cell skip relative to the pre-batch frontier: sound because
+      // each skippable update individually leaves the frontier fixed, so by
+      // induction the whole batch does too (unless some other update dirties
+      // the entry, in which case the final eval sees the full table anyway).
+      if (e->predicate.eval_skippable(old_value, u.seq, e->frontier)) {
+        ++evals_skipped_binding_;
+        continue;
+      }
+      if (e->batch_stamp == stamp) {
+        ++evals_skipped_index_;  // coalesced into this batch's one eval
+        // Highest-sequence advancing report's extra wins: that report is the
+        // one that determined the coalesced frontier, matching the extra the
+        // legacy per-report path would have fired last.
+        if (u.seq > e->pending_extra_seq) {
+          e->pending_extra = u.extra;
+          e->pending_extra_seq = u.seq;
+        }
+        continue;
+      }
+      e->batch_stamp = stamp;
+      e->pending_extra = u.extra;
+      e->pending_extra_seq = u.seq;
+      dirty.push_back(e);
+    }
+  }
+
+  // Phase 2: one eval per affected predicate. Entries are stable across
+  // callbacks (change_predicate swaps in place; remove_predicate from a
+  // callback is unsupported, as in the legacy scan).
+  for (Entry* e : dirty) {
+    BytesView extra = e->pending_extra;
+    e->pending_extra = {};
+    e->pending_extra_seq = kNoSeq;
+    reevaluate(*e, extra, /*allow_regress=*/false);
+  }
+  return advanced;
 }
 
 void FrontierEngine::reevaluate_all() {
@@ -130,7 +253,7 @@ void FrontierEngine::reevaluate_all() {
 
 void FrontierEngine::reevaluate(Entry& entry, BytesView extra,
                                 bool allow_regress) {
-  ++evaluations_;
+  ++predicate_evals_;
   SeqNum next = entry.predicate.eval(acks_);
   if (next == entry.frontier) return;
   if (next < entry.frontier && !allow_regress) return;  // monotonic guard

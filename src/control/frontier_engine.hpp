@@ -7,15 +7,31 @@
 // waitfor() callbacks whose sequence number is now covered are woken
 // (paper §III-D interfaces).
 //
+// Hot-path dispatch (DESIGN.md §4c): instead of scanning every registered
+// predicate per report, the engine maintains a reverse dependency index
+// (type, node) -> [entries], rebuilt on register/change/remove. Whole ack
+// batches are applied with on_ack_batch(): the batch is max-merged into the
+// AckTable first, the affected entries are collected (deduplicated), and
+// each predicate re-evaluates exactly once per batch — monotonicity makes
+// the coalescing lossless (§III-A). Specialized predicates additionally
+// skip provably no-op evaluations via their cached binding bound
+// (Predicate::eval_skippable). set_dispatch_mode(kLegacyScan) restores the
+// original scan-everything/eval-per-report behaviour for differential tests
+// and the bench_control_hotpath baseline.
+//
 // The engine is synchronous and single-threaded by design: callers (the
 // Stabilizer core, tests) drive it from their Env thread, which is what
-// makes whole-cluster simulation deterministic.
+// makes whole-cluster simulation deterministic. Monitor/waiter callbacks
+// may re-enter the engine (register_predicate, on_ack, waitfor, ...);
+// remove_predicate from inside a callback is not supported.
 #pragma once
 
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -27,12 +43,32 @@
 
 namespace stab {
 
+/// One monotonic stability report — the unit of batched control-plane
+/// application. `extra` must stay alive for the duration of the
+/// on_ack_batch() call that consumes the update.
+struct AckUpdate {
+  StabilityTypeId type = 0;
+  NodeId node = kInvalidNode;
+  SeqNum seq = kNoSeq;
+  BytesView extra{};
+};
+
 class FrontierEngine {
  public:
   /// Monitor callback: new frontier plus the uninterpreted extra bytes the
-  /// triggering stability report carried (empty for plain ACKs).
+  /// triggering stability report carried (empty for plain ACKs). When a
+  /// batch coalesces several advancing reports for one predicate, monitors
+  /// fire once with the final frontier and the extra of the highest-sequence
+  /// advancing report — the one that determined the coalesced frontier, which
+  /// is the extra the legacy per-report path would have fired last.
   using MonitorFn = std::function<void(SeqNum frontier, BytesView extra)>;
   using WaiterFn = std::function<void(SeqNum frontier)>;
+
+  /// Dispatch strategy for incoming stability reports.
+  enum class DispatchMode {
+    kLegacyScan,  // seed behaviour: scan all entries, eval per report
+    kIndexed,     // reverse-index dispatch + batch dedup + binding skip
+  };
 
   FrontierEngine(const Topology& topology, NodeId self,
                  StabilityTypeRegistry& types,
@@ -51,6 +87,10 @@ class FrontierEngine {
   /// only woken by coverage.
   Status change_predicate(const std::string& key, const std::string& source);
 
+  /// Unregisters a predicate. Pending waiters are failed explicitly: each
+  /// is invoked once with kNoSeq (never a covering frontier), so
+  /// waitfor_blocking callers observe the removal instead of hanging
+  /// forever. Waiter callbacks must treat kNoSeq as "predicate removed".
   Status remove_predicate(const std::string& key);
   bool has_predicate(const std::string& key) const;
   std::vector<std::string> predicate_keys() const;
@@ -66,25 +106,45 @@ class FrontierEngine {
   Status monitor(const std::string& key, MonitorFn fn);
 
   /// waitfor: invoke `fn` once, as soon as frontier(key) >= seq (immediately
-  /// if already true).
+  /// if already true). If the predicate is removed first, `fn` fires once
+  /// with kNoSeq instead.
   Status waitfor(const std::string& key, SeqNum seq, WaiterFn fn);
 
   // --- control-plane input ----------------------------------------------------
-  /// Apply a stability report. Returns true iff the table advanced. Fires
-  /// monitors/waiters for every affected predicate.
+  /// Apply a single stability report. Returns true iff the table advanced.
+  /// Fires monitors/waiters for every affected predicate.
   bool on_ack(StabilityTypeId type, NodeId node, SeqNum seq,
               BytesView extra = {});
 
+  /// Batch apply: max-merges every update into the AckTable first, then
+  /// re-evaluates each affected predicate exactly once (kIndexed mode;
+  /// kLegacyScan applies per entry). Returns the number of updates that
+  /// advanced the table. Cost is O(affected predicates per batch), not
+  /// O(predicates x updates).
+  size_t on_ack_batch(std::span<const AckUpdate> updates);
+
   /// Re-evaluate every predicate (used after bulk table mutation/recovery).
   void reevaluate_all();
+
+  DispatchMode dispatch_mode() const { return dispatch_; }
+  void set_dispatch_mode(DispatchMode mode) { dispatch_ = mode; }
 
   AckTable& acks() { return acks_; }
   const AckTable& acks() const { return acks_; }
   StabilityTypeRegistry& types() { return types_; }
   NodeId self() const { return self_; }
 
-  /// Total predicate evaluations performed (benchmarks / tests).
-  uint64_t evaluations() const { return evaluations_; }
+  // --- hot-path observability ---------------------------------------------------
+  /// Total Predicate::eval calls performed.
+  uint64_t predicate_evals() const { return predicate_evals_; }
+  /// Evals avoided by dispatch: predicates not referencing an advanced cell
+  /// (reverse index / legacy reference check) plus batch deduplication.
+  uint64_t evals_skipped_index() const { return evals_skipped_index_; }
+  /// Evals avoided by the specialized binding-cell bound (lossless: the
+  /// skipped eval provably could not have moved the frontier).
+  uint64_t evals_skipped_binding() const { return evals_skipped_binding_; }
+  /// Back-compat alias for predicate_evals().
+  uint64_t evaluations() const { return predicate_evals_; }
 
  private:
   struct Waiter {
@@ -96,18 +156,40 @@ class FrontierEngine {
     SeqNum frontier = kNoSeq;
     std::vector<MonitorFn> monitors;
     std::vector<Waiter> waiters;  // kept sorted by seq ascending
+    std::vector<uint64_t> index_keys;  // cells this entry is indexed under
+    uint64_t batch_stamp = 0;          // dedup marker (see on_ack_batch)
+    BytesView pending_extra{};         // extra routed to this entry's eval
+    SeqNum pending_extra_seq = kNoSeq; // seq of the report carrying it
   };
+
+  static uint64_t cell_key(StabilityTypeId type, NodeId node) {
+    return (static_cast<uint64_t>(type) << 32) | node;
+  }
 
   Result<dsl::Predicate> compile(const std::string& source);
   void reevaluate(Entry& entry, BytesView extra, bool allow_regress);
+  /// Adds `entry` to the reverse index under every (type, node) cell its
+  /// predicate references (the same cross product the legacy reference
+  /// check tests, so both dispatch paths agree on which reports matter).
+  void index_entry(Entry& entry);
+  void deindex_entry(Entry& entry);
+  /// Dispatches one advanced cell to the affected entries, evaluating
+  /// immediately (single-report path).
+  void dispatch_cell(StabilityTypeId type, NodeId node, int64_t old_value,
+                     SeqNum seq, BytesView extra);
 
   const Topology& topology_;
   NodeId self_;
   StabilityTypeRegistry& types_;
   dsl::EvalMode mode_;
+  DispatchMode dispatch_ = DispatchMode::kIndexed;
   AckTable acks_;
   std::map<std::string, std::unique_ptr<Entry>> entries_;
-  uint64_t evaluations_ = 0;
+  std::unordered_map<uint64_t, std::vector<Entry*>> index_;
+  uint64_t batch_stamp_ = 0;
+  uint64_t predicate_evals_ = 0;
+  uint64_t evals_skipped_index_ = 0;
+  uint64_t evals_skipped_binding_ = 0;
 };
 
 }  // namespace stab

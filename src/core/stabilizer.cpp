@@ -127,10 +127,14 @@ void Stabilizer::transmit(NodeId dst, const data::OutBuffer::Slot& slot) {
 
 void Stabilizer::apply_origin_rule_for_send(SeqNum seq) {
   // §III-C: "all stability properties hold for the WAN node that originated
-  // a message" — advance every type's self cell on the self stream.
-  FrontierEngine& self_engine = *engines_[options_.self];
+  // a message" — advance every type's self cell on the self stream, as one
+  // batch so predicates spanning several types re-evaluate once. The vector
+  // is local because callbacks fired by the batch may re-enter send().
+  std::vector<AckUpdate> updates;
+  updates.reserve(types_.count());
   for (StabilityTypeId t = 0; t < types_.count(); ++t)
-    self_engine.on_ack(t, options_.self, seq);
+    updates.push_back(AckUpdate{t, options_.self, seq, {}});
+  engines_[options_.self]->on_ack_batch(updates);
 }
 
 // --- receive path ----------------------------------------------------------------
@@ -172,12 +176,15 @@ void Stabilizer::handle_data(NodeId src, const data::DataFrame& frame,
   ++stats_.messages_delivered;
 
   FrontierEngine& engine = *engines_[frame.origin];
-  // Origin rule for the remote stream: the origin has every property for
-  // its own message.
+  // Origin rule for the remote stream (the origin has every property for
+  // its own message) plus our own receipt, applied as one batch.
+  std::vector<AckUpdate> updates;
+  updates.reserve(types_.count() + 1);
   for (StabilityTypeId t = 0; t < types_.count(); ++t)
-    engine.on_ack(t, frame.origin, frame.seq);
-  // Our own receipt.
-  engine.on_ack(StabilityTypeRegistry::kReceived, options_.self, frame.seq);
+    updates.push_back(AckUpdate{t, frame.origin, frame.seq, {}});
+  updates.push_back(AckUpdate{StabilityTypeRegistry::kReceived, options_.self,
+                              frame.seq, {}});
+  engine.on_ack_batch(updates);
   mark_dirty(frame.origin, StabilityTypeRegistry::kReceived, frame.seq, {});
 
   if (delivery_)
@@ -192,11 +199,23 @@ void Stabilizer::handle_data(NodeId src, const data::DataFrame& frame,
 }
 
 void Stabilizer::handle_ack_batch(const data::AckBatchFrame& frame) {
+  // Group the batch per origin engine and batch-apply: the whole frame is
+  // max-merged before any predicate re-evaluates, so each affected
+  // predicate evaluates once per frame instead of once per entry. The
+  // AckUpdates view the frame's extra bytes — valid for the duration of
+  // on_ack_batch, which routes each extra to the entries it affects.
+  // Buckets are local because monitors fired by the batch may re-enter
+  // (send -> apply_origin_rule_for_send runs a nested batch).
+  std::vector<std::vector<AckUpdate>> per_origin(engines_.size());
   for (const data::AckEntry& e : frame.entries) {
     if (e.about_origin >= engines_.size()) continue;
-    engines_[e.about_origin]->on_ack(e.type, frame.reporter, e.seq, e.extra);
+    per_origin[e.about_origin].push_back(
+        AckUpdate{e.type, frame.reporter, e.seq, BytesView(e.extra)});
     ++stats_.ack_entries_applied;
   }
+  for (NodeId origin = 0; origin < per_origin.size(); ++origin)
+    if (!per_origin[origin].empty())
+      engines_[origin]->on_ack_batch(per_origin[origin]);
   if (options_.send_window > 0) pump_windows();  // acks free window space
   maybe_reclaim();
 }
@@ -505,18 +524,24 @@ bool Stabilizer::waitfor_blocking(SeqNum seq, const std::string& key,
     std::mutex m;
     std::condition_variable cv;
     bool done = false;
+    SeqNum frontier = kNoSeq;
   };
   auto state = std::make_shared<State>();
   Status st = waitfor(seq, key,
-                      [state](SeqNum) {
+                      [state](SeqNum frontier) {
                         std::lock_guard<std::mutex> l(state->m);
+                        state->frontier = frontier;
                         state->done = true;
                         state->cv.notify_all();
                       },
                       origin);
   if (!st.is_ok()) return false;
   std::unique_lock<std::mutex> l(state->m);
-  return state->cv.wait_for(l, timeout, [&] { return state->done; });
+  if (!state->cv.wait_for(l, timeout, [&] { return state->done; }))
+    return false;
+  // A waiter failed by remove_predicate fires with kNoSeq (never coverage):
+  // report failure rather than pretending the predicate was satisfied.
+  return state->frontier >= seq;
 }
 
 Status Stabilizer::report_stability(const std::string& type_name,
@@ -562,6 +587,17 @@ bool Stabilizer::peer_excluded(NodeId node) const {
 SeqNum Stabilizer::last_sent() const {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   return sequencer_.last_assigned();
+}
+
+StabilizerStats Stabilizer::stats() const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  StabilizerStats s = stats_;
+  for (const auto& engine : engines_) {
+    s.predicate_evals += engine->predicate_evals();
+    s.evals_skipped_index += engine->evals_skipped_index();
+    s.evals_skipped_binding += engine->evals_skipped_binding();
+  }
+  return s;
 }
 
 SeqNum Stabilizer::delivered_through(NodeId origin) const {

@@ -16,6 +16,21 @@
 // an internal mutex makes the public API safe to call from an application
 // thread when running on the real-time transports. waitfor_blocking() is the
 // only method that blocks, and must not be called from the Env thread.
+//
+// The mutex is deliberately a std::recursive_mutex: user callbacks run
+// under the lock and are allowed to call back into this Stabilizer. The
+// supported re-entrant paths, each pinned by a test, are:
+//   * delivery handler -> send / report_stability / get_stability_frontier
+//     (the backup service reports "persisted" from its delivery upcall) —
+//     core_test ReentrantDeliveryHandlerCallsBackIn;
+//   * monitor / waitfor callbacks -> get_stability_frontier / waitfor /
+//     send / report_stability (frontier-chasing state machines) —
+//     core_test ReentrantMonitorCallsBackIn;
+//   * peer-stall handler -> change_predicate / set_peer_excluded
+//     (§III-E fault reaction runs inside the stall probe) — recovery_test
+//     StallDetection.TypicalReactionAdjustsPredicates.
+// A plain std::mutex would deadlock on every one of these, since all
+// callbacks are invoked while the API lock is held.
 #pragma once
 
 #include <condition_variable>
@@ -88,6 +103,11 @@ struct StabilizerStats {
   uint64_t duplicates_dropped = 0;
   uint64_t gaps_detected = 0;
   uint64_t retransmissions = 0;
+  // Control-plane hot path (aggregated over every origin engine; see
+  // FrontierEngine's counters of the same names).
+  uint64_t predicate_evals = 0;
+  uint64_t evals_skipped_index = 0;
+  uint64_t evals_skipped_binding = 0;
 };
 
 class Stabilizer {
@@ -200,7 +220,9 @@ class Stabilizer {
   // --- introspection ------------------------------------------------------------
   SeqNum last_sent() const;
   SeqNum delivered_through(NodeId origin) const;
-  const StabilizerStats& stats() const { return stats_; }
+  /// Snapshot of the counters, with the control-plane eval counters
+  /// aggregated across every origin engine at call time.
+  StabilizerStats stats() const;
   uint64_t send_buffer_bytes() const { return out_.buffered_bytes(); }
   FrontierEngine& engine(NodeId origin = kInvalidNode);
   const FrontierEngine& engine(NodeId origin = kInvalidNode) const;

@@ -38,6 +38,16 @@ class Predicate {
   /// Evaluate the stability frontier against a control-plane snapshot.
   int64_t eval(const AckSource& acks) const;
 
+  /// Eval-avoidance hook (control-plane hot path): true when a monotonic
+  /// advance of one referenced ack cell from `old_value` to `new_value`
+  /// provably cannot move the frontier away from `frontier` (the cached
+  /// result of the last eval against the pre-update table), so eval() may
+  /// be skipped. Only answers true on the specialized execution path;
+  /// interpreter/bytecode modes always re-evaluate, keeping the ablation
+  /// comparison honest. See Program::update_cannot_raise for the proof.
+  bool eval_skippable(int64_t old_value, int64_t new_value,
+                      int64_t frontier) const;
+
   const std::string& source() const { return source_; }
   EvalMode mode() const { return mode_; }
   /// True when the specialized fast path is active (not merely requested).

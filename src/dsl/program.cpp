@@ -211,6 +211,22 @@ Program Program::compile(const Resolved& resolved) {
   return p;
 }
 
+bool Program::update_cannot_raise(int64_t old_value, int64_t new_value,
+                                  int64_t frontier) const {
+  if (fast_.kind == FastKind::kNone) return false;
+  // Bound rule: a cell that stays at or below the cached frontier cannot
+  // move any MIN/MAX/KTH_* composition away from it.
+  if (new_value <= frontier) return true;
+  // Binding rule: for a single-gather MIN / KTH_MIN, a cell strictly above
+  // the current order statistic is not binding, and raising it keeps it
+  // non-binding.
+  if (fast_.kind == FastKind::kSingle &&
+      (fast_.op == Op::kMin || fast_.op == Op::kKthMin) &&
+      old_value > frontier)
+    return true;
+  return false;
+}
+
 // --- bytecode VM --------------------------------------------------------------
 
 int64_t Program::eval_bytecode(const AckSource& acks) const {

@@ -49,6 +49,28 @@ class Program {
   int64_t eval_specialized(const AckSource& acks) const;
   bool is_specialized() const { return fast_.kind != FastKind::kNone; }
 
+  /// Binding-cell eval-avoidance hook for the control plane. Given that one
+  /// ack cell the program reads advanced monotonically from `old_value` to
+  /// `new_value`, and that `frontier` is the cached result of the last full
+  /// evaluation against the pre-update table, returns true when a
+  /// re-evaluation provably cannot change the result — so the caller may
+  /// skip eval() entirely.
+  ///
+  /// Soundness: every DSL program is a lattice polynomial of the ack cells
+  /// (a MIN/MAX/KTH_* composition), so as a function of any single cell v it
+  /// has the form g(v) = max(a, min(v, b)) for constants a <= b determined
+  /// by the other cells. Two lossless rules follow:
+  ///   * bound rule (any specialized shape): if new_value <= frontier, then
+  ///     g(old) = frontier and monotonicity give g(new) == frontier;
+  ///   * binding rule (MIN / KTH_MIN over a single gather): a cell with
+  ///     old_value > frontier sits strictly above the k-th smallest and
+  ///     stays there when raised, so the order statistic is unchanged.
+  /// Non-specialized shapes conservatively answer false (the bound rule
+  /// would still be sound, but only specialized programs cache the shape
+  /// information that makes the check O(1) and observable as a counter).
+  bool update_cannot_raise(int64_t old_value, int64_t new_value,
+                           int64_t frontier) const;
+
   const std::vector<Instr>& instructions() const { return code_; }
   const std::vector<std::vector<NodeId>>& node_lists() const { return lists_; }
 

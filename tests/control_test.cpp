@@ -3,6 +3,8 @@
 // predicate-gap semantics), and property tests on monotonicity.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "common/rng.hpp"
 #include "config/topology.hpp"
 #include "control/frontier_engine.hpp"
@@ -248,6 +250,218 @@ TEST_F(FrontierTest, PredicateKeysListed) {
   EXPECT_EQ(keys, (std::vector<std::string>{"a", "b"}));
   EXPECT_NE(engine_.predicate("a"), nullptr);
   EXPECT_EQ(engine_.predicate("zz"), nullptr);
+}
+
+// --- indexed dispatch / batch apply (control-plane hot path) -----------------
+
+TEST_F(FrontierTest, RemovePredicateFailsPendingWaiters) {
+  ASSERT_TRUE(engine_.register_predicate("p", "MIN($ALLWNODES-$MYWNODE)"));
+  std::vector<SeqNum> fired;
+  engine_.waitfor("p", 10, [&](SeqNum f) { fired.push_back(f); });
+  engine_.waitfor("p", 20, [&](SeqNum f) { fired.push_back(f); });
+  ASSERT_TRUE(engine_.remove_predicate("p"));
+  // Every pending waiter fires exactly once with kNoSeq ("predicate
+  // removed"), so blocking callers cannot hang forever.
+  EXPECT_EQ(fired, (std::vector<SeqNum>{kNoSeq, kNoSeq}));
+  // Re-registering does not resurrect the failed waiters.
+  ASSERT_TRUE(engine_.register_predicate("p", "MAX($ALLWNODES-$MYWNODE)"));
+  engine_.on_ack(0, 1, 100);
+  EXPECT_EQ(fired.size(), 2u);
+}
+
+TEST_F(FrontierTest, BatchAppliesWholeFrameWithOneEvalPerPredicate) {
+  ASSERT_TRUE(engine_.register_predicate("all", "MIN($ALLWNODES-$MYWNODE)"));
+  ASSERT_TRUE(engine_.register_predicate("any", "MAX($ALLWNODES-$MYWNODE)"));
+  std::vector<SeqNum> monitor_all, monitor_any;
+  engine_.monitor("all", [&](SeqNum f, BytesView) { monitor_all.push_back(f); });
+  engine_.monitor("any", [&](SeqNum f, BytesView) { monitor_any.push_back(f); });
+
+  std::vector<AckUpdate> batch;
+  for (NodeId n = 1; n < 8; ++n) batch.push_back(AckUpdate{0, n, 5, {}});
+  uint64_t evals0 = engine_.predicate_evals();
+  EXPECT_EQ(engine_.on_ack_batch(batch), 7u);
+  // The batch max-merges first, then each affected predicate evaluates at
+  // most once (binding skips can reduce further; "any" is bound after the
+  // first cell).
+  EXPECT_LE(engine_.predicate_evals() - evals0, 2u);
+  EXPECT_EQ(engine_.frontier("all"), 5);
+  EXPECT_EQ(engine_.frontier("any"), 5);
+  // Monitors observe the coalesced (final) frontier exactly once.
+  EXPECT_EQ(monitor_all, (std::vector<SeqNum>{5}));
+  EXPECT_EQ(monitor_any, (std::vector<SeqNum>{5}));
+}
+
+TEST_F(FrontierTest, BatchStaleEntriesDoNotDispatch) {
+  ASSERT_TRUE(engine_.register_predicate("any", "MAX($ALLWNODES-$MYWNODE)"));
+  engine_.on_ack(0, 1, 10);
+  uint64_t evals0 = engine_.predicate_evals();
+  std::vector<AckUpdate> batch{AckUpdate{0, 1, 4, {}},   // stale
+                               AckUpdate{0, 1, 10, {}}};  // no advance
+  EXPECT_EQ(engine_.on_ack_batch(batch), 0u);
+  EXPECT_EQ(engine_.predicate_evals(), evals0);
+}
+
+TEST_F(FrontierTest, BindingCacheSkipsEvalsThatCannotRaise) {
+  ASSERT_TRUE(engine_.register_predicate("any", "MAX($ALLWNODES-$MYWNODE)"));
+  engine_.on_ack(0, 1, 10);
+  EXPECT_EQ(engine_.frontier("any"), 10);
+  uint64_t evals0 = engine_.predicate_evals();
+  uint64_t skips0 = engine_.evals_skipped_binding();
+  // Advances a cell, but 5 <= frontier 10: MAX provably unchanged.
+  EXPECT_TRUE(engine_.on_ack(0, 2, 5));
+  EXPECT_EQ(engine_.predicate_evals(), evals0);
+  EXPECT_EQ(engine_.evals_skipped_binding(), skips0 + 1);
+  EXPECT_EQ(engine_.frontier("any"), 10);
+}
+
+TEST_F(FrontierTest, BindingCacheSkipsNonBindingMinCells) {
+  ASSERT_TRUE(engine_.register_predicate("all", "MIN($ALLWNODES-$MYWNODE)"));
+  for (NodeId n = 1; n < 8; ++n) engine_.on_ack(0, n, n == 1 ? 3 : 10);
+  EXPECT_EQ(engine_.frontier("all"), 3);
+  uint64_t evals0 = engine_.predicate_evals();
+  // Node 2 holds 10 > frontier 3: not the binding cell, raising it cannot
+  // move the MIN.
+  EXPECT_TRUE(engine_.on_ack(0, 2, 12));
+  EXPECT_EQ(engine_.predicate_evals(), evals0);
+  // The binding cell (node 1 at 3) advancing must re-evaluate.
+  EXPECT_TRUE(engine_.on_ack(0, 1, 7));
+  EXPECT_EQ(engine_.predicate_evals(), evals0 + 1);
+  EXPECT_EQ(engine_.frontier("all"), 7);
+}
+
+TEST_F(FrontierTest, IndexFollowsChangePredicate) {
+  ASSERT_TRUE(engine_.register_predicate("p", "MAX($AZ_Oregon)"));
+  uint64_t evals0 = engine_.predicate_evals();
+  engine_.on_ack(0, 1, 5);  // not Oregon: no dispatch
+  EXPECT_EQ(engine_.predicate_evals(), evals0);
+  ASSERT_TRUE(engine_.change_predicate("p", "MAX($AZ_North_Virginia)"));
+  evals0 = engine_.predicate_evals();
+  engine_.on_ack(0, 6, 50);  // Oregon: stale index would dispatch here
+  EXPECT_EQ(engine_.predicate_evals(), evals0);
+  engine_.on_ack(0, 2, 50);  // node 3 is in North Virginia
+  EXPECT_GT(engine_.predicate_evals(), evals0);
+  // Removal fully unlinks from the index (no dangling dispatch).
+  ASSERT_TRUE(engine_.remove_predicate("p"));
+  engine_.on_ack(0, 2, 60);
+}
+
+TEST_F(FrontierTest, BatchRoutesExtraToTheCarryingEntry) {
+  // Regression for extra-byte routing: a batch carrying distinct extras for
+  // different predicates must deliver each (frontier, extra) pair exactly
+  // as the legacy per-entry path would.
+  auto run = [&](FrontierEngine::DispatchMode mode,
+                 bool batched) -> std::vector<std::pair<SeqNum, std::string>> {
+    StabilityTypeRegistry types;
+    FrontierEngine e(topo_, 0, types);
+    e.set_dispatch_mode(mode);
+    EXPECT_TRUE(e.register_predicate("va", "MAX($AZ_North_Virginia.verified)"));
+    EXPECT_TRUE(e.register_predicate("or", "MAX($AZ_Oregon.verified)"));
+    std::vector<std::pair<SeqNum, std::string>> fired;
+    e.monitor("va", [&](SeqNum f, BytesView x) {
+      fired.emplace_back(f, to_string(x));
+    });
+    e.monitor("or", [&](SeqNum f, BytesView x) {
+      fired.emplace_back(f, to_string(x));
+    });
+    StabilityTypeId v = *types.find("verified");
+    Bytes xa = to_bytes("alpha"), xb = to_bytes("beta");
+    std::vector<AckUpdate> batch{
+        AckUpdate{v, 2, 7, BytesView(xa)},   // node 3 (North Virginia) -> "va"
+        AckUpdate{v, 6, 9, BytesView(xb)},   // node 7 (Oregon) -> "or"
+    };
+    if (batched) {
+      e.on_ack_batch(batch);
+    } else {
+      for (const auto& u : batch) e.on_ack(u.type, u.node, u.seq, u.extra);
+    }
+    return fired;
+  };
+  auto legacy = run(FrontierEngine::DispatchMode::kLegacyScan, false);
+  auto indexed = run(FrontierEngine::DispatchMode::kIndexed, true);
+  ASSERT_EQ(legacy.size(), 2u);
+  EXPECT_EQ(legacy[0], (std::pair<SeqNum, std::string>{7, "alpha"}));
+  EXPECT_EQ(legacy[1], (std::pair<SeqNum, std::string>{9, "beta"}));
+  EXPECT_EQ(indexed, legacy);
+}
+
+TEST_F(FrontierTest, BatchCoalescedExtraIsLastAdvancing) {
+  // When several advancing reports for one predicate coalesce into a batch,
+  // monitors fire once with the final frontier and the extra of the
+  // highest-sequence report — the one that determined the coalesced MAX
+  // frontier, i.e. the extra the legacy per-report path fires last.
+  ASSERT_TRUE(engine_.register_predicate("any", "MAX($ALLWNODES-$MYWNODE)"));
+  std::vector<std::pair<SeqNum, std::string>> fired;
+  engine_.monitor("any", [&](SeqNum f, BytesView x) {
+    fired.emplace_back(f, to_string(x));
+  });
+  Bytes x1 = to_bytes("one"), x2 = to_bytes("two"), x3 = to_bytes("three");
+  std::vector<AckUpdate> batch{
+      AckUpdate{0, 1, 5, BytesView(x1)},
+      AckUpdate{0, 2, 9, BytesView(x2)},
+      AckUpdate{0, 3, 2, BytesView(x3)},  // advances its cell, but seq 2 < 9
+  };
+  engine_.on_ack_batch(batch);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], (std::pair<SeqNum, std::string>{9, "two"}));
+}
+
+// All three eval modes x both dispatch paths compute identical frontiers on
+// random monotone batch streams.
+TEST(FrontierProperty, EvalModesAndDispatchPathsAgree) {
+  Topology topo = ec2_topology();
+  const char* preds[] = {
+      "MAX($ALLWNODES-$MYWNODE)",
+      "MIN($ALLWNODES-$MYWNODE)",
+      "KTH_MAX(SIZEOF($ALLWNODES)/2+1,($ALLWNODES-$MYWNODE))",
+      "KTH_MIN(2,($ALLWNODES-$MYWNODE))",
+      "KTH_MAX(2,MAX($AZ_North_Virginia),MAX($AZ_Oregon),MAX($AZ_Ohio))",
+      "MIN(($ALLWNODES-$MYWNODE).persisted)",
+  };
+  struct Variant {
+    dsl::EvalMode eval;
+    FrontierEngine::DispatchMode dispatch;
+    std::unique_ptr<StabilityTypeRegistry> types;
+    std::unique_ptr<FrontierEngine> engine;
+  };
+  std::vector<Variant> variants;
+  for (auto eval : {dsl::EvalMode::kInterpreter, dsl::EvalMode::kBytecode,
+                    dsl::EvalMode::kSpecialized})
+    for (auto dispatch : {FrontierEngine::DispatchMode::kLegacyScan,
+                          FrontierEngine::DispatchMode::kIndexed}) {
+      Variant v;
+      v.eval = eval;
+      v.dispatch = dispatch;
+      v.types = std::make_unique<StabilityTypeRegistry>();
+      v.engine = std::make_unique<FrontierEngine>(topo, 0, *v.types, eval);
+      v.engine->set_dispatch_mode(dispatch);
+      for (size_t i = 0; i < std::size(preds); ++i)
+        ASSERT_TRUE(v.engine->register_predicate("p" + std::to_string(i),
+                                                 preds[i]));
+      variants.push_back(std::move(v));
+    }
+
+  Rng rng(4242);
+  std::vector<std::vector<int64_t>> state(2, std::vector<int64_t>(8, kNoSeq));
+  for (int step = 0; step < 400; ++step) {
+    std::vector<AckUpdate> batch;
+    size_t batch_size = 1 + rng.next_below(12);
+    for (size_t i = 0; i < batch_size; ++i) {
+      StabilityTypeId t = static_cast<StabilityTypeId>(rng.next_below(2));
+      NodeId n = static_cast<NodeId>(rng.next_below(8));
+      state[t][n] += rng.next_range(0, 3);
+      batch.push_back(AckUpdate{t, n, state[t][n], {}});
+    }
+    for (auto& v : variants) v.engine->on_ack_batch(batch);
+    for (size_t i = 0; i < std::size(preds); ++i) {
+      std::string key = "p" + std::to_string(i);
+      SeqNum expected = variants[0].engine->frontier(key);
+      for (auto& v : variants)
+        ASSERT_EQ(v.engine->frontier(key), expected)
+            << key << " eval=" << static_cast<int>(v.eval)
+            << " dispatch=" << static_cast<int>(v.dispatch)
+            << " step=" << step;
+    }
+  }
 }
 
 // Property: under random monotone ack streams, every predicate frontier is

@@ -442,6 +442,65 @@ TEST(CoreRealtime, BlockingWaitforOverInProc) {
   cluster.shutdown();
 }
 
+// --- re-entrant callback paths (why the API mutex is recursive) ---------------
+
+TEST(Core, ReentrantDeliveryHandlerCallsBackIn) {
+  // The delivery upcall runs under the API lock; applications (e.g. the
+  // backup service) call report_stability / send / get_stability_frontier
+  // from it. A non-recursive mutex would deadlock here.
+  SimFixture f(tiny_topology(3));
+  ASSERT_TRUE(f.node(1).register_predicate(
+      "ver", "MIN(($ALLWNODES-$MYWNODE).verified)"));
+  int delivered = 0;
+  f.node(1).set_delivery_handler(
+      [&](NodeId origin, SeqNum seq, BytesView, uint64_t) {
+        ++delivered;
+        f.node(1).report_stability("verified", origin, seq, to_bytes("ok"));
+        f.node(1).get_stability_frontier("ver", origin);
+        if (delivered == 1) f.node(1).send(to_bytes("echo"));
+      });
+  f.node(0).send(to_bytes("a"));
+  f.node(0).send(to_bytes("b"));
+  f.sim.run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(f.node(1).last_sent(), 0);  // the echo went out
+}
+
+TEST(Core, ReentrantMonitorCallsBackIn) {
+  // Monitor and waitfor callbacks fire under the lock from the control
+  // plane's batch apply; frontier-chasing state machines re-enter the API.
+  SimFixture f(tiny_topology(3));
+  Stabilizer& s = f.node(0);
+  ASSERT_TRUE(s.register_predicate("all", "MIN($ALLWNODES-$MYWNODE)"));
+  int monitor_fired = 0, waiter_fired = 0;
+  ASSERT_TRUE(s.monitor_stability_frontier("all", [&](SeqNum f_, BytesView) {
+    ++monitor_fired;
+    EXPECT_EQ(s.get_stability_frontier("all"), f_);
+    s.waitfor(f_, "all", [&](SeqNum) { ++waiter_fired; });  // re-entrant
+    if (monitor_fired == 1) s.send(to_bytes("chained"));    // nested batch
+  }));
+  s.send(to_bytes("x"));
+  f.sim.run();
+  EXPECT_GE(monitor_fired, 2);  // original + chained send both stabilized
+  EXPECT_EQ(waiter_fired, monitor_fired);  // already-covered fires inline
+}
+
+TEST(Core, StatsExposeControlPlaneEvalCounters) {
+  SimFixture f(tiny_topology(3));
+  ASSERT_TRUE(f.node(0).register_predicate("all", "MIN($ALLWNODES)"));
+  ASSERT_TRUE(f.node(0).register_predicate("one", "MAX($1)"));
+  for (int i = 0; i < 20; ++i) f.node(0).send(to_bytes("m"));
+  f.sim.run();
+  StabilizerStats st = f.node(0).stats();
+  EXPECT_GT(st.predicate_evals, 0u);
+  // "one" references only node 1's cell: every report about other nodes is
+  // index-skipped for it.
+  EXPECT_GT(st.evals_skipped_index, 0u);
+  // MAX predicates bound by the frontier skip provably no-op evals.
+  EXPECT_GT(st.evals_skipped_binding, 0u);
+  EXPECT_EQ(f.node(0).get_stability_frontier("all"), 19);
+}
+
 TEST(CoreRealtime, BlockingWaitforTimesOut) {
   Topology topo = tiny_topology(2, 1);
   InProcCluster cluster(2, &topo);

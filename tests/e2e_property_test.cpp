@@ -161,6 +161,115 @@ TEST_P(E2EProperty, WaitforFiresExactlyOnceAtCoverage) {
   }
 }
 
+// Random ack sequences yield byte-identical frontier/monitor histories
+// between indexed-batch and legacy per-entry evaluation. Two granularities:
+//   * size-1 batches — the full (frontier, extra) monitor history must be
+//     byte-identical (a singleton batch is exactly one legacy report);
+//   * random batch sizes — the frontier history sampled after every batch
+//     must be byte-identical, and the indexed path's monitor history must
+//     be an order-preserving subsequence of the legacy one ending at the
+//     same value (batching coalesces intermediate frontiers; monotonicity
+//     makes that lossless).
+TEST_P(E2EProperty, IndexedBatchMatchesLegacyPerEntryHistories) {
+  Topology topo = ec2_topology();
+  const char* preds[] = {
+      "MAX($ALLWNODES-$MYWNODE)",
+      "MIN($ALLWNODES-$MYWNODE)",
+      "KTH_MAX(SIZEOF($ALLWNODES)/2+1,($ALLWNODES-$MYWNODE))",
+      "KTH_MIN(3,($ALLWNODES-$MYWNODE))",
+      "MIN(MAX($AZ_North_Virginia),MAX($AZ_Oregon),MAX($AZ_Ohio))",
+      "MIN(($ALLWNODES-$MYWNODE).persisted)",
+  };
+  const size_t npreds = std::size(preds);
+
+  for (bool singleton_batches : {true, false}) {
+    struct Side {
+      std::unique_ptr<StabilityTypeRegistry> types;
+      std::unique_ptr<FrontierEngine> engine;
+      // per predicate: every (frontier, extra) a monitor observed
+      std::vector<std::vector<std::pair<SeqNum, std::string>>> monitor_hist;
+      // per predicate: frontier after every batch
+      std::vector<std::vector<SeqNum>> frontier_hist;
+    };
+    Side sides[2];  // [0] = legacy per-entry, [1] = indexed batch
+    for (int s = 0; s < 2; ++s) {
+      sides[s].types = std::make_unique<StabilityTypeRegistry>();
+      sides[s].engine =
+          std::make_unique<FrontierEngine>(topo, 0, *sides[s].types);
+      sides[s].engine->set_dispatch_mode(
+          s == 0 ? FrontierEngine::DispatchMode::kLegacyScan
+                 : FrontierEngine::DispatchMode::kIndexed);
+      sides[s].monitor_hist.resize(npreds);
+      sides[s].frontier_hist.resize(npreds);
+      for (size_t i = 0; i < npreds; ++i) {
+        std::string key = "p" + std::to_string(i);
+        ASSERT_TRUE(sides[s].engine->register_predicate(key, preds[i]));
+        auto* hist = &sides[s].monitor_hist[i];
+        ASSERT_TRUE(sides[s].engine->monitor(
+            key, [hist](SeqNum f, BytesView extra) {
+              hist->emplace_back(f, to_string(extra));
+            }));
+      }
+    }
+
+    Rng rng(GetParam() * 31 + (singleton_batches ? 1 : 0));
+    std::vector<std::vector<int64_t>> state(2,
+                                            std::vector<int64_t>(8, kNoSeq));
+    std::vector<Bytes> extra_storage;
+    for (int step = 0; step < 250; ++step) {
+      size_t batch_size = singleton_batches ? 1 : 1 + rng.next_below(10);
+      std::vector<AckUpdate> batch;
+      extra_storage.clear();
+      extra_storage.reserve(batch_size);
+      for (size_t i = 0; i < batch_size; ++i) {
+        StabilityTypeId t = static_cast<StabilityTypeId>(rng.next_below(2));
+        NodeId n = static_cast<NodeId>(rng.next_below(8));
+        state[t][n] += rng.next_range(0, 3);
+        extra_storage.push_back(
+            rng.next_bool(0.3) ? to_bytes("x" + std::to_string(step) + "." +
+                                          std::to_string(i))
+                               : Bytes{});
+        batch.push_back(
+            AckUpdate{t, n, state[t][n], BytesView(extra_storage.back())});
+      }
+      // Legacy side applies per entry; indexed side applies the batch.
+      for (const auto& u : batch)
+        sides[0].engine->on_ack(u.type, u.node, u.seq, u.extra);
+      sides[1].engine->on_ack_batch(batch);
+      for (size_t i = 0; i < npreds; ++i) {
+        std::string key = "p" + std::to_string(i);
+        for (int s = 0; s < 2; ++s)
+          sides[s].frontier_hist[i].push_back(sides[s].engine->frontier(key));
+      }
+    }
+
+    for (size_t i = 0; i < npreds; ++i) {
+      // Frontier histories byte-identical at batch granularity.
+      ASSERT_EQ(sides[0].frontier_hist[i], sides[1].frontier_hist[i])
+          << "p" << i << " singleton=" << singleton_batches;
+      const auto& legacy = sides[0].monitor_hist[i];
+      const auto& indexed = sides[1].monitor_hist[i];
+      if (singleton_batches) {
+        ASSERT_EQ(legacy, indexed) << "p" << i;
+      } else {
+        // Subsequence check: batching may coalesce, never reorder/invent.
+        size_t j = 0;
+        for (const auto& [f, _] : indexed) {
+          while (j < legacy.size() && legacy[j].first != f) ++j;
+          ASSERT_LT(j, legacy.size())
+              << "p" << i << ": indexed monitor saw frontier " << f
+              << " that legacy never reported";
+          ++j;
+        }
+        if (!legacy.empty()) {
+          ASSERT_FALSE(indexed.empty()) << "p" << i;
+          ASSERT_EQ(indexed.back().first, legacy.back().first) << "p" << i;
+        }
+      }
+    }
+  }
+}
+
 TEST_P(E2EProperty, MyMacrosExpandPerEvaluatingNode) {
   // $MYWNODE / $MYAZWNODES are relative to the evaluating node; this is a
   // feature (each site states its own locality), so agreement is NOT
