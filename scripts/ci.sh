@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Tier-1 CI: plain build + full ctest, then an AddressSanitizer pass over the
-# control-plane and core suites (the two that exercise the indexed dispatch /
-# batched ack hot path and its re-entrant callback surface).
+# Tier-1 CI: plain build + full ctest, a chaos property sweep under fresh
+# random seeds, then sanitizer passes: one configurable pass over the
+# control-plane/core suites (the indexed dispatch / batched ack hot path and
+# its re-entrant callback surface) plus one ASan and one TSan pass over the
+# fault-handling suites (recovery_test + chaos_test — the crash-restart /
+# RESUME machinery).
 #
 # Usage: scripts/ci.sh [extra cmake args...]
 # Env:   STAB_CI_SANITIZER=address|thread|undefined  (default: address)
-#        STAB_CI_SKIP_SANITIZER=1                    skip the sanitized pass
+#        STAB_CI_SKIP_SANITIZER=1                    skip all sanitized passes
+#        STAB_CI_CHAOS_SEEDS=N                       random seeds (default: 8)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -18,8 +22,31 @@ cmake --build "$ROOT/build" -j
 echo "==> tier-1: ctest"
 ctest --test-dir "$ROOT/build" --output-on-failure
 
+NUM_SEEDS="${STAB_CI_CHAOS_SEEDS:-8}"
+SEEDS=""
+for ((i = 0; i < NUM_SEEDS; ++i)); do
+  SEEDS+="${SEEDS:+,}$(( (RANDOM * 32768 + RANDOM) * 32768 + RANDOM + 1 ))"
+done
+echo "==> chaos property sweep: STAB_CHAOS_SEEDS=$SEEDS"
+CHAOS_LOG="$(mktemp)"
+if ! STAB_CHAOS_SEEDS="$SEEDS" "$ROOT/build/tests/chaos_test" \
+    --gtest_filter='ChaosProperty.*' 2>&1 | tee "$CHAOS_LOG"; then
+  echo "==> chaos sweep FAILED"
+  grep "CHAOS REPLAY SEED" "$CHAOS_LOG" || true
+  rm -f "$CHAOS_LOG"
+  exit 1
+fi
+# A replay-seed marker means a campaign failed even if the process managed
+# to exit zero: fail the script on any occurrence.
+if grep -q "CHAOS REPLAY SEED" "$CHAOS_LOG"; then
+  echo "==> chaos sweep printed a replay seed; failing"
+  rm -f "$CHAOS_LOG"
+  exit 1
+fi
+rm -f "$CHAOS_LOG"
+
 if [[ "${STAB_CI_SKIP_SANITIZER:-0}" == "1" ]]; then
-  echo "==> sanitizer pass skipped (STAB_CI_SKIP_SANITIZER=1)"
+  echo "==> sanitizer passes skipped (STAB_CI_SKIP_SANITIZER=1)"
   exit 0
 fi
 
@@ -31,5 +58,17 @@ cmake --build "$SAN_DIR" -j --target control_test core_test
 echo "==> $SAN sanitizer: control_test + core_test"
 "$SAN_DIR/tests/control_test"
 "$SAN_DIR/tests/core_test"
+
+# Fault-handling suites under both ASan and TSan: the crash-restart path
+# destroys and rebuilds Stabilizers mid-simulation (lifetime hazards) and
+# the TCP reconnect path crosses the IO thread (ordering hazards).
+for FSAN in address thread; do
+  FSAN_DIR="$ROOT/build-$FSAN"
+  echo "==> $FSAN sanitizer: recovery_test + chaos_test (build-$FSAN/)"
+  cmake -B "$FSAN_DIR" -S "$ROOT" -DSTAB_SANITIZE="$FSAN" "$@"
+  cmake --build "$FSAN_DIR" -j --target recovery_test chaos_test
+  "$FSAN_DIR/tests/recovery_test"
+  "$FSAN_DIR/tests/chaos_test"
+done
 
 echo "==> CI OK"

@@ -29,14 +29,21 @@ Stabilizer::Stabilizer(StabilizerOptions options, Transport& transport)
   stall_last_acked_.assign(n, kNoSeq);
   stalled_.assign(n, false);
   next_to_send_.assign(n, 0);
+  peer_epoch_.assign(n, 0);
+  resume_pending_.assign(n, false);
   if (options_.retransmit_timeout > Duration::zero())
     schedule_retransmit_timer();
   if (options_.peer_stall_timeout > Duration::zero()) schedule_stall_timer();
 }
 
 Stabilizer::~Stabilizer() {
+  // Unhook from the transport first: a crashed-and-destroyed node must not
+  // receive callbacks into freed state while the rest of the cluster (and
+  // the simulator's event queue) keeps running.
+  transport_.set_receive_handler(nullptr);
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   stopped_ = true;
+  if (ack_timer_ != kInvalidTimer) env().cancel(ack_timer_);
   if (retransmit_timer_ != kInvalidTimer) env().cancel(retransmit_timer_);
   if (stall_timer_ != kInvalidTimer) env().cancel(stall_timer_);
 }
@@ -154,8 +161,10 @@ void Stabilizer::on_frame(NodeId src, Bytes frame, uint64_t wire_size) {
   }
   if (*kind == data::FrameKind::kData) {
     handle_data(src, data::decode_data(frame), wire_size);
-  } else {
+  } else if (*kind == data::FrameKind::kAckBatch) {
     handle_ack_batch(data::decode_ack_batch(frame));
+  } else {
+    handle_resume(src, data::decode_resume(frame));
   }
 }
 
@@ -220,6 +229,64 @@ void Stabilizer::handle_ack_batch(const data::AckBatchFrame& frame) {
   maybe_reclaim();
 }
 
+// --- crash-restart rejoin (RESUME handshake) -----------------------------------
+
+void Stabilizer::send_resume(NodeId peer, bool reply) {
+  data::ResumeFrame frame;
+  frame.sender = options_.self;
+  frame.epoch = session_epoch_;
+  frame.receive_through = rx_.received_through(peer);
+  frame.reply = reply;
+  transport_.send(peer, data::encode(frame));
+  ++stats_.resumes_sent;
+}
+
+void Stabilizer::handle_resume(NodeId src, const data::ResumeFrame& frame) {
+  ++stats_.resumes_received;
+  if (frame.sender != src || src >= peer_epoch_.size()) return;
+
+  // Any RESUME from src was sent causally after src processed our own
+  // announcement (a reply) or re-announces its session (in which case our
+  // reply below carries everything our announcement did): either way our
+  // announcement to src needs no further re-sends.
+  resume_pending_[src] = false;
+
+  if (frame.epoch > peer_epoch_[src]) {
+    peer_epoch_[src] = frame.epoch;
+
+    // Rewind go-back-N to the reborn peer's persisted delivery cursor;
+    // frames it lost with its volatile state retransmit from the send
+    // buffer.
+    SeqNum resume_from =
+        std::max<SeqNum>(frame.receive_through + 1, out_.base());
+    if (next_to_send_[src] > resume_from) next_to_send_[src] = resume_from;
+    peer_acked_at_last_probe_[src] = kNoSeq;
+
+    // Re-issue every cumulative stability report so the peer rebuilds its
+    // ack tables immediately instead of waiting for the heartbeat.
+    for (NodeId about = 0; about < reported_.size(); ++about)
+      for (StabilityTypeId t = 0; t < reported_[about].size(); ++t)
+        if (reported_[about][t] != kNoSeq)
+          mark_dirty(about, t, reported_[about][t], {});
+
+    mark_peer_recovered(src);
+  }
+
+  // Answer announcements (even stale duplicates — the announcer keeps
+  // re-sending until a reply gets through); never answer replies, so a
+  // concurrent restart of both ends converges instead of ping-ponging.
+  if (!frame.reply && !excluded_[src]) send_resume(src, /*reply=*/true);
+  pump_windows();
+}
+
+void Stabilizer::mark_peer_recovered(NodeId peer) {
+  // Exactly-once per episode: a RESUME-driven recovery suppresses the
+  // stall_check progress path (stalled_ already cleared) and vice versa.
+  stalled_[peer] = false;
+  ++stats_.peer_recover_episodes;
+  if (recovered_handler_) recovered_handler_(peer);
+}
+
 void Stabilizer::maybe_reclaim() {
   if (out_.empty()) return;
   const AckTable& acks = engines_[options_.self]->acks();
@@ -255,9 +322,10 @@ void Stabilizer::schedule_ack_timer() {
     return;
   }
   ack_timer_armed_ = true;
-  env().schedule_after(options_.ack_interval, [this] {
+  ack_timer_ = env().schedule_after(options_.ack_interval, [this] {
     std::lock_guard<std::recursive_mutex> lock(mutex_);
     ack_timer_armed_ = false;
+    ack_timer_ = kInvalidTimer;
     if (!stopped_) flush_acks();
   });
 }
@@ -326,6 +394,12 @@ void Stabilizer::retransmit_check() {
       if (reported_[about][t] != kNoSeq)
         mark_dirty(about, t, reported_[about][t], {});
 
+  // Unconfirmed session announcements ride the same probe cadence (a RESUME
+  // lost to a partition must eventually land; duplicates are epoch-deduped).
+  for (NodeId peer = 0; peer < options_.topology.num_nodes(); ++peer)
+    if (resume_pending_[peer] && peer != options_.self && !excluded_[peer])
+      send_resume(peer);
+
   if (out_.empty()) return;
   const AckTable& acks = engines_[options_.self]->acks();
   for (NodeId peer = 0; peer < options_.topology.num_nodes(); ++peer) {
@@ -346,7 +420,7 @@ void Stabilizer::retransmit_check() {
     for (SeqNum s = from; s <= to; ++s) {
       if (const auto* slot = out_.get(s)) {
         transmit(peer, *slot);
-        ++stats_.retransmissions;
+        ++stats_.retransmits_sent;
       }
     }
     peer_acked_at_last_probe_[peer] = acked;
@@ -358,6 +432,11 @@ void Stabilizer::retransmit_check() {
 void Stabilizer::set_peer_stall_handler(PeerStallHandler handler) {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   stall_handler_ = std::move(handler);
+}
+
+void Stabilizer::set_peer_recovered_handler(PeerRecoveredHandler handler) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  recovered_handler_ = std::move(handler);
 }
 
 void Stabilizer::schedule_stall_timer() {
@@ -378,11 +457,14 @@ void Stabilizer::stall_check() {
     bool owes = last >= 0 && acked < last;
     if (!owes || acked > stall_last_acked_[peer]) {
       stall_last_acked_[peer] = acked;
-      stalled_[peer] = false;  // progress (or nothing outstanding)
+      // Progress (or nothing outstanding) closes an open stall episode;
+      // a RESUME may have closed it already, keeping the pair exactly-once.
+      if (stalled_[peer]) mark_peer_recovered(peer);
       continue;
     }
     if (!stalled_[peer]) {
       stalled_[peer] = true;  // one notification per stall episode
+      ++stats_.peer_stall_episodes;
       if (stall_handler_) stall_handler_(peer);
     }
   }
@@ -394,9 +476,21 @@ Bytes Stabilizer::snapshot_control_state() const {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   Writer w(1024);
   w.u32(0x53544142);  // "STAB"
-  w.u32(1);           // snapshot format version
+  w.u32(2);           // snapshot format version
   w.u32(options_.self);
+  w.u64(session_epoch_);
   w.i64(sequencer_.last_assigned());
+  // Unreclaimed send-buffer slots: messages some peer has not yet
+  // acknowledged. Persisting them lets a reborn instance serve the
+  // retransmissions that heal peers' gaps (v1 snapshots dropped them,
+  // leaving permanent holes at any peer that was behind at crash time).
+  w.i64(out_.base());
+  w.u32(static_cast<uint32_t>(out_.size()));
+  for (size_t i = 0; i < out_.size(); ++i) {
+    const auto* slot = out_.get(out_.base() + static_cast<SeqNum>(i));
+    w.blob(slot->payload);
+    w.u64(slot->virtual_size);
+  }
   // Stability type names (dense ids).
   w.u32(static_cast<uint32_t>(types_.count()));
   for (StabilityTypeId t = 0; t < types_.count(); ++t) w.str(types_.name(t));
@@ -427,13 +521,34 @@ Status Stabilizer::restore_control_state(BytesView snapshot) {
     Reader r(snapshot);
     if (r.u32() != 0x53544142)
       return Status::error("restore: not a Stabilizer snapshot");
-    if (r.u32() != 1) return Status::error("restore: unknown snapshot version");
+    uint32_t version = r.u32();
+    if (version != 1 && version != 2)
+      return Status::error("restore: unknown snapshot version");
     if (r.u32() != options_.self)
       return Status::error("restore: snapshot was taken by another node");
+    uint64_t snap_epoch = version >= 2 ? r.u64() : 0;
     SeqNum last_assigned = r.i64();
     sequencer_.fast_forward(last_assigned);
-    out_.reset_base(last_assigned + 1);  // pre-crash messages are not ours
-                                         // to retransmit (store has them)
+    if (version >= 2) {
+      SeqNum snap_base = r.i64();
+      uint32_t count = r.u32();
+      // Refill the send buffer so the reborn instance can serve go-back-N
+      // retransmissions for peers that were behind at crash time. Skipped
+      // when restoring a stale snapshot into an instance that has already
+      // advanced past it (monotonic-merge semantics: live state wins).
+      bool adopt = out_.empty() && out_.base() <= snap_base;
+      if (adopt) out_.reset_base(snap_base);
+      for (uint32_t i = 0; i < count; ++i) {
+        Bytes payload = r.blob();
+        uint64_t virtual_size = r.u64();
+        if (adopt)
+          out_.push(snap_base + static_cast<SeqNum>(i), std::move(payload),
+                    virtual_size);
+      }
+    } else {
+      out_.reset_base(last_assigned + 1);  // v1 kept no slots: pre-crash
+                                           // messages are unretransmittable
+    }
 
     uint32_t ntypes = r.u32();
     for (uint32_t t = 0; t < ntypes; ++t) types_.get_or_register(r.str());
@@ -459,6 +574,31 @@ Status Stabilizer::restore_control_state(BytesView snapshot) {
           if (seq != kNoSeq)
             engines_[origin]->on_ack(t, node, seq);  // monotonic merge
         }
+    }
+
+    // Rejoin: adopt a fresh session epoch and announce it to every peer.
+    // (max() also covers restoring a stale snapshot into a live instance —
+    // the epoch must never regress.)
+    session_epoch_ = std::max(session_epoch_ + 1, snap_epoch + 1);
+    const AckTable& acks = engines_[options_.self]->acks();
+    for (NodeId peer = 0; peer < n; ++peer) {
+      if (peer == options_.self) continue;
+      // Start each peer's window past what it acknowledged before the
+      // crash; its RESUME-triggered acks rewind us further if needed.
+      SeqNum acked = acks.get(StabilityTypeRegistry::kReceived, peer);
+      next_to_send_[peer] = std::max<SeqNum>(out_.base(), acked + 1);
+      if (excluded_[peer]) continue;
+      resume_pending_[peer] = true;
+      send_resume(peer);
+    }
+    // Re-announce the restored delivery cursors so peers rebuild their ack
+    // tables about us without waiting for new traffic.
+    for (NodeId origin = 0; origin < n; ++origin) {
+      SeqNum cursor = rx_.received_through(origin);
+      if (origin == options_.self || cursor == kNoSeq) continue;
+      mark_dirty(origin, StabilityTypeRegistry::kReceived, cursor, {});
+      if (options_.auto_report_delivered)
+        mark_dirty(origin, StabilityTypeRegistry::kDelivered, cursor, {});
     }
   } catch (const CodecError& e) {
     return Status::error(std::string("restore: corrupt snapshot: ") +
@@ -492,6 +632,15 @@ Status Stabilizer::change_predicate(const std::string& key,
   }
   if (sequencer_.last_assigned() >= 0)
     apply_origin_rule_for_send(sequencer_.last_assigned());
+  return Status::ok();
+}
+
+Status Stabilizer::remove_predicate(const std::string& key) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  for (auto& engine : engines_) {
+    Status st = engine->remove_predicate(key);
+    if (!st.is_ok()) return st;  // identical context: fails on the first
+  }
   return Status::ok();
 }
 
@@ -603,6 +752,21 @@ StabilizerStats Stabilizer::stats() const {
 SeqNum Stabilizer::delivered_through(NodeId origin) const {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   return rx_.received_through(origin);
+}
+
+uint64_t Stabilizer::session_epoch() const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return session_epoch_;
+}
+
+uint64_t Stabilizer::peer_session_epoch(NodeId peer) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return peer < peer_epoch_.size() ? peer_epoch_[peer] : 0;
+}
+
+bool Stabilizer::resume_pending(NodeId peer) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return peer < resume_pending_.size() && resume_pending_[peer];
 }
 
 FrontierEngine& Stabilizer::engine(NodeId origin) {

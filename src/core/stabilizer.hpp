@@ -102,7 +102,17 @@ struct StabilizerStats {
   uint64_t ack_entries_applied = 0;
   uint64_t duplicates_dropped = 0;
   uint64_t gaps_detected = 0;
-  uint64_t retransmissions = 0;
+  uint64_t retransmits_sent = 0;  // DATA frames re-sent by the go-back-N probe
+  // §III-E failure-episode accounting. A stall episode opens when the
+  // peer-stall handler fires and closes when the recovered handler fires;
+  // both are exactly-once per episode, so after every fault has healed
+  // peer_recover_episodes - peer_stall_episodes is the number of peer
+  // restarts that were observed before their stall timer expired.
+  uint64_t peer_stall_episodes = 0;
+  uint64_t peer_recover_episodes = 0;
+  // Crash-restart rejoin (RESUME handshake).
+  uint64_t resumes_sent = 0;
+  uint64_t resumes_received = 0;  // includes stale-epoch duplicates
   // Control-plane hot path (aggregated over every origin engine; see
   // FrontierEngine's counters of the same names).
   uint64_t predicate_evals = 0;
@@ -159,6 +169,10 @@ class Stabilizer {
   Status register_predicate(const std::string& key, const std::string& source);
   /// Replaces an existing predicate at runtime (dynamic reconfiguration).
   Status change_predicate(const std::string& key, const std::string& source);
+  /// Removes `key` from every origin stream's engine. Pending waiters on the
+  /// key fail with kNoSeq (waitfor_blocking reports false). Must not be
+  /// called from inside an engine callback.
+  Status remove_predicate(const std::string& key);
   bool has_predicate(const std::string& key) const;
 
   /// Current frontier of `key` for `origin`'s stream (default: own stream).
@@ -197,6 +211,15 @@ class Stabilizer {
   using PeerStallHandler = std::function<void(NodeId peer)>;
   void set_peer_stall_handler(PeerStallHandler handler);
 
+  /// Symmetric complement of the stall handler: fired (on the Env thread,
+  /// under the API lock — same re-entrancy rules) when a stalled peer makes
+  /// ack progress again, and when a peer announces a new session epoch via
+  /// RESUME (a crash-restart observed before the stall timer expired).
+  /// Typical reaction: undo the stall reaction — re-include the peer via
+  /// change_predicate / set_peer_excluded(node, false).
+  using PeerRecoveredHandler = std::function<void(NodeId peer)>;
+  void set_peer_recovered_handler(PeerRecoveredHandler handler);
+
   /// Serializes the control-plane state: stability-type names, registered
   /// predicates, every origin's AckTable, the local sequencer position, and
   /// per-origin delivery cursors. Together with the storage substrate's own
@@ -207,8 +230,19 @@ class Stabilizer {
 
   /// Restores a snapshot into a freshly constructed instance (same topology,
   /// same self). Re-registers predicates, merges ack state (monotonic, so
-  /// replaying a stale snapshot is harmless), and fast-forwards the
-  /// sequencer so new sends never reuse sequence numbers.
+  /// replaying a stale snapshot is harmless), fast-forwards the sequencer so
+  /// new sends never reuse sequence numbers, and refills the send buffer
+  /// with the snapshot's unreclaimed slots so peers' gaps can heal.
+  ///
+  /// Rejoin: restoring bumps the session epoch and announces RESUME
+  /// (epoch, receive_through) to every non-excluded peer; peers rewind their
+  /// go-back-N cursor to our persisted delivery cursor and re-issue their
+  /// cumulative stability reports and answer with a RESUME reply. The
+  /// announcement is re-sent with every retransmit probe until that reply
+  /// arrives — only a frame sent causally after the announcement proves it
+  /// got through — so a RESUME lost to a partition or to packet loss is
+  /// recovered (duplicates are ignored by epoch). Enable retransmit_timeout
+  /// when crash-restart must be survivable.
   Status restore_control_state(BytesView snapshot);
 
   /// Excluded peers receive no further traffic and do not block send-buffer
@@ -224,6 +258,12 @@ class Stabilizer {
   /// aggregated across every origin engine at call time.
   StabilizerStats stats() const;
   uint64_t send_buffer_bytes() const { return out_.buffered_bytes(); }
+  /// 0 for a fresh instance; a restore bumps it to snapshot epoch + 1.
+  uint64_t session_epoch() const;
+  /// Highest session epoch announced by `peer` via RESUME (0 = never).
+  uint64_t peer_session_epoch(NodeId peer) const;
+  /// True while our RESUME announcement to `peer` awaits confirmation.
+  bool resume_pending(NodeId peer) const;
   FrontierEngine& engine(NodeId origin = kInvalidNode);
   const FrontierEngine& engine(NodeId origin = kInvalidNode) const;
   StabilityTypeRegistry& types() { return types_; }
@@ -236,6 +276,9 @@ class Stabilizer {
   void handle_data(NodeId src, const data::DataFrame& frame,
                    uint64_t wire_size);
   void handle_ack_batch(const data::AckBatchFrame& frame);
+  void handle_resume(NodeId src, const data::ResumeFrame& frame);
+  void send_resume(NodeId peer, bool reply = false);
+  void mark_peer_recovered(NodeId peer);
   void mark_dirty(NodeId about, StabilityTypeId type, SeqNum seq, Bytes extra);
   void flush_acks();
   void schedule_ack_timer();
@@ -274,11 +317,19 @@ class Stabilizer {
   std::vector<std::vector<SeqNum>> reported_;
   bool any_dirty_ = false;
   bool ack_timer_armed_ = false;
+  TimerId ack_timer_ = kInvalidTimer;
   TimerId retransmit_timer_ = kInvalidTimer;
   TimerId stall_timer_ = kInvalidTimer;
   PeerStallHandler stall_handler_;
+  PeerRecoveredHandler recovered_handler_;
   std::vector<SeqNum> stall_last_acked_;
   std::vector<bool> stalled_;
+  // Crash-restart session state. session_epoch_ > 0 identifies an instance
+  // reborn from a snapshot; peer_epoch_ dedupes RESUME announcements;
+  // resume_pending_ drives their re-announcement from the retransmit probe.
+  uint64_t session_epoch_ = 0;
+  std::vector<uint64_t> peer_epoch_;
+  std::vector<bool> resume_pending_;
   bool stopped_ = false;
 
   StabilizerStats stats_;

@@ -26,12 +26,23 @@ Bytes encode(const AckBatchFrame& frame) {
   return std::move(w).take();
 }
 
+Bytes encode(const ResumeFrame& frame) {
+  Writer w(24);
+  w.u8(static_cast<uint8_t>(FrameKind::kResume));
+  w.u32(frame.sender);
+  w.u64(frame.epoch);
+  w.i64(frame.receive_through);
+  w.u8(frame.reply ? 1 : 0);
+  return std::move(w).take();
+}
+
 std::optional<FrameKind> peek_kind(BytesView frame) {
   if (frame.empty()) return std::nullopt;
   uint8_t k = frame[0];
   if (k == static_cast<uint8_t>(FrameKind::kData)) return FrameKind::kData;
   if (k == static_cast<uint8_t>(FrameKind::kAckBatch))
     return FrameKind::kAckBatch;
+  if (k == static_cast<uint8_t>(FrameKind::kResume)) return FrameKind::kResume;
   return std::nullopt;
 }
 
@@ -63,6 +74,18 @@ AckBatchFrame decode_ack_batch(BytesView frame) {
     e.extra = r.blob();
     out.entries.push_back(std::move(e));
   }
+  return out;
+}
+
+ResumeFrame decode_resume(BytesView frame) {
+  Reader r(frame);
+  if (r.u8() != static_cast<uint8_t>(FrameKind::kResume))
+    throw CodecError("not a RESUME frame");
+  ResumeFrame out;
+  out.sender = r.u32();
+  out.epoch = r.u64();
+  out.receive_through = r.i64();
+  out.reply = r.u8() != 0;
   return out;
 }
 

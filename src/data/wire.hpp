@@ -1,8 +1,11 @@
 // Wire protocol of the Stabilizer data and control planes.
 //
-// Two frame families share each transport link:
+// Three frame families share each transport link:
 //   * DATA    — sequenced payload of one origin's stream (data plane),
-//   * ACKBATCH— batched monotonic stability reports (control plane).
+//   * ACKBATCH— batched monotonic stability reports (control plane),
+//   * RESUME  — a restarted node's session announcement: "I am epoch E and
+//     hold your stream through seq S"; the receiver rewinds go-back-N to
+//     S+1 and re-issues its cumulative reports (crash–restart rejoin).
 // Control frames are tiny and sent continuously; data frames stream as fast
 // as the link allows — the paper's control/data separation means neither
 // ever blocks waiting for the other.
@@ -19,6 +22,7 @@ namespace stab::data {
 enum class FrameKind : uint8_t {
   kData = 1,
   kAckBatch = 2,
+  kResume = 3,
 };
 
 struct DataFrame {
@@ -42,8 +46,28 @@ struct AckBatchFrame {
   std::vector<AckEntry> entries;
 };
 
+/// Session announcement from a restarted peer, tailored per destination.
+/// Duplicate delivery is harmless: receivers ignore epochs they have
+/// already processed, so the sender re-announces (from the retransmit
+/// probe) until the destination's RESUME *reply* confirms receipt — only a
+/// frame sent causally after the announcement proves the announcement
+/// arrived; unrelated in-flight ack traffic proves nothing.
+struct ResumeFrame {
+  NodeId sender = kInvalidNode;
+  uint64_t epoch = 0;  // sender's new session epoch (>= 1 after a restart)
+  /// Highest seq of the *destination's* stream the sender holds
+  /// contiguously; the destination rewinds its cursor to this + 1.
+  SeqNum receive_through = kNoSeq;
+  /// false: announcement — the receiver must answer with a reply carrying
+  /// its own (epoch, receive_through). true: reply — never answered, which
+  /// dampens the exchange to announcement -> reply even when both sides
+  /// restarted concurrently.
+  bool reply = false;
+};
+
 Bytes encode(const DataFrame& frame);
 Bytes encode(const AckBatchFrame& frame);
+Bytes encode(const ResumeFrame& frame);
 
 /// Peeks the frame kind; nullopt on an empty buffer.
 std::optional<FrameKind> peek_kind(BytesView frame);
@@ -52,5 +76,6 @@ std::optional<FrameKind> peek_kind(BytesView frame);
 /// deliver whole frames; corruption is a programming error in this system).
 DataFrame decode_data(BytesView frame);
 AckBatchFrame decode_ack_batch(BytesView frame);
+ResumeFrame decode_resume(BytesView frame);
 
 }  // namespace stab::data

@@ -14,6 +14,13 @@ void SimTransport::send(NodeId dst, Bytes frame, uint64_t wire_size) {
   network_.send(self_, dst, std::move(frame), wire_size);
 }
 
+void SimTransport::detach() {
+  network_.set_node_up(self_, false);
+  network_.set_delivery_handler(self_, nullptr);
+}
+
+void SimTransport::reattach() { network_.set_node_up(self_, true); }
+
 SimCluster::SimCluster(const Topology& topology, sim::Simulator& simulator)
     : topology_(topology), simulator_(simulator) {
   const size_t n = topology_.num_nodes();

@@ -26,6 +26,13 @@ class SimTransport final : public Transport {
   void send(NodeId dst, Bytes frame, uint64_t wire_size = 0) override;
   Env& env() override { return simulator_; }
 
+  /// Crash-simulation hooks. detach() models the process dying: the node is
+  /// marked down (in-flight frames to it are blackholed) and the delivery
+  /// handler is cleared so no callback into freed state can fire. A restarted
+  /// owner calls reattach() and then installs its own receive handler.
+  void detach();
+  void reattach();
+
  private:
   sim::Simulator& simulator_;
   sim::SimNetwork& network_;

@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -21,7 +22,6 @@ namespace {
 
 constexpr uint32_t kKindHello = 1;
 constexpr uint32_t kKindData = 2;
-constexpr Duration kRetryInterval = millis(100);
 
 void set_nonblocking(int fd) {
   int flags = fcntl(fd, F_GETFL, 0);
@@ -63,11 +63,17 @@ Bytes TcpTransport::encode_frame(uint32_t kind, NodeId src, BytesView payload) {
   return std::move(w).take();
 }
 
-TcpTransport::TcpTransport(NodeId self, std::vector<TcpPeerAddr> peers)
+TcpTransport::TcpTransport(NodeId self, std::vector<TcpPeerAddr> peers,
+                           TcpTransportOptions options)
     : self_(self),
       peers_(std::move(peers)),
+      opts_(options),
       conns_(peers_.size()),
-      pending_(peers_.size()) {
+      pending_(peers_.size()),
+      pending_bytes_(peers_.size(), 0),
+      backoff_(peers_.size(), Duration::zero()),
+      jitter_rng_(options.jitter_seed ^
+                  (0x9e3779b97f4a7c15ULL * (self + 1))) {
   epoll_fd_ = epoll_create1(0);
   wake_fd_ = eventfd(0, EFD_NONBLOCK);
   epoll_event ev{};
@@ -115,7 +121,9 @@ void TcpTransport::send(NodeId dst, Bytes frame, uint64_t /*wire_size*/) {
     if (c.fd >= 0 && !c.connecting) {
       enqueue_locked(dst, std::move(encoded));
     } else {
+      pending_bytes_[dst] += encoded.size();
       pending_[dst].push_back(std::move(encoded));  // flushed on reconnect
+      enforce_pending_bound_locked(dst);
     }
   }
   uint64_t one = 1;
@@ -128,6 +136,21 @@ size_t TcpTransport::connected_peers() const {
   for (NodeId p = 0; p < conns_.size(); ++p)
     if (p != self_ && conns_[p].fd >= 0 && !conns_[p].connecting) ++n;
   return n;
+}
+
+uint64_t TcpTransport::pending_dropped_frames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_dropped_;
+}
+
+size_t TcpTransport::pending_bytes(NodeId peer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peer < pending_bytes_.size() ? pending_bytes_[peer] : 0;
+}
+
+Duration TcpTransport::current_backoff(NodeId peer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peer < backoff_.size() ? backoff_[peer] : Duration::zero();
 }
 
 bool TcpTransport::wait_connected(Duration timeout) {
@@ -171,7 +194,7 @@ void TcpTransport::try_dial(NodeId peer) {
   int rc = connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa);
   if (rc != 0 && errno != EINPROGRESS) {
     close(fd);
-    c.retry_at = env_.now() + kRetryInterval;
+    c.retry_at = env_.now() + next_retry_delay_locked(peer);
     return;
   }
   c.fd = fd;
@@ -197,12 +220,35 @@ void TcpTransport::close_conn(NodeId peer, const char* why) {
     // anyway; it is re-sent by the data plane's retransmission layer.
     if (c.out_offset > 0) c.outq.pop_front();
     while (!c.outq.empty()) {
+      pending_bytes_[peer] += c.outq.back().size();
       pending_[peer].push_front(std::move(c.outq.back()));
       c.outq.pop_back();
     }
+    enforce_pending_bound_locked(peer);
   }
   c = Conn{};
-  c.retry_at = env_.now() + kRetryInterval;
+  c.retry_at = env_.now() + next_retry_delay_locked(peer);
+}
+
+Duration TcpTransport::next_retry_delay_locked(NodeId peer) {
+  Duration& b = backoff_[peer];
+  b = b == Duration::zero() ? opts_.reconnect_initial
+                            : std::min(opts_.reconnect_max, b * 2);
+  double jitter =
+      1.0 + opts_.reconnect_jitter * (jitter_rng_.next_double() * 2.0 - 1.0);
+  return std::chrono::duration_cast<Duration>(b * jitter);
+}
+
+void TcpTransport::enforce_pending_bound_locked(NodeId peer) {
+  if (opts_.max_pending_bytes == 0) return;
+  auto& q = pending_[peer];
+  // Keep at least the newest frame so a single frame larger than the bound
+  // still goes out eventually.
+  while (pending_bytes_[peer] > opts_.max_pending_bytes && q.size() > 1) {
+    pending_bytes_[peer] -= q.front().size();
+    q.pop_front();
+    ++pending_dropped_;
+  }
 }
 
 void TcpTransport::enqueue_locked(NodeId peer, Bytes encoded) {
@@ -218,6 +264,7 @@ void TcpTransport::flush_pending_locked(NodeId peer) {
     c.out_offset = 0;
   }
   while (!pending_[peer].empty()) {
+    pending_bytes_[peer] -= pending_[peer].front().size();
     c.outq.push_back(std::move(pending_[peer].front()));
     pending_[peer].pop_front();
   }
@@ -288,6 +335,7 @@ void TcpTransport::handle_accept() {
     c.fd = fd;
     c.connecting = false;
     c.hello_sent = true;  // acceptor doesn't dial, no hello needed from us
+    backoff_[src] = Duration::zero();  // live connection resets the backoff
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.u32 = src;
@@ -354,6 +402,7 @@ void TcpTransport::handle_writable(NodeId peer) {
       return;
     }
     c.connecting = false;
+    backoff_[peer] = Duration::zero();  // live connection resets the backoff
     flush_pending_locked(peer);
   }
   while (!c.outq.empty()) {

@@ -5,9 +5,11 @@
 //
 // Connection policy: the node with the smaller id dials; the larger id
 // accepts. Every connection starts with a HELLO frame carrying the dialer's
-// node id. Frames queued while a peer is down are buffered and flushed on
-// reconnect (lossless as long as the process lives — the same guarantee the
-// paper's data plane asks of its transport).
+// node id. Frames queued while a peer is down are buffered (up to a
+// configurable byte bound, oldest dropped first) and flushed on reconnect.
+// Reconnect attempts back off exponentially with jitter up to a cap, so a
+// long partition costs neither unbounded memory nor a SYN storm; anything
+// dropped is recovered by the data plane's go-back-N retransmission.
 #pragma once
 
 #include <atomic>
@@ -20,6 +22,7 @@
 #include <vector>
 
 #include "common/realtime_env.hpp"
+#include "common/rng.hpp"
 #include "net/transport.hpp"
 
 namespace stab {
@@ -29,11 +32,31 @@ struct TcpPeerAddr {
   uint16_t port = 0;
 };
 
+struct TcpTransportOptions {
+  /// Reconnect backoff: the retry delay starts at `reconnect_initial`,
+  /// doubles per consecutive failure up to `reconnect_max`, and resets on a
+  /// completed connection. Each delay gets +/- `reconnect_jitter` (as a
+  /// fraction) of deterministic jitter so a cluster-wide heal doesn't
+  /// produce synchronized dial storms.
+  Duration reconnect_initial = millis(50);
+  Duration reconnect_max = seconds(2);
+  double reconnect_jitter = 0.2;
+  uint64_t jitter_seed = 0x7c0ffeeULL;  // mixed with self id per transport
+
+  /// Byte bound on each peer's pending (disconnected) frame buffer; 0 =
+  /// unbounded (pre-bound behaviour). When exceeded the oldest frames are
+  /// dropped first — cumulative ACK batches are superseded by newer ones
+  /// anyway, and dropped DATA frames are re-sent by the retransmit probe —
+  /// so a long partition cannot OOM the process.
+  size_t max_pending_bytes = 0;
+};
+
 class TcpTransport final : public Transport {
  public:
   /// `peers[i]` is node i's listen address; `peers[self]` is where this
   /// transport listens. Starts the IO thread immediately.
-  TcpTransport(NodeId self, std::vector<TcpPeerAddr> peers);
+  TcpTransport(NodeId self, std::vector<TcpPeerAddr> peers,
+               TcpTransportOptions options = {});
   ~TcpTransport() override;
 
   TcpTransport(const TcpTransport&) = delete;
@@ -54,6 +77,10 @@ class TcpTransport final : public Transport {
 
   /// Test hook: number of currently connected peers.
   size_t connected_peers() const;
+  /// Test hooks: pending-buffer accounting and reconnect backoff state.
+  uint64_t pending_dropped_frames() const;
+  size_t pending_bytes(NodeId peer) const;
+  Duration current_backoff(NodeId peer) const;
 
  private:
   struct Conn {
@@ -75,16 +102,23 @@ class TcpTransport final : public Transport {
   void handle_accept();
   void flush_pending_locked(NodeId peer);
   void enqueue_locked(NodeId peer, Bytes encoded);
+  void enforce_pending_bound_locked(NodeId peer);
+  Duration next_retry_delay_locked(NodeId peer);
   void rearm_epoll(NodeId peer);
   static Bytes encode_frame(uint32_t kind, NodeId src, BytesView payload);
 
   const NodeId self_;
   const std::vector<TcpPeerAddr> peers_;
+  const TcpTransportOptions opts_;
   RealtimeEnv env_;
 
   mutable std::mutex mutex_;
   std::vector<Conn> conns_;          // indexed by peer id
   std::vector<std::deque<Bytes>> pending_;  // frames queued while disconnected
+  std::vector<size_t> pending_bytes_;       // bytes in pending_[peer]
+  std::vector<Duration> backoff_;           // current reconnect delay per peer
+  Rng jitter_rng_;                          // guarded by mutex_
+  uint64_t pending_dropped_ = 0;
   ReceiveHandler handler_;
 
   int epoll_fd_ = -1;

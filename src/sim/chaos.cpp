@@ -1,0 +1,276 @@
+#include "sim/chaos.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stab::sim {
+
+// --- script builders ---------------------------------------------------------
+
+void add_link_flap(ChaosScript& script, TimePoint at, Duration down_for,
+                   NodeId a, NodeId b) {
+  ChaosEvent down;
+  down.at = at;
+  down.kind = ChaosEvent::Kind::kLinkDown;
+  down.a = a;
+  down.b = b;
+  script.push_back(down);
+  ChaosEvent up = down;
+  up.at = at + down_for;
+  up.kind = ChaosEvent::Kind::kLinkUp;
+  script.push_back(up);
+}
+
+void add_partition(ChaosScript& script, TimePoint at, Duration down_for,
+                   std::vector<std::vector<NodeId>> groups) {
+  ChaosEvent part;
+  part.at = at;
+  part.kind = ChaosEvent::Kind::kPartition;
+  part.groups = groups;
+  script.push_back(part);
+  ChaosEvent heal;
+  heal.at = at + down_for;
+  heal.kind = ChaosEvent::Kind::kHeal;
+  heal.groups = std::move(groups);
+  script.push_back(heal);
+}
+
+void add_loss_burst(ChaosScript& script, TimePoint at, Duration lasts,
+                    double p, double base_p) {
+  ChaosEvent raise;
+  raise.at = at;
+  raise.kind = ChaosEvent::Kind::kLossSet;
+  raise.value = p;
+  script.push_back(raise);
+  ChaosEvent restore = raise;
+  restore.at = at + lasts;
+  restore.value = base_p;
+  script.push_back(restore);
+}
+
+void add_bandwidth_collapse(ChaosScript& script, TimePoint at, Duration lasts,
+                            double scale) {
+  ChaosEvent collapse;
+  collapse.at = at;
+  collapse.kind = ChaosEvent::Kind::kBandwidthScale;
+  collapse.value = scale;
+  script.push_back(collapse);
+  ChaosEvent restore = collapse;
+  restore.at = at + lasts;
+  restore.value = 1.0;
+  script.push_back(restore);
+}
+
+void add_crash_restart(ChaosScript& script, TimePoint at, Duration down_for,
+                       NodeId node) {
+  ChaosEvent crash;
+  crash.at = at;
+  crash.kind = ChaosEvent::Kind::kCrash;
+  crash.a = node;
+  script.push_back(crash);
+  ChaosEvent restart = crash;
+  restart.at = at + down_for;
+  restart.kind = ChaosEvent::Kind::kRestart;
+  script.push_back(restart);
+}
+
+void finalize_script(ChaosScript& script) {
+  std::stable_sort(script.begin(), script.end(),
+                   [](const ChaosEvent& x, const ChaosEvent& y) {
+                     return x.at < y.at;
+                   });
+}
+
+// --- random campaign generation ---------------------------------------------
+
+namespace {
+
+TimePoint pick_time(Rng& rng, Duration window) {
+  return from_sec(rng.next_double() * to_sec(window));
+}
+
+Duration pick_duration(Rng& rng, Duration lo, Duration hi) {
+  if (hi <= lo) return lo;
+  return lo + from_sec(rng.next_double() * to_sec(hi - lo));
+}
+
+}  // namespace
+
+ChaosScript make_random_script(uint64_t seed, const RandomCampaignParams& p) {
+  if (p.num_nodes < 2)
+    throw std::invalid_argument("make_random_script: need >= 2 nodes");
+  Rng rng(seed);
+  ChaosScript script;
+
+  if (p.background_loss > 0)
+    add_loss_burst(script, kTimeZero, p.heal_deadline, p.background_loss,
+                   p.background_loss);
+
+  auto clamp_end = [&](TimePoint at, Duration want) {
+    Duration room = p.heal_deadline - at;
+    return want < room ? want : room;
+  };
+
+  for (int i = 0; i < p.link_flaps; ++i) {
+    NodeId a = static_cast<NodeId>(rng.next_below(p.num_nodes));
+    NodeId b = static_cast<NodeId>(rng.next_below(p.num_nodes - 1));
+    if (b >= a) ++b;
+    TimePoint at = pick_time(rng, p.fault_window);
+    Duration down = pick_duration(rng, millis(200), seconds(3));
+    add_link_flap(script, at, clamp_end(at, down), a, b);
+  }
+
+  for (int i = 0; i < p.partitions; ++i) {
+    std::vector<std::vector<NodeId>> groups(2);
+    for (NodeId n = 0; n < p.num_nodes; ++n)
+      groups[rng.next_below(2)].push_back(n);
+    // Both sides must be non-empty for the split to partition anything.
+    if (groups[0].empty() || groups[1].empty()) {
+      size_t full = groups[0].empty() ? 1 : 0;
+      groups[1 - full].push_back(groups[full].back());
+      groups[full].pop_back();
+    }
+    TimePoint at = pick_time(rng, p.fault_window);
+    Duration down = pick_duration(rng, seconds(1), seconds(5));
+    add_partition(script, at, clamp_end(at, down), std::move(groups));
+  }
+
+  for (int i = 0; i < p.loss_bursts; ++i) {
+    TimePoint at = pick_time(rng, p.fault_window);
+    Duration lasts = pick_duration(rng, millis(500), seconds(4));
+    double loss = 0.01 + rng.next_double() * (p.burst_loss_max - 0.01);
+    add_loss_burst(script, at, clamp_end(at, lasts), loss, p.background_loss);
+  }
+
+  for (int i = 0; i < p.bandwidth_collapses; ++i) {
+    TimePoint at = pick_time(rng, p.fault_window);
+    Duration lasts = pick_duration(rng, millis(500), seconds(4));
+    double scale = 0.05 + rng.next_double() * 0.45;
+    add_bandwidth_collapse(script, at, clamp_end(at, lasts), scale);
+  }
+
+  if (!p.crashable.empty()) {
+    // Distinct victims so per-node crash/restart windows never overlap.
+    std::vector<NodeId> victims = p.crashable;
+    int crashes = std::min<int>(p.crashes, static_cast<int>(victims.size()));
+    for (int i = 0; i < crashes; ++i) {
+      size_t pick = rng.next_below(victims.size());
+      NodeId node = victims[pick];
+      victims.erase(victims.begin() + static_cast<ptrdiff_t>(pick));
+      TimePoint at = pick_time(rng, p.fault_window / 2);
+      Duration down = pick_duration(rng, seconds(2), seconds(8));
+      add_crash_restart(script, at, clamp_end(at, down), node);
+    }
+  }
+
+  finalize_script(script);
+  return script;
+}
+
+// --- execution ---------------------------------------------------------------
+
+ChaosSchedule::ChaosSchedule(Simulator& simulator, SimNetwork& network)
+    : simulator_(simulator),
+      network_(network),
+      down_counts_(network.num_nodes() * network.num_nodes(), 0),
+      node_down_(network.num_nodes(), false) {}
+
+void ChaosSchedule::arm(const ChaosScript& script) {
+  for (const ChaosEvent& event : script)
+    simulator_.schedule_at(event.at, [this, event]() { apply(event); });
+}
+
+int& ChaosSchedule::down_count(NodeId a, NodeId b) {
+  size_t n = network_.num_nodes();
+  if (a >= n || b >= n)
+    throw std::out_of_range("ChaosSchedule: node id out of range");
+  return down_counts_[a * n + b];
+}
+
+void ChaosSchedule::hold_down(NodeId a, NodeId b) {
+  if (++down_count(a, b) == 1) {
+    network_.set_link_up(a, b, false);
+    ++counters_.links_downed;
+  }
+}
+
+void ChaosSchedule::release_down(NodeId a, NodeId b) {
+  int& count = down_count(a, b);
+  if (count == 0) return;  // already healed (defensive for hand-built scripts)
+  if (--count == 0) {
+    network_.set_link_up(a, b, true);
+    ++counters_.links_restored;
+  }
+}
+
+bool ChaosSchedule::cross_group(
+    const std::vector<std::vector<NodeId>>& groups, NodeId a, NodeId b) {
+  int ga = -1, gb = -1;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (NodeId n : groups[g]) {
+      if (n == a) ga = static_cast<int>(g);
+      if (n == b) gb = static_cast<int>(g);
+    }
+  }
+  return ga >= 0 && gb >= 0 && ga != gb;
+}
+
+void ChaosSchedule::apply(const ChaosEvent& event) {
+  size_t n = network_.num_nodes();
+  switch (event.kind) {
+    case ChaosEvent::Kind::kLinkDown:
+      hold_down(event.a, event.b);
+      if (event.bidir) hold_down(event.b, event.a);
+      break;
+    case ChaosEvent::Kind::kLinkUp:
+      release_down(event.a, event.b);
+      if (event.bidir) release_down(event.b, event.a);
+      break;
+    case ChaosEvent::Kind::kPartition:
+      for (NodeId a = 0; a < n; ++a)
+        for (NodeId b = 0; b < n; ++b)
+          if (a != b && cross_group(event.groups, a, b)) hold_down(a, b);
+      ++counters_.partitions;
+      break;
+    case ChaosEvent::Kind::kHeal:
+      for (NodeId a = 0; a < n; ++a)
+        for (NodeId b = 0; b < n; ++b)
+          if (a != b && cross_group(event.groups, a, b)) release_down(a, b);
+      ++counters_.heals;
+      break;
+    case ChaosEvent::Kind::kLossSet:
+      if (event.a == kInvalidNode) {
+        for (NodeId a = 0; a < n; ++a)
+          for (NodeId b = 0; b < n; ++b)
+            if (a != b) network_.set_drop_probability(a, b, event.value);
+      } else {
+        network_.set_drop_probability(event.a, event.b, event.value);
+        if (event.bidir) network_.set_drop_probability(event.b, event.a,
+                                                       event.value);
+      }
+      ++counters_.loss_changes;
+      break;
+    case ChaosEvent::Kind::kBandwidthScale:
+      network_.set_bandwidth_scale(event.value);
+      ++counters_.bandwidth_changes;
+      break;
+    case ChaosEvent::Kind::kCrash:
+      if (node_down_[event.a]) break;  // already down: no double crash
+      node_down_[event.a] = true;
+      network_.set_node_up(event.a, false);
+      ++counters_.crashes;
+      if (crash_) crash_(event.a);
+      break;
+    case ChaosEvent::Kind::kRestart:
+      if (!node_down_[event.a]) break;
+      node_down_[event.a] = false;
+      // Bring the node up *before* the handler runs so the rebuilt node's
+      // RESUME announcements aren't dropped at their own source.
+      network_.set_node_up(event.a, true);
+      ++counters_.restarts;
+      if (restart_) restart_(event.a);
+      break;
+  }
+}
+
+}  // namespace stab::sim

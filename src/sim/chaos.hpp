@@ -1,0 +1,159 @@
+// Deterministic chaos engine for fault campaigns on the virtual clock.
+//
+// A campaign is a ChaosScript — a plain list of timestamped ChaosEvents —
+// armed on a Simulator + SimNetwork by a ChaosSchedule. Everything is data:
+// a campaign is reproducible from (seed, script) alone, so any failing
+// property-test run can be replayed by feeding the printed seed back in.
+//
+// Fault vocabulary (the WAN failure modes the paper's §III-E story must
+// degrade gracefully under):
+//   * link flaps          — one directed or bidirectional link down/up,
+//   * region partitions   — every cross-group link down, healed as a unit,
+//   * loss bursts         — iid drop probability raised on links for a window,
+//   * bandwidth collapse  — global pipe-bandwidth scale (congestion),
+//   * node crash/restart  — the node leaves the network with full volatile
+//     state loss; the harness's crash/restart handlers destroy and rebuild
+//     the node (SimTransport reattach + snapshot/WAL recovery + RESUME).
+//
+// Overlapping faults compose: link-down is reference-counted per directed
+// link, so healing a partition does not resurrect a link that an
+// independent flap still holds down.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace stab::sim {
+
+struct ChaosEvent {
+  enum class Kind : uint8_t {
+    kLinkDown,        // a -> b (and b -> a if bidir)
+    kLinkUp,          // undo one matching kLinkDown
+    kPartition,       // cross-`groups` links down (refcounted)
+    kHeal,            // undo one matching kPartition (same groups)
+    kLossSet,         // drop probability `value` on a -> b, or on every
+                      // configured link when a == kInvalidNode
+    kBandwidthScale,  // global pipe-bandwidth scale := value
+    kCrash,           // node `a` crashes (volatile state lost)
+    kRestart,         // node `a` comes back and rejoins
+  };
+
+  TimePoint at = kTimeZero;
+  Kind kind = Kind::kLinkDown;
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  bool bidir = true;
+  double value = 0;
+  std::vector<std::vector<NodeId>> groups;  // kPartition / kHeal
+};
+
+using ChaosScript = std::vector<ChaosEvent>;
+
+// --- script builders ---------------------------------------------------------
+
+/// Flap link a<->b: down at `at`, back up after `down_for`.
+void add_link_flap(ChaosScript& script, TimePoint at, Duration down_for,
+                   NodeId a, NodeId b);
+
+/// Partition the nodes into `groups` at `at`; heal after `down_for`.
+/// Nodes absent from every group are unaffected.
+void add_partition(ChaosScript& script, TimePoint at, Duration down_for,
+                   std::vector<std::vector<NodeId>> groups);
+
+/// Raise loss on every link to `p` at `at`, restore `base_p` after `lasts`.
+void add_loss_burst(ChaosScript& script, TimePoint at, Duration lasts,
+                    double p, double base_p = 0);
+
+/// Collapse global bandwidth to `scale` at `at`, restore 1.0 after `lasts`.
+void add_bandwidth_collapse(ChaosScript& script, TimePoint at, Duration lasts,
+                            double scale);
+
+/// Crash node at `at`, restart it after `down_for`.
+void add_crash_restart(ChaosScript& script, TimePoint at, Duration down_for,
+                       NodeId node);
+
+/// Stable sort by time (script order breaks ties) — call after building.
+void finalize_script(ChaosScript& script);
+
+// --- random campaign generation ---------------------------------------------
+
+struct RandomCampaignParams {
+  size_t num_nodes = 0;
+  /// Faults are injected in [0, fault_window); every fault heals by
+  /// heal_deadline so the post-campaign drain can assert convergence.
+  Duration fault_window = seconds(15);
+  Duration heal_deadline = seconds(20);
+  int link_flaps = 3;
+  int partitions = 1;
+  int loss_bursts = 2;
+  int bandwidth_collapses = 1;
+  int crashes = 1;
+  /// Nodes eligible for crash/restart (need persistence + a rejoin path);
+  /// empty disables crashes regardless of `crashes`.
+  std::vector<NodeId> crashable;
+  double burst_loss_max = 0.15;
+  double background_loss = 0;  // applied to all links at t=0 when > 0
+};
+
+/// Deterministically derive a script from (seed, params). Same inputs,
+/// same script — byte for byte.
+ChaosScript make_random_script(uint64_t seed, const RandomCampaignParams& p);
+
+// --- execution ---------------------------------------------------------------
+
+class ChaosSchedule {
+ public:
+  /// Called when a kCrash / kRestart event fires, after the network state
+  /// change has been applied (node already marked down resp. up), so a
+  /// restart handler can immediately send its RESUME announcements.
+  using NodeHandler = std::function<void(NodeId node)>;
+
+  ChaosSchedule(Simulator& simulator, SimNetwork& network);
+
+  void set_crash_handler(NodeHandler handler) { crash_ = std::move(handler); }
+  void set_restart_handler(NodeHandler handler) {
+    restart_ = std::move(handler);
+  }
+
+  /// Schedule every event of the script on the simulator. May be called
+  /// once per campaign.
+  void arm(const ChaosScript& script);
+
+  struct Counters {
+    uint64_t links_downed = 0;
+    uint64_t links_restored = 0;
+    uint64_t partitions = 0;
+    uint64_t heals = 0;
+    uint64_t loss_changes = 0;
+    uint64_t bandwidth_changes = 0;
+    uint64_t crashes = 0;
+    uint64_t restarts = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+  bool node_down(NodeId node) const { return node_down_.at(node); }
+
+ private:
+  void apply(const ChaosEvent& event);
+  void hold_down(NodeId a, NodeId b);     // refcounted directed link-down
+  void release_down(NodeId a, NodeId b);  // refcounted directed link-up
+  int& down_count(NodeId a, NodeId b);
+  static bool cross_group(const std::vector<std::vector<NodeId>>& groups,
+                          NodeId a, NodeId b);
+
+  Simulator& simulator_;
+  SimNetwork& network_;
+  NodeHandler crash_;
+  NodeHandler restart_;
+  std::vector<int> down_counts_;  // num_nodes^2, row-major [src][dst]
+  std::vector<bool> node_down_;
+  Counters counters_;
+};
+
+}  // namespace stab::sim

@@ -69,16 +69,27 @@ std::optional<TimePoint> SimNetwork::send(NodeId src, NodeId dst, Bytes frame,
   link.bytes_sent += wire_size;
   Pipe& pipe = pipes_[static_cast<size_t>(link.pipe)];
   TimePoint start = std::max(simulator_.now(), pipe.busy_until);
+  double effective_bps = pipe.bandwidth_bps * bandwidth_scale_;
   Duration xmit = pipe.bandwidth_bps > 0
-                      ? transmit_time(wire_size, pipe.bandwidth_bps)
+                      ? transmit_time(wire_size, effective_bps)
                       : Duration::zero();
   pipe.busy_until = start + xmit;
+  link.in_flight_xmit += xmit;
   TimePoint deliver_at = pipe.busy_until + link.latency;
 
+  uint64_t epoch = link.down_epoch;
   simulator_.schedule_at(
-      deliver_at, [this, src, dst, frame = std::move(frame), wire_size]() {
+      deliver_at,
+      [this, src, dst, epoch, xmit, frame = std::move(frame), wire_size]() {
+        Link& link = link_at(src, dst);
+        if (link.down_epoch == epoch) {
+          // Still the same link session: release our pipe reservation.
+          link.in_flight_xmit -= xmit;
+        }
         Node& node = nodes_[dst];
-        if (!node.up) {  // went down while in flight
+        if (!link.up || link.down_epoch != epoch || !node.up) {
+          // Link went down while in flight (blackholed even if it came back
+          // up — TCP sessions don't survive a path flap) or dest crashed.
           ++dropped_;
           return;
         }
@@ -89,7 +100,25 @@ std::optional<TimePoint> SimNetwork::send(NodeId src, NodeId dst, Bytes frame,
 }
 
 void SimNetwork::set_link_up(NodeId src, NodeId dst, bool up) {
-  link_at(src, dst).up = up;
+  Link& link = link_at(src, dst);
+  if (link.up && !up) {
+    ++link.down_epoch;
+    // Refund the pipe time reserved by frames now blackholed so post-heal
+    // traffic isn't queued behind transfers that will never complete.
+    if (link.pipe >= 0) {
+      Pipe& pipe = pipes_[static_cast<size_t>(link.pipe)];
+      TimePoint floor = simulator_.now();
+      pipe.busy_until =
+          std::max(floor, pipe.busy_until - link.in_flight_xmit);
+    }
+    link.in_flight_xmit = Duration::zero();
+  }
+  link.up = up;
+}
+
+void SimNetwork::set_bandwidth_scale(double scale) {
+  if (scale <= 0) throw std::invalid_argument("SimNetwork: scale must be > 0");
+  bandwidth_scale_ = scale;
 }
 
 void SimNetwork::set_node_up(NodeId node, bool up) {

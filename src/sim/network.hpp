@@ -9,8 +9,11 @@
 //     MajorityRegions-vs-Paxos gap),
 //   * lossless FIFO delivery per link (constant latency + serialized pipe),
 //   * fault injection: links can be taken down (silent drop, like a WAN
-//     blackhole) and given iid drop probabilities (exercises the data
-//     plane's retransmission path).
+//     blackhole — frames already in flight on the link are blackholed too,
+//     and the pipe time they had reserved is refunded so post-heal sends see
+//     the link's true bandwidth), iid drop probabilities (exercises the data
+//     plane's retransmission path), and a global bandwidth scale factor
+//     (models WAN-wide congestion collapse for chaos campaigns).
 //
 // Messages carry real frame bytes plus a `wire_size`; bandwidth is charged
 // on wire_size so benches can replay multi-gigabyte traces without
@@ -62,10 +65,18 @@ class SimNetwork {
                                 uint64_t wire_size = 0);
 
   // --- fault injection -----------------------------------------------------
+  /// Taking a link down blackholes frames already in flight on it and
+  /// refunds the pipe time they had reserved (exact for dedicated pipes;
+  /// for shared pipes the refund is the link's own reservation, which is a
+  /// conservative approximation). Bringing it back up starts clean.
   void set_link_up(NodeId src, NodeId dst, bool up);
   void set_node_up(NodeId node, bool up);  // all links to/from the node
   void set_drop_probability(NodeId src, NodeId dst, double p);
   void set_drop_rng_seed(uint64_t seed) { rng_ = Rng(seed); }
+  /// Scale every pipe's effective bandwidth (chaos "bandwidth collapse").
+  /// 1.0 = nominal; 0.1 = 10x slower. Must be > 0. Applies to future sends.
+  void set_bandwidth_scale(double scale);
+  double bandwidth_scale() const { return bandwidth_scale_; }
 
   // --- introspection for tests & benches -----------------------------------
   uint64_t bytes_sent(NodeId src, NodeId dst) const;
@@ -86,6 +97,12 @@ class SimNetwork {
     int pipe = -1;
     double drop_probability = 0;
     uint64_t bytes_sent = 0;
+    // Incremented each time the link goes down; frames capture the epoch at
+    // send time and are blackholed at delivery if it no longer matches.
+    uint64_t down_epoch = 0;
+    // Pipe time currently reserved by this link's in-flight frames; refunded
+    // to the pipe when the link goes down.
+    Duration in_flight_xmit = Duration::zero();
   };
   struct Node {
     bool up = true;
@@ -102,6 +119,7 @@ class SimNetwork {
   std::vector<Pipe> pipes_;
   Rng rng_{0xfeedfacecafebeefULL};
   uint64_t dropped_ = 0;
+  double bandwidth_scale_ = 1.0;
 };
 
 }  // namespace stab::sim

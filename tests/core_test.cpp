@@ -4,8 +4,11 @@
 // fault injection with retransmission, and real-time blocking waits.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
+#include <thread>
 
 #include "core/stabilizer.hpp"
 #include "net/inproc_transport.hpp"
@@ -273,7 +276,7 @@ TEST(Core, LossyLinkRecoveredByRetransmission) {
 
   ASSERT_EQ(delivered.size(), static_cast<size_t>(kCount));
   for (int i = 0; i < kCount; ++i) EXPECT_EQ(delivered[i], i);
-  EXPECT_GT(f.node(0).stats().retransmissions, 0u);
+  EXPECT_GT(f.node(0).stats().retransmits_sent, 0u);
   EXPECT_EQ(f.node(1).delivered_through(0), kCount - 1);
 }
 
@@ -512,6 +515,60 @@ TEST(CoreRealtime, BlockingWaitforTimesOut) {
   ASSERT_TRUE(node0.register_predicate("all", "MIN($ALLWNODES-$MYWNODE)"));
   SeqNum seq = node0.send(to_bytes("x"));
   EXPECT_FALSE(node0.waitfor_blocking(seq, "all", millis(100)));
+}
+
+TEST(CoreRealtime, TimedOutWaitDuringPartitionNeverCompletesLater) {
+  Topology topo = tiny_topology(2, 1);
+  InProcCluster cluster(2, &topo);
+  StabilizerOptions opts;
+  opts.topology = topo;
+  opts.self = 0;
+  opts.ack_interval = millis(1);
+  opts.retransmit_timeout = millis(20);
+  Stabilizer node0(opts, cluster.transport(0));
+  ASSERT_TRUE(node0.register_predicate("all", "MIN($ALLWNODES-$MYWNODE)"));
+  // Node 1 is unreachable ("partitioned": nothing consumes its frames), so
+  // the wait can only end by timeout.
+  SeqNum seq = node0.send(to_bytes("x"));
+  EXPECT_FALSE(node0.waitfor_blocking(seq, "all", millis(100)));
+
+  // The partition heals: node 1 appears, go-back-N delivers the message,
+  // the frontier advances past seq. The timed-out call's internal waiter
+  // now fires against its own kept-alive state — it must neither crash nor
+  // complete anything a second time, and fresh waits keep working.
+  StabilizerOptions opts1 = opts;
+  opts1.self = 1;
+  Stabilizer node1(opts1, cluster.transport(1));
+  EXPECT_TRUE(node0.waitfor_blocking(seq, "all", seconds(10)));
+  EXPECT_GE(node0.get_stability_frontier("all"), seq);
+}
+
+TEST(CoreRealtime, RemovePredicateFailsBlockedWaitPromptly) {
+  Topology topo = tiny_topology(2, 1);
+  InProcCluster cluster(2, &topo);
+  StabilizerOptions opts;
+  opts.topology = topo;
+  opts.self = 0;
+  Stabilizer node0(opts, cluster.transport(0));
+  ASSERT_TRUE(node0.register_predicate("all", "MIN($ALLWNODES-$MYWNODE)"));
+  SeqNum seq = node0.send(to_bytes("x"));  // never stabilizes: peer absent
+
+  std::atomic<bool> result{true};
+  std::thread waiter(
+      [&] { result = node0.waitfor_blocking(seq, "all", seconds(30)); });
+  // Let the waiter register, then pull the predicate out from under it:
+  // the pending waiter fails with kNoSeq, which waitfor_blocking must
+  // report as false (not as "stabilized") — and immediately, not after the
+  // 30 s timeout.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(node0.remove_predicate("all"));
+  waiter.join();
+  EXPECT_FALSE(result);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(5));
+  EXPECT_FALSE(node0.has_predicate("all"));
+  // The key is gone for the timeout path too: a new wait fails fast.
+  EXPECT_FALSE(node0.waitfor_blocking(seq, "all", seconds(30)));
 }
 
 }  // namespace

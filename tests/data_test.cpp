@@ -40,6 +40,27 @@ TEST(Wire, AckBatchRoundTrip) {
   EXPECT_EQ(to_string(out.entries[1].extra), "extra");
 }
 
+TEST(Wire, ResumeRoundTrip) {
+  ResumeFrame in;
+  in.sender = 7;
+  in.epoch = 0xdeadbeefcafeULL;
+  in.receive_through = 424242;
+  Bytes enc = encode(in);
+  EXPECT_EQ(peek_kind(enc), FrameKind::kResume);
+  ResumeFrame out = decode_resume(enc);
+  EXPECT_EQ(out.sender, in.sender);
+  EXPECT_EQ(out.epoch, in.epoch);
+  EXPECT_EQ(out.receive_through, in.receive_through);
+  EXPECT_FALSE(out.reply);
+
+  in.reply = true;
+  in.receive_through = kNoSeq;  // restarted before receiving anything
+  out = decode_resume(encode(in));
+  EXPECT_TRUE(out.reply);
+  EXPECT_EQ(out.receive_through, kNoSeq);
+  EXPECT_THROW(decode_resume(encode(DataFrame{})), CodecError);
+}
+
 TEST(Wire, PeekRejectsGarbage) {
   EXPECT_FALSE(peek_kind(Bytes{}).has_value());
   EXPECT_FALSE(peek_kind(Bytes{0x77}).has_value());

@@ -230,6 +230,70 @@ TEST(Tcp, BuffersWhilePeerDown) {
   EXPECT_EQ(got[1], "early-2");
 }
 
+TEST(Tcp, ReconnectBackoffGrowsCapsAndResetsOnConnect) {
+  auto addrs = loopback_addrs(2, static_cast<uint16_t>(pick_base_port() + 32));
+  TcpTransportOptions opts;
+  opts.reconnect_initial = millis(5);
+  opts.reconnect_max = millis(40);
+  opts.reconnect_jitter = 0.2;
+  TcpTransport a(0, addrs, opts);  // peer 1 absent: every dial fails
+
+  Duration max_seen = Duration::zero();
+  for (int i = 0; i < 600; ++i) {
+    max_seen = std::max(max_seen, a.current_backoff(1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Grew beyond the initial delay and capped at reconnect_max (+ jitter).
+  EXPECT_GT(max_seen, millis(5));
+  EXPECT_LE(max_seen, millis(48));
+
+  TcpTransport b(1, addrs);
+  ASSERT_TRUE(a.wait_connected(seconds(5)));
+  for (int i = 0; i < 1000 && a.current_backoff(1) != Duration::zero(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(a.current_backoff(1), Duration::zero());  // reset for next outage
+}
+
+TEST(Tcp, PendingBufferBoundDropsOldestFirst) {
+  auto addrs = loopback_addrs(2, static_cast<uint16_t>(pick_base_port() + 40));
+  TcpTransportOptions opts;
+  opts.max_pending_bytes = 4096;
+  TcpTransport a(0, addrs, opts);
+
+  const uint32_t kCount = 100;
+  for (uint32_t i = 0; i < kCount; ++i) {
+    Writer w;
+    w.u32(i);
+    w.blob(Bytes(100));  // ~100+ bytes per frame: far beyond the bound
+    a.send(1, std::move(w).take());
+  }
+  EXPECT_LE(a.pending_bytes(1), opts.max_pending_bytes);
+  EXPECT_GT(a.pending_dropped_frames(), 0u);
+
+  TcpTransport b(1, addrs);
+  std::mutex m;
+  std::vector<uint32_t> got;
+  b.set_receive_handler([&](NodeId, Bytes frame, uint64_t) {
+    Reader r(frame);
+    std::lock_guard<std::mutex> l(m);
+    got.push_back(r.u32());
+  });
+  for (int i = 0; i < 5000; ++i) {
+    {
+      std::lock_guard<std::mutex> l(m);
+      if (!got.empty() && got.back() == kCount - 1) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::lock_guard<std::mutex> l(m);
+  // Oldest frames were dropped; what survived is the newest contiguous
+  // tail, delivered in order and ending with the last send.
+  ASSERT_FALSE(got.empty());
+  EXPECT_LT(got.size(), static_cast<size_t>(kCount));
+  EXPECT_EQ(got.back(), kCount - 1);
+  for (size_t i = 1; i < got.size(); ++i) EXPECT_EQ(got[i], got[i - 1] + 1);
+}
+
 TEST(Tcp, LargeFrame) {
   auto addrs = loopback_addrs(2, static_cast<uint16_t>(pick_base_port() + 24));
   TcpTransport a(0, addrs), b(1, addrs);

@@ -98,6 +98,36 @@ TEST(StallDetection, RefiresAfterRecoveryAndSecondCrash) {
   EXPECT_EQ(stall_times.size(), 2u);  // a new stall episode re-fires
 }
 
+TEST(StallDetection, RecoveredHandlerClosesEpisodesExactlyOnce) {
+  StabilizerOptions base;
+  base.peer_stall_timeout = millis(100);
+  base.retransmit_timeout = millis(100);
+  Fixture f(mesh(2, 5), base);
+  std::vector<std::string> events;
+  f.node(0).set_peer_stall_handler(
+      [&](NodeId p) { events.push_back("stall" + std::to_string(p)); });
+  f.node(0).set_peer_recovered_handler(
+      [&](NodeId p) { events.push_back("recover" + std::to_string(p)); });
+
+  f.cluster->network().set_node_up(1, false);
+  f.node(0).send(to_bytes("a"));
+  f.sim.run_until(seconds(1));
+  f.cluster->network().set_node_up(1, true);  // ack progress resumes
+  f.sim.run_until(seconds(2));
+  f.cluster->network().set_node_up(1, false);
+  f.node(0).send(to_bytes("b"));
+  f.sim.run_until(seconds(3));
+  f.cluster->network().set_node_up(1, true);
+  f.sim.run_until(seconds(4));
+
+  // Strict alternation, one recover per stall, nothing after quiescence.
+  EXPECT_EQ(events, (std::vector<std::string>{"stall1", "recover1", "stall1",
+                                              "recover1"}));
+  StabilizerStats st = f.node(0).stats();
+  EXPECT_EQ(st.peer_stall_episodes, 2u);
+  EXPECT_EQ(st.peer_recover_episodes, 2u);
+}
+
 TEST(StallDetection, TypicalReactionAdjustsPredicates) {
   // The §III-E recipe end to end: detect the crashed secondary, find the
   // affected predicates, exclude the peer, and weaken the predicate.
@@ -196,6 +226,36 @@ TEST(Snapshot, PreservesDeliveryCursors) {
   Fixture g(mesh(2, 1));
   ASSERT_TRUE(g.node(0).restore_control_state(snapshot));
   EXPECT_EQ(g.node(0).delivered_through(1), 1);
+}
+
+TEST(Snapshot, V2RestoresSendBufferAcrossRestart) {
+  StabilizerOptions base;
+  base.retransmit_timeout = millis(50);
+  Fixture f(mesh(2, 1), base);
+  ASSERT_TRUE(f.node(0).register_predicate("one", "MAX($ALLWNODES-$MYWNODE)"));
+  // Peer unreachable: the three messages stay unacknowledged in the send
+  // buffer, so the snapshot must carry them (v2 format).
+  f.cluster->network().set_node_up(1, false);
+  for (int i = 0; i < 3; ++i) f.node(0).send(to_bytes("buffered"));
+  f.sim.run_until(seconds(1));
+  ASSERT_GT(f.node(0).send_buffer_bytes(), 0u);
+  Bytes snapshot = f.node(0).snapshot_control_state();
+
+  // Process restart (fresh transports, fresh peer). The restored instance
+  // announces its new session epoch and retransmits the buffered tail —
+  // without the send-buffer slots in the snapshot these messages would be
+  // gone forever.
+  Fixture g(mesh(2, 1), base);
+  std::vector<SeqNum> got;
+  g.node(1).set_delivery_handler(
+      [&](NodeId, SeqNum s, BytesView, uint64_t) { got.push_back(s); });
+  ASSERT_TRUE(g.node(0).restore_control_state(snapshot));
+  EXPECT_EQ(g.node(0).session_epoch(), 1u);
+  g.sim.run_until(seconds(2));
+  EXPECT_EQ(got, (std::vector<SeqNum>{0, 1, 2}));
+  EXPECT_EQ(g.node(1).peer_session_epoch(0), 1u);
+  EXPECT_FALSE(g.node(0).resume_pending(1));  // reply confirmed the rejoin
+  EXPECT_EQ(g.node(0).send_buffer_bytes(), 0u);  // acked and reclaimed
 }
 
 // --- full primary-restart flow (store WAL + control snapshot) -------------------

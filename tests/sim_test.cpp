@@ -273,6 +273,88 @@ TEST_F(SimNetworkTest, AccountsBytesSent) {
   EXPECT_EQ(net_.frames_delivered(1), 2u);
 }
 
+// A link flap kills the path's in-flight frames even when the link is back
+// up before their delivery time — simulated TCP sessions do not survive a
+// path flap — and the down/up cycle is symmetric: new traffic flows again.
+TEST_F(SimNetworkTest, LinkFlapBlackholesInFlightFrames) {
+  LinkParams p;
+  p.latency = millis(10);
+  net_.set_link(0, 1, p);
+  net_.send(0, 1, to_bytes("doomed"));
+  net_.set_link_up(0, 1, false);  // flap while the frame is in flight
+  net_.set_link_up(0, 1, true);
+  net_.send(0, 1, to_bytes("fresh"));
+  sim_.run();
+  ASSERT_EQ(got_[1].size(), 1u);
+  EXPECT_EQ(to_string(got_[1][0].frame), "fresh");
+  EXPECT_EQ(net_.frames_dropped(), 1u);
+}
+
+// Frames queued on a busy pipe when the link goes down are dropped AND
+// their reserved transmission time is refunded, so the pipe is immediately
+// usable once set_link_up restores the link.
+TEST_F(SimNetworkTest, SetLinkUpRestoresPipeBandwidthAccounting) {
+  LinkParams p;
+  p.bandwidth_bps = 8e6;  // 1 MB/s
+  net_.set_link(0, 1, p);
+  net_.send(0, 1, Bytes(), 1'000'000);  // reserves the pipe until t=1s
+  net_.send(0, 1, Bytes(), 1'000'000);  // queued behind it until t=2s
+  net_.set_link_up(0, 1, false);        // both blackholed, pipe refunded
+  net_.set_link_up(0, 1, true);
+  net_.send(0, 1, Bytes(), 1'000'000);
+  sim_.run();
+  ASSERT_EQ(got_[1].size(), 1u);
+  EXPECT_EQ(got_[1][0].at, seconds(1));  // not 3s: reservation was refunded
+  EXPECT_EQ(net_.frames_dropped(), 2u);
+}
+
+// set_drop_probability composes with link state instead of replacing it:
+// a down link drops everything regardless of p, and the configured p is
+// still in force after the link heals.
+TEST_F(SimNetworkTest, DropProbabilityComposesWithDownLinks) {
+  LinkParams p;
+  net_.set_link(0, 1, p);
+  net_.set_drop_rng_seed(7);
+  net_.set_drop_probability(0, 1, 0.5);
+  net_.set_link_up(0, 1, false);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(net_.send(0, 1, Bytes{1}));
+  sim_.run();
+  EXPECT_TRUE(got_[1].empty());
+  EXPECT_EQ(net_.frames_dropped(), 100u);
+
+  net_.set_link_up(0, 1, true);
+  for (int i = 0; i < 2000; ++i) net_.send(0, 1, Bytes{1});
+  sim_.run();
+  double rate = got_[1].size() / 2000.0;
+  EXPECT_GT(rate, 0.4);
+  EXPECT_LT(rate, 0.6);
+
+  net_.set_drop_probability(0, 1, 0);
+  got_[1].clear();
+  for (int i = 0; i < 50; ++i) net_.send(0, 1, Bytes{1});
+  sim_.run();
+  EXPECT_EQ(got_[1].size(), 50u);
+}
+
+// Global bandwidth collapse: every pipe's transmit time stretches by 1/scale.
+TEST_F(SimNetworkTest, BandwidthScaleStretchesTransmitTime) {
+  LinkParams p;
+  p.bandwidth_bps = 8e6;
+  net_.set_link(0, 1, p);
+  net_.set_bandwidth_scale(0.5);
+  net_.send(0, 1, Bytes(), 1'000'000);
+  sim_.run();
+  ASSERT_EQ(got_[1].size(), 1u);
+  EXPECT_EQ(got_[1][0].at, seconds(2));  // 1 MB at half of 1 MB/s
+
+  net_.set_bandwidth_scale(1.0);
+  got_[1].clear();
+  net_.send(0, 1, Bytes(), 1'000'000);
+  sim_.run();
+  EXPECT_EQ(got_[1][0].at, seconds(2) + seconds(1));
+  EXPECT_THROW(net_.set_bandwidth_scale(0), std::invalid_argument);
+}
+
 // Property: on a lossless link, delivery time = queueing-aware analytic
 // formula, for random message sizes.
 TEST(SimNetworkProperty, DeliveryMatchesAnalyticModel) {
