@@ -11,11 +11,11 @@ double probe_rtt_ms(const Topology& topo, NodeId src, NodeId dst) {
   sim::Simulator sim;
   SimCluster cluster(topo, sim);
   TimePoint pong_at = kTimeZero;
-  cluster.transport(dst).set_receive_handler([&](NodeId from, Bytes, uint64_t) {
+  cluster.transport(dst).set_receive_handler([&](NodeId from, BytesView, uint64_t) {
     cluster.transport(dst).send(from, to_bytes("pong"));
   });
   cluster.transport(src).set_receive_handler(
-      [&](NodeId, Bytes, uint64_t) { pong_at = sim.now(); });
+      [&](NodeId, BytesView, uint64_t) { pong_at = sim.now(); });
   cluster.transport(src).send(dst, to_bytes("ping"));
   sim.run();
   return to_ms(pong_at);
@@ -28,7 +28,7 @@ double probe_thp_mbps(const Topology& topo, NodeId src, NodeId dst) {
   uint64_t received = 0;
   TimePoint last = kTimeZero;
   cluster.transport(dst).set_receive_handler(
-      [&](NodeId, Bytes, uint64_t wire) {
+      [&](NodeId, BytesView, uint64_t wire) {
         received += wire;
         last = sim.now();
       });

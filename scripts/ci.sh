@@ -22,6 +22,11 @@ cmake --build "$ROOT/build" -j
 echo "==> tier-1: ctest"
 ctest --test-dir "$ROOT/build" --output-on-failure
 
+echo "==> data-plane hot path bench (smoke)"
+# Runs in build/ so the smoke JSON does not clobber the committed full-mode
+# BENCH_data_hotpath.json at the repo root.
+(cd "$ROOT/build" && bench/bench_data_hotpath --smoke)
+
 NUM_SEEDS="${STAB_CI_CHAOS_SEEDS:-8}"
 SEEDS=""
 for ((i = 0; i < NUM_SEEDS; ++i)); do
@@ -69,6 +74,14 @@ for FSAN in address thread; do
   cmake --build "$FSAN_DIR" -j --target recovery_test chaos_test
   "$FSAN_DIR/tests/recovery_test"
   "$FSAN_DIR/tests/chaos_test"
+  if [[ "$FSAN" == "thread" ]]; then
+    # The refcounted fan-out hands one buffer to concurrent receiver threads
+    # (InProc) and to the TCP IO thread via scatter-gather; net_test under
+    # TSan guards the shared-frame lifetime and ordering.
+    echo "==> $FSAN sanitizer: net_test (shared fan-out)"
+    cmake --build "$FSAN_DIR" -j --target net_test
+    "$FSAN_DIR/tests/net_test"
+  fi
 done
 
 echo "==> CI OK"

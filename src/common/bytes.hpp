@@ -33,6 +33,12 @@ class Writer {
   Writer() = default;
   explicit Writer(size_t reserve) { buf_.reserve(reserve); }
 
+  /// Pre-sizes the buffer for `n` more bytes. Encoders that can compute
+  /// their exact frame size call this (or the reserving constructor) so the
+  /// whole encode is a single allocation; writing past the reservation
+  /// stays correct, it just re-allocates.
+  void reserve(size_t n) { buf_.reserve(buf_.size() + n); }
+
   void u8(uint8_t v) { buf_.push_back(v); }
   void u16(uint16_t v) { raw(&v, sizeof v); }
   void u32(uint32_t v) { raw(&v, sizeof v); }

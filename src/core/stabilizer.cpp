@@ -23,8 +23,8 @@ Stabilizer::Stabilizer(StabilizerOptions options, Transport& transport)
         options_.topology, options_.self, types_, options_.eval_mode));
 
   transport_.set_receive_handler(
-      [this](NodeId src, Bytes frame, uint64_t wire_size) {
-        on_frame(src, std::move(frame), wire_size);
+      [this](NodeId src, BytesView frame, uint64_t wire_size) {
+        on_frame(src, frame, wire_size);
       });
   stall_last_acked_.assign(n, kNoSeq);
   stalled_.assign(n, false);
@@ -46,6 +46,7 @@ Stabilizer::~Stabilizer() {
   if (ack_timer_ != kInvalidTimer) env().cancel(ack_timer_);
   if (retransmit_timer_ != kInvalidTimer) env().cancel(retransmit_timer_);
   if (stall_timer_ != kInvalidTimer) env().cancel(stall_timer_);
+  if (flush_timer_ != kInvalidTimer) env().cancel(flush_timer_);
 }
 
 // --- data plane ----------------------------------------------------------------
@@ -56,7 +57,10 @@ SeqNum Stabilizer::send(BytesView payload, uint64_t virtual_size) {
   out_.push(seq, Bytes(payload.begin(), payload.end()), virtual_size);
   ++stats_.messages_sent;
 
-  pump_windows();
+  if (coalescing_enabled())
+    arm_flush();  // batch with the rest of this event-loop turn's sends
+  else
+    pump_windows();
   apply_origin_rule_for_send(seq);
   maybe_reclaim();  // single-node clusters reclaim immediately
   return seq;
@@ -101,6 +105,17 @@ void Stabilizer::send_raw(NodeId dst, Bytes frame) {
   transport_.send(dst, std::move(frame));
 }
 
+void Stabilizer::arm_flush() {
+  if (flush_armed_ || stopped_) return;
+  flush_armed_ = true;
+  flush_timer_ = env().post([this] {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    flush_armed_ = false;
+    flush_timer_ = kInvalidTimer;
+    if (!stopped_) pump_windows();
+  });
+}
+
 void Stabilizer::pump_windows() {
   const AckTable& acks = engines_[options_.self]->acks();
   const SeqNum last = sequencer_.last_assigned();
@@ -108,28 +123,100 @@ void Stabilizer::pump_windows() {
     if (peer == options_.self || excluded_[peer]) continue;
     SeqNum& cursor = next_to_send_[peer];
     if (cursor < out_.base()) cursor = out_.base();  // after recovery
-    while (cursor <= last) {
-      if (options_.send_window > 0) {
-        SeqNum acked = acks.get(StabilityTypeRegistry::kReceived, peer);
-        if (cursor - acked > static_cast<SeqNum>(options_.send_window))
-          break;  // window full; resumes when this peer's acks advance
+    // Window allowance: at most send_window beyond the peer's receive ack
+    // (resumes when this peer's acks advance).
+    SeqNum limit = last;
+    if (options_.send_window > 0) {
+      SeqNum acked = acks.get(StabilityTypeRegistry::kReceived, peer);
+      limit = std::min(limit,
+                       acked + static_cast<SeqNum>(options_.send_window));
+    }
+    while (cursor <= limit) {
+      const auto* slot = out_.get(cursor);
+      if (!slot) {
+        ++cursor;
+        continue;
       }
-      if (const auto* slot = out_.get(cursor)) transmit(peer, *slot);
+      if (coalescing_enabled() && coalescable(*slot)) {
+        // Greedily gather the run of consecutive small slots that fits the
+        // batch bounds.
+        SeqNum first = cursor;
+        size_t count = 0;
+        size_t bytes = 0;
+        while (cursor <= limit && count < options_.coalesce_max_frames) {
+          const auto* s = out_.get(cursor);
+          if (!s || !coalescable(*s)) break;
+          size_t cost = 12 + s->payload.size() + s->virtual_size;
+          if (count > 0 && bytes + cost > options_.coalesce_max_bytes) break;
+          bytes += cost;
+          ++count;
+          ++cursor;
+        }
+        if (count >= 2)
+          transmit_batch(peer, first, count);
+        else
+          transmit(peer, *out_.get(first));
+        continue;
+      }
+      transmit(peer, *slot);
       ++cursor;
     }
   }
 }
 
 void Stabilizer::transmit(NodeId dst, const data::OutBuffer::Slot& slot) {
-  data::DataFrame frame;
-  frame.origin = options_.self;
-  frame.seq = slot.seq;
-  frame.payload = slot.payload;  // copy; transport consumes its frame
-  frame.virtual_size = slot.virtual_size;
-  Bytes encoded = data::encode(frame);
-  uint64_t wire = encoded.size() + slot.virtual_size;
-  transport_.send(dst, std::move(encoded), wire);
+  if (options_.data_path == StabilizerOptions::DataPath::kShared) {
+    // Encode-once: the first transmission of this message (to any peer, or
+    // as a retransmit) fills the slot's frame cache; everything after reuses
+    // the refcounted buffer.
+    if (!slot.encoded) {
+      slot.encoded = std::make_shared<const Bytes>(data::encode_data(
+          options_.self, slot.seq, slot.payload, slot.virtual_size));
+      ++stats_.data_encodes;
+    }
+    uint64_t wire = slot.encoded->size() + slot.virtual_size;
+    transport_.send_shared(dst, slot.encoded, wire);
+    ++stats_.shared_sends;
+  } else {
+    Bytes encoded = data::encode_data(options_.self, slot.seq, slot.payload,
+                                      slot.virtual_size);
+    ++stats_.data_encodes;
+    stats_.fanout_bytes_copied += encoded.size();
+    uint64_t wire = encoded.size() + slot.virtual_size;
+    transport_.send(dst, std::move(encoded), wire);
+  }
   ++stats_.frames_transmitted;
+}
+
+bool Stabilizer::coalescable(const data::OutBuffer::Slot& slot) const {
+  return 12 + slot.payload.size() + slot.virtual_size <=
+         options_.coalesce_max_bytes;
+}
+
+void Stabilizer::transmit_batch(NodeId dst, SeqNum first, size_t count) {
+  if (!(batch_first_ == first && batch_count_ == count && batch_frame_)) {
+    data::DataBatchFrame batch;
+    batch.origin = options_.self;
+    batch.first_seq = first;
+    batch.entries.reserve(count);
+    uint64_t virtual_total = 0;
+    for (size_t i = 0; i < count; ++i) {
+      const auto* slot = out_.get(first + static_cast<SeqNum>(i));
+      batch.entries.push_back(
+          data::DataBatchFrame::Entry{BytesView(slot->payload),
+                                      slot->virtual_size});
+      virtual_total += slot->virtual_size;
+    }
+    batch_frame_ = std::make_shared<const Bytes>(data::encode(batch));
+    batch_first_ = first;
+    batch_count_ = count;
+    batch_wire_ = batch_frame_->size() + virtual_total;
+    ++stats_.data_encodes;
+  }
+  transport_.send_shared(dst, batch_frame_, batch_wire_);
+  ++stats_.shared_sends;
+  stats_.frames_transmitted += count;
+  stats_.frames_coalesced += count;
 }
 
 void Stabilizer::apply_origin_rule_for_send(SeqNum seq) {
@@ -146,7 +233,7 @@ void Stabilizer::apply_origin_rule_for_send(SeqNum seq) {
 
 // --- receive path ----------------------------------------------------------------
 
-void Stabilizer::on_frame(NodeId src, Bytes frame, uint64_t wire_size) {
+void Stabilizer::on_frame(NodeId src, BytesView frame, uint64_t wire_size) {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   if (stopped_) return;
   auto kind = data::peek_kind(frame);
@@ -159,16 +246,44 @@ void Stabilizer::on_frame(NodeId src, Bytes frame, uint64_t wire_size) {
     }
     return;
   }
-  if (*kind == data::FrameKind::kData) {
-    handle_data(src, data::decode_data(frame), wire_size);
-  } else if (*kind == data::FrameKind::kAckBatch) {
-    handle_ack_batch(data::decode_ack_batch(frame));
-  } else {
-    handle_resume(src, data::decode_resume(frame));
+  switch (*kind) {
+    case data::FrameKind::kData:
+      handle_data(src, data::decode_data_view(frame), wire_size);
+      break;
+    case data::FrameKind::kDataBatch:
+      handle_data_batch(src, data::decode_data_batch(frame));
+      break;
+    case data::FrameKind::kAckBatch:
+      handle_ack_batch(data::decode_ack_batch(frame));
+      break;
+    case data::FrameKind::kResume:
+      handle_resume(src, data::decode_resume(frame));
+      break;
   }
 }
 
-void Stabilizer::handle_data(NodeId src, const data::DataFrame& frame,
+void Stabilizer::handle_data_batch(NodeId src,
+                                   const data::DataBatchFrame& batch) {
+  // Unpack and run each message through the ordinary per-message path, in
+  // order — the receive tracker, acks, session semantics, and the delivery
+  // handler cannot tell coalesced messages from singles. Per-message wire
+  // accounting reconstructs the batch's footprint: 12 bytes of entry header
+  // plus payload and padding each, with the 17-byte frame header charged to
+  // the first message.
+  for (size_t i = 0; i < batch.entries.size(); ++i) {
+    const data::DataBatchFrame::Entry& e = batch.entries[i];
+    data::DataView m;
+    m.origin = batch.origin;
+    m.seq = batch.first_seq + static_cast<SeqNum>(i);
+    m.payload = e.payload;
+    m.virtual_size = e.virtual_size;
+    uint64_t wire =
+        12 + e.payload.size() + e.virtual_size + (i == 0 ? 17 : 0);
+    handle_data(src, m, wire);
+  }
+}
+
+void Stabilizer::handle_data(NodeId src, const data::DataView& frame,
                              uint64_t wire_size) {
   (void)src;
   if (frame.origin >= options_.topology.num_nodes()) return;
@@ -237,7 +352,9 @@ void Stabilizer::send_resume(NodeId peer, bool reply) {
   frame.epoch = session_epoch_;
   frame.receive_through = rx_.received_through(peer);
   frame.reply = reply;
-  transport_.send(peer, data::encode(frame));
+  transport_.send_shared(peer,
+                         std::make_shared<const Bytes>(data::encode(frame)));
+  ++stats_.shared_sends;
   ++stats_.resumes_sent;
 }
 
@@ -347,10 +464,13 @@ void Stabilizer::flush_acks() {
       }
     }
     if (batch.entries.empty()) return;
-    Bytes encoded = data::encode(batch);
+    // One encode, fanned out refcounted — the ack broadcast rides the same
+    // zero-copy path as the data plane.
+    auto encoded = std::make_shared<const Bytes>(data::encode(batch));
     for (NodeId peer = 0; peer < options_.topology.num_nodes(); ++peer) {
       if (peer == options_.self || excluded_[peer]) continue;
-      transport_.send(peer, encoded);
+      transport_.send_shared(peer, encoded);
+      ++stats_.shared_sends;
       ++stats_.ack_batches_sent;
     }
   } else {

@@ -89,6 +89,27 @@ struct StabilizerOptions {
   /// Execution strategy for compiled predicates.
   dsl::EvalMode eval_mode = dsl::EvalMode::kSpecialized;
 
+  /// Data-plane send strategy. kShared (the default) encodes each message
+  /// once into its send-buffer slot and fans the refcounted frame out via
+  /// Transport::send_shared; go-back-N retransmits reuse the same buffer.
+  /// kLegacy re-encodes per destination per transmission — the pre-fast-path
+  /// behaviour, kept as an in-binary baseline for benches and differential
+  /// tests.
+  enum class DataPath { kLegacy, kShared };
+  DataPath data_path = DataPath::kShared;
+
+  /// Small-frame coalescing: when > 1, a window flush that finds several
+  /// consecutive pending messages for a peer packs up to this many into one
+  /// DATABATCH frame, and send() defers its flush to the end of the current
+  /// event-loop turn so a burst of sends coalesces. 0/1 = off (the default:
+  /// every send() transmits synchronously before returning, which
+  /// latency-sensitive callers rely on).
+  size_t coalesce_max_frames = 0;
+  /// Byte bound per DATABATCH (payloads + virtual padding + per-entry
+  /// headers). Messages too large to fit ride alone: coalescing exists to
+  /// amortize per-frame overhead that large payloads already amortize.
+  size_t coalesce_max_bytes = 16 * 1024;
+
   /// Automatically report the "delivered" level after the application
   /// upcall returns.
   bool auto_report_delivered = true;
@@ -118,6 +139,13 @@ struct StabilizerStats {
   uint64_t predicate_evals = 0;
   uint64_t evals_skipped_index = 0;
   uint64_t evals_skipped_binding = 0;
+  // Data-plane fast path. frames_transmitted above stays per message per
+  // peer even when messages ride inside a DATABATCH; frames_coalesced counts
+  // how many of those transmissions were coalesced.
+  uint64_t data_encodes = 0;         // DATA/DATABATCH encode executions
+  uint64_t shared_sends = 0;         // frames handed to Transport::send_shared
+  uint64_t frames_coalesced = 0;     // message transmissions inside a batch
+  uint64_t fanout_bytes_copied = 0;  // bytes encoded per-peer (legacy path)
 };
 
 class Stabilizer {
@@ -272,9 +300,10 @@ class Stabilizer {
   NodeId resolve_origin(NodeId origin) const {
     return origin == kInvalidNode ? options_.self : origin;
   }
-  void on_frame(NodeId src, Bytes frame, uint64_t wire_size);
-  void handle_data(NodeId src, const data::DataFrame& frame,
+  void on_frame(NodeId src, BytesView frame, uint64_t wire_size);
+  void handle_data(NodeId src, const data::DataView& frame,
                    uint64_t wire_size);
+  void handle_data_batch(NodeId src, const data::DataBatchFrame& batch);
   void handle_ack_batch(const data::AckBatchFrame& frame);
   void handle_resume(NodeId src, const data::ResumeFrame& frame);
   void send_resume(NodeId peer, bool reply = false);
@@ -289,8 +318,16 @@ class Stabilizer {
   void apply_origin_rule_for_send(SeqNum seq);
   void maybe_reclaim();
   void transmit(NodeId dst, const data::OutBuffer::Slot& slot);
+  /// Transmits slots [first, first + count) to `dst` as one DATABATCH frame.
+  void transmit_batch(NodeId dst, SeqNum first, size_t count);
+  bool coalescing_enabled() const { return options_.coalesce_max_frames > 1; }
+  /// True when the slot is small enough to ride inside a DATABATCH.
+  bool coalescable(const data::OutBuffer::Slot& slot) const;
   /// Transmits buffered messages to every peer up to its window allowance.
   void pump_windows();
+  /// Coalescing defers send()'s flush to the end of the event-loop turn so a
+  /// burst of sends batches; this arms that (single) deferred pump.
+  void arm_flush();
 
   StabilizerOptions options_;
   Transport& transport_;
@@ -318,6 +355,17 @@ class Stabilizer {
   bool any_dirty_ = false;
   bool ack_timer_armed_ = false;
   TimerId ack_timer_ = kInvalidTimer;
+  // Last encoded DATABATCH, keyed by (first_seq, count). Sequence numbers
+  // are never reused and slots are immutable until reclaim, so a hit is
+  // always valid — a broadcast encodes each batch once and every peer's
+  // flush reuses it.
+  SeqNum batch_first_ = kNoSeq;
+  size_t batch_count_ = 0;
+  std::shared_ptr<const Bytes> batch_frame_;
+  uint64_t batch_wire_ = 0;
+  // Deferred-flush state (armed only while coalescing is enabled).
+  bool flush_armed_ = false;
+  TimerId flush_timer_ = kInvalidTimer;
   TimerId retransmit_timer_ = kInvalidTimer;
   TimerId stall_timer_ = kInvalidTimer;
   PeerStallHandler stall_handler_;

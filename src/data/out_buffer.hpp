@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 
 #include "common/bytes.hpp"
 #include "common/types.hpp"
@@ -41,6 +42,13 @@ class OutBuffer {
     SeqNum seq;
     Bytes payload;
     uint64_t virtual_size;
+    /// Encoded wire frame, filled lazily on first transmission and reused by
+    /// every peer fan-out and go-back-N retransmit (encode-once). Shared so
+    /// transports can hold the buffer refcounted after the slot is
+    /// reclaimed. Not counted by buffered_bytes(): that figure models the
+    /// paper's application buffer occupancy, and the cache is an encoding
+    /// of the same payload, dropped with the slot on reclaim.
+    mutable std::shared_ptr<const Bytes> encoded;
   };
 
   /// Appends a message; seq must be exactly last+1 (FIFO stream).

@@ -1,19 +1,55 @@
 #include "data/wire.hpp"
 
+#include <stdexcept>
+
 namespace stab::data {
 
-Bytes encode(const DataFrame& frame) {
-  Writer w(frame.payload.size() + 32);
+// Frame layouts (all integers little-endian):
+//   DATA      u8 kind | u32 origin | i64 seq | u64 virtual_size | blob payload
+//   DATABATCH u8 kind | u32 origin | i64 first_seq | u32 count
+//             | count x { blob payload | u64 virtual_size }
+//   ACKBATCH  u8 kind | u32 reporter | u32 count
+//             | count x { u32 origin | u32 type | i64 seq | blob extra }
+//   RESUME    u8 kind | u32 sender | u64 epoch | i64 receive_through | u8 reply
+
+Bytes encode_data(NodeId origin, SeqNum seq, BytesView payload,
+                  uint64_t virtual_size) {
+  Writer w(1 + 4 + 8 + 8 + 4 + payload.size());
   w.u8(static_cast<uint8_t>(FrameKind::kData));
+  w.u32(origin);
+  w.i64(seq);
+  w.u64(virtual_size);
+  w.blob(payload);
+  return std::move(w).take();
+}
+
+Bytes encode(const DataFrame& frame) {
+  return encode_data(frame.origin, frame.seq, frame.payload,
+                     frame.virtual_size);
+}
+
+Bytes encode(const DataBatchFrame& frame) {
+  if (frame.entries.empty())
+    throw std::invalid_argument("DATABATCH must carry at least one message");
+  size_t body = 0;
+  for (const DataBatchFrame::Entry& e : frame.entries)
+    body += 4 + e.payload.size() + 8;
+  Writer w(1 + 4 + 8 + 4 + body);
+  w.u8(static_cast<uint8_t>(FrameKind::kDataBatch));
   w.u32(frame.origin);
-  w.i64(frame.seq);
-  w.u64(frame.virtual_size);
-  w.blob(frame.payload);
+  w.i64(frame.first_seq);
+  w.u32(static_cast<uint32_t>(frame.entries.size()));
+  for (const DataBatchFrame::Entry& e : frame.entries) {
+    w.blob(e.payload);
+    w.u64(e.virtual_size);
+  }
   return std::move(w).take();
 }
 
 Bytes encode(const AckBatchFrame& frame) {
-  Writer w(16 + frame.entries.size() * 24);
+  size_t body = 0;
+  for (const AckEntry& e : frame.entries) body += 4 + 4 + 8 + 4 + e.extra.size();
+  Writer w(1 + 4 + 4 + body);
   w.u8(static_cast<uint8_t>(FrameKind::kAckBatch));
   w.u32(frame.reporter);
   w.u32(static_cast<uint32_t>(frame.entries.size()));
@@ -27,7 +63,7 @@ Bytes encode(const AckBatchFrame& frame) {
 }
 
 Bytes encode(const ResumeFrame& frame) {
-  Writer w(24);
+  Writer w(1 + 4 + 8 + 8 + 1);
   w.u8(static_cast<uint8_t>(FrameKind::kResume));
   w.u32(frame.sender);
   w.u64(frame.epoch);
@@ -43,6 +79,8 @@ std::optional<FrameKind> peek_kind(BytesView frame) {
   if (k == static_cast<uint8_t>(FrameKind::kAckBatch))
     return FrameKind::kAckBatch;
   if (k == static_cast<uint8_t>(FrameKind::kResume)) return FrameKind::kResume;
+  if (k == static_cast<uint8_t>(FrameKind::kDataBatch))
+    return FrameKind::kDataBatch;
   return std::nullopt;
 }
 
@@ -55,6 +93,37 @@ DataFrame decode_data(BytesView frame) {
   out.seq = r.i64();
   out.virtual_size = r.u64();
   out.payload = r.blob();
+  return out;
+}
+
+DataView decode_data_view(BytesView frame) {
+  Reader r(frame);
+  if (r.u8() != static_cast<uint8_t>(FrameKind::kData))
+    throw CodecError("not a DATA frame");
+  DataView out;
+  out.origin = r.u32();
+  out.seq = r.i64();
+  out.virtual_size = r.u64();
+  out.payload = r.blob_view();
+  return out;
+}
+
+DataBatchFrame decode_data_batch(BytesView frame) {
+  Reader r(frame);
+  if (r.u8() != static_cast<uint8_t>(FrameKind::kDataBatch))
+    throw CodecError("not a DATABATCH frame");
+  DataBatchFrame out;
+  out.origin = r.u32();
+  out.first_seq = r.i64();
+  uint32_t n = r.u32();
+  if (n == 0) throw CodecError("empty DATABATCH");
+  out.entries.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    DataBatchFrame::Entry e;
+    e.payload = r.blob_view();
+    e.virtual_size = r.u64();
+    out.entries.push_back(e);
+  }
   return out;
 }
 

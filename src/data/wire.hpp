@@ -1,14 +1,24 @@
 // Wire protocol of the Stabilizer data and control planes.
 //
-// Three frame families share each transport link:
-//   * DATA    — sequenced payload of one origin's stream (data plane),
-//   * ACKBATCH— batched monotonic stability reports (control plane),
-//   * RESUME  — a restarted node's session announcement: "I am epoch E and
+// Four frame families share each transport link:
+//   * DATA     — sequenced payload of one origin's stream (data plane),
+//   * DATABATCH— several consecutive small DATA frames of one stream packed
+//     into a single transport frame (the data-plane fast path's small-frame
+//     coalescing; receivers unpack and run the ordinary per-message path, so
+//     FIFO order and the receive tracker see no difference),
+//   * ACKBATCH — batched monotonic stability reports (control plane),
+//   * RESUME   — a restarted node's session announcement: "I am epoch E and
 //     hold your stream through seq S"; the receiver rewinds go-back-N to
 //     S+1 and re-issues its cumulative reports (crash–restart rejoin).
 // Control frames are tiny and sent continuously; data frames stream as fast
 // as the link allows — the paper's control/data separation means neither
 // ever blocks waiting for the other.
+//
+// Kind bytes >= 0x40 are reserved for application frames multiplexed onto
+// the same links (Stabilizer::send_raw); peek_kind reports them as unknown.
+//
+// Every encoder precomputes its exact frame size so encoding is a single
+// allocation (Writer never grows mid-encode).
 #pragma once
 
 #include <optional>
@@ -23,6 +33,7 @@ enum class FrameKind : uint8_t {
   kData = 1,
   kAckBatch = 2,
   kResume = 3,
+  kDataBatch = 4,
 };
 
 struct DataFrame {
@@ -32,6 +43,31 @@ struct DataFrame {
   /// Bytes of payload that exist only "on the wire" (trace replay padding);
   /// receivers see it via the transport's wire_size.
   uint64_t virtual_size = 0;
+};
+
+/// Zero-copy view of one decoded DATA message: `payload` aliases the frame
+/// buffer it was decoded from (or, on the send side, an OutBuffer slot) and
+/// is valid only while that buffer lives. The hot receive path uses this
+/// instead of DataFrame to avoid one payload copy per delivery.
+struct DataView {
+  NodeId origin = kInvalidNode;
+  SeqNum seq = kNoSeq;
+  BytesView payload;
+  uint64_t virtual_size = 0;
+};
+
+/// A run of consecutive messages of one origin's stream: entry i carries
+/// seq first_seq + i. Entries are views for the same reason as DataView —
+/// encode packs OutBuffer slots without copying, decode hands out slices of
+/// the arriving frame. An encoded batch is never empty.
+struct DataBatchFrame {
+  NodeId origin = kInvalidNode;
+  SeqNum first_seq = kNoSeq;
+  struct Entry {
+    BytesView payload;
+    uint64_t virtual_size = 0;
+  };
+  std::vector<Entry> entries;
 };
 
 struct AckEntry {
@@ -68,13 +104,27 @@ struct ResumeFrame {
 Bytes encode(const DataFrame& frame);
 Bytes encode(const AckBatchFrame& frame);
 Bytes encode(const ResumeFrame& frame);
+/// Throws std::invalid_argument on an empty batch (an empty batch is never
+/// a valid wire frame, so producing one is a programming error).
+Bytes encode(const DataBatchFrame& frame);
 
-/// Peeks the frame kind; nullopt on an empty buffer.
+/// Encode a DATA frame straight from a payload view (the encode-once path:
+/// no intermediate DataFrame copy of the payload).
+Bytes encode_data(NodeId origin, SeqNum seq, BytesView payload,
+                  uint64_t virtual_size);
+
+/// Peeks the frame kind; nullopt on an empty buffer or an unknown /
+/// application-reserved (>= 0x40) kind byte.
 std::optional<FrameKind> peek_kind(BytesView frame);
 
 /// Decoders throw CodecError on malformed input (transports are trusted to
 /// deliver whole frames; corruption is a programming error in this system).
 DataFrame decode_data(BytesView frame);
+/// Zero-copy decode: the returned payload aliases `frame`.
+DataView decode_data_view(BytesView frame);
+/// Zero-copy decode; throws CodecError on malformed input *and* on an
+/// empty batch (the encoder never produces one).
+DataBatchFrame decode_data_batch(BytesView frame);
 AckBatchFrame decode_ack_batch(BytesView frame);
 ResumeFrame decode_resume(BytesView frame);
 

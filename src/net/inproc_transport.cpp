@@ -12,6 +12,13 @@ void InProcTransport::set_receive_handler(ReceiveHandler handler) {
 }
 
 void InProcTransport::send(NodeId dst, Bytes frame, uint64_t wire_size) {
+  cluster_.deliver(self_, dst,
+                   std::make_shared<const Bytes>(std::move(frame)), wire_size);
+}
+
+void InProcTransport::send_shared(NodeId dst,
+                                  std::shared_ptr<const Bytes> frame,
+                                  uint64_t wire_size) {
   cluster_.deliver(self_, dst, std::move(frame), wire_size);
 }
 
@@ -39,16 +46,19 @@ void InProcCluster::shutdown() {
   for (auto& env : envs_) env->shutdown();
 }
 
-void InProcCluster::deliver(NodeId src, NodeId dst, Bytes frame,
+void InProcCluster::deliver(NodeId src, NodeId dst,
+                            std::shared_ptr<const Bytes> frame,
                             uint64_t wire_size) {
   if (dst >= size()) return;
-  if (wire_size < frame.size()) wire_size = frame.size();
+  if (wire_size < frame->size()) wire_size = frame->size();
   Duration lat = latency_[src * size() + dst];
   InProcTransport* t = transports_[dst].get();
-  envs_[dst]->schedule_after(
-      lat, [t, src, frame = std::move(frame), wire_size]() mutable {
-        if (t->handler_) t->handler_(src, std::move(frame), wire_size);
-      });
+  // The queued event keeps a reference on the (possibly shared) buffer; a
+  // broadcast's N deliveries all point at the same bytes.
+  envs_[dst]->schedule_after(lat, [t, src, frame = std::move(frame),
+                                   wire_size]() {
+    if (t->handler_) t->handler_(src, BytesView(*frame), wire_size);
+  });
 }
 
 }  // namespace stab

@@ -22,6 +22,8 @@ class InProcTransport final : public Transport {
   size_t cluster_size() const override;
   void set_receive_handler(ReceiveHandler handler) override;
   void send(NodeId dst, Bytes frame, uint64_t wire_size = 0) override;
+  void send_shared(NodeId dst, std::shared_ptr<const Bytes> frame,
+                   uint64_t wire_size = 0) override;
   Env& env() override;
 
  private:
@@ -48,7 +50,8 @@ class InProcCluster {
 
  private:
   friend class InProcTransport;
-  void deliver(NodeId src, NodeId dst, Bytes frame, uint64_t wire_size);
+  void deliver(NodeId src, NodeId dst, std::shared_ptr<const Bytes> frame,
+               uint64_t wire_size);
 
   std::vector<std::unique_ptr<RealtimeEnv>> envs_;
   std::vector<std::unique_ptr<InProcTransport>> transports_;

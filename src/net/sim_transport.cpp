@@ -14,6 +14,11 @@ void SimTransport::send(NodeId dst, Bytes frame, uint64_t wire_size) {
   network_.send(self_, dst, std::move(frame), wire_size);
 }
 
+void SimTransport::send_shared(NodeId dst, std::shared_ptr<const Bytes> frame,
+                               uint64_t wire_size) {
+  network_.send_shared(self_, dst, std::move(frame), wire_size);
+}
+
 void SimTransport::detach() {
   network_.set_node_up(self_, false);
   network_.set_delivery_handler(self_, nullptr);

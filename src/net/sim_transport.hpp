@@ -24,6 +24,8 @@ class SimTransport final : public Transport {
   size_t cluster_size() const override { return network_.num_nodes(); }
   void set_receive_handler(ReceiveHandler handler) override;
   void send(NodeId dst, Bytes frame, uint64_t wire_size = 0) override;
+  void send_shared(NodeId dst, std::shared_ptr<const Bytes> frame,
+                   uint64_t wire_size = 0) override;
   Env& env() override { return simulator_; }
 
   /// Crash-simulation hooks. detach() models the process dying: the node is

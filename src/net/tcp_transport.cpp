@@ -7,6 +7,7 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -63,6 +64,16 @@ Bytes TcpTransport::encode_frame(uint32_t kind, NodeId src, BytesView payload) {
   return std::move(w).take();
 }
 
+// Just the 12-byte prefix; the payload rides separately as OutFrame::body.
+Bytes TcpTransport::encode_header(uint32_t kind, NodeId src,
+                                  size_t payload_size) {
+  Writer w(12);
+  w.u32(static_cast<uint32_t>(payload_size) + 8);
+  w.u32(kind);
+  w.u32(src);
+  return std::move(w).take();
+}
+
 TcpTransport::TcpTransport(NodeId self, std::vector<TcpPeerAddr> peers,
                            TcpTransportOptions options)
     : self_(self),
@@ -114,15 +125,29 @@ void TcpTransport::set_receive_handler(ReceiveHandler handler) {
 
 void TcpTransport::send(NodeId dst, Bytes frame, uint64_t /*wire_size*/) {
   if (dst == self_ || dst >= peers_.size()) return;
-  Bytes encoded = encode_frame(kKindData, self_, frame);
+  enqueue_or_pend(dst, OutFrame{encode_frame(kKindData, self_, frame), {}});
+}
+
+void TcpTransport::send_shared(NodeId dst, std::shared_ptr<const Bytes> frame,
+                               uint64_t /*wire_size*/) {
+  if (dst == self_ || dst >= peers_.size()) return;
+  // Queue a 12-byte header plus a reference on the caller's buffer; the
+  // socket write scatter-gathers both with one writev. A broadcast's N
+  // sends share one body allocation.
+  OutFrame out{encode_header(kKindData, self_, frame->size()),
+               std::move(frame)};
+  enqueue_or_pend(dst, std::move(out));
+}
+
+void TcpTransport::enqueue_or_pend(NodeId dst, OutFrame frame) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     Conn& c = conns_[dst];
     if (c.fd >= 0 && !c.connecting) {
-      enqueue_locked(dst, std::move(encoded));
+      c.outq.push_back(std::move(frame));
     } else {
-      pending_bytes_[dst] += encoded.size();
-      pending_[dst].push_back(std::move(encoded));  // flushed on reconnect
+      pending_bytes_[dst] += frame.size();
+      pending_[dst].push_back(std::move(frame));  // flushed on reconnect
       enforce_pending_bound_locked(dst);
     }
   }
@@ -251,15 +276,10 @@ void TcpTransport::enforce_pending_bound_locked(NodeId peer) {
   }
 }
 
-void TcpTransport::enqueue_locked(NodeId peer, Bytes encoded) {
-  Conn& c = conns_[peer];
-  c.outq.push_back(std::move(encoded));
-}
-
 void TcpTransport::flush_pending_locked(NodeId peer) {
   Conn& c = conns_[peer];
   if (!c.hello_sent) {
-    c.outq.push_front(encode_frame(kKindHello, self_, {}));
+    c.outq.push_front(OutFrame{encode_frame(kKindHello, self_, {}), {}});
     c.hello_sent = true;
     c.out_offset = 0;
   }
@@ -381,8 +401,8 @@ void TcpTransport::handle_readable(NodeId peer) {
       uint64_t wire = payload.size();
       env_.schedule_after(Duration::zero(),
                           [handler, src, payload = std::move(payload),
-                           wire]() mutable {
-                            handler(src, std::move(payload), wire);
+                           wire]() {
+                            handler(src, BytesView(payload), wire);
                           });
     }
   }
@@ -405,15 +425,49 @@ void TcpTransport::handle_writable(NodeId peer) {
     backoff_[peer] = Duration::zero();  // live connection resets the backoff
     flush_pending_locked(peer);
   }
+  // Scatter-gather up to 16 queued frames (header + shared body each) per
+  // writev so a coalesced broadcast flush costs one syscall, not one per
+  // frame. out_offset tracks progress within outq.front() only.
   while (!c.outq.empty()) {
-    const Bytes& front = c.outq.front();
-    ssize_t n = ::send(c.fd, front.data() + c.out_offset,
-                       front.size() - c.out_offset, MSG_NOSIGNAL);
+    iovec iov[32];
+    int iovcnt = 0;
+    size_t queued = 0;
+    for (const OutFrame& f : c.outq) {
+      if (iovcnt + 2 > static_cast<int>(std::size(iov))) break;
+      size_t skip = queued == 0 ? c.out_offset : 0;
+      if (skip < f.head.size()) {
+        iov[iovcnt++] = {const_cast<uint8_t*>(f.head.data() + skip),
+                         f.head.size() - skip};
+        skip = 0;
+      } else {
+        skip -= f.head.size();
+      }
+      if (f.body && skip < f.body->size())
+        iov[iovcnt++] = {const_cast<uint8_t*>(f.body->data() + skip),
+                         f.body->size() - skip};
+      ++queued;
+    }
+    if (iovcnt == 0) {  // front frame fully written (empty remainder)
+      c.outq.pop_front();
+      c.out_offset = 0;
+      continue;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(iovcnt);
+    ssize_t n = ::sendmsg(c.fd, &msg, MSG_NOSIGNAL);
     if (n > 0) {
-      c.out_offset += static_cast<size_t>(n);
-      if (c.out_offset == front.size()) {
-        c.outq.pop_front();
-        c.out_offset = 0;
+      size_t written = static_cast<size_t>(n);
+      while (written > 0 && !c.outq.empty()) {
+        size_t left = c.outq.front().size() - c.out_offset;
+        if (written >= left) {
+          written -= left;
+          c.outq.pop_front();
+          c.out_offset = 0;
+        } else {
+          c.out_offset += written;
+          written = 0;
+        }
       }
     } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
       break;

@@ -66,6 +66,8 @@ class TcpTransport final : public Transport {
   size_t cluster_size() const override { return peers_.size(); }
   void set_receive_handler(ReceiveHandler handler) override;
   void send(NodeId dst, Bytes frame, uint64_t wire_size = 0) override;
+  void send_shared(NodeId dst, std::shared_ptr<const Bytes> frame,
+                   uint64_t wire_size = 0) override;
   Env& env() override { return env_; }
 
   /// Blocks until a live connection exists to every other node, or the
@@ -83,12 +85,23 @@ class TcpTransport final : public Transport {
   Duration current_backoff(NodeId peer) const;
 
  private:
+  /// One queued wire frame. Fully-materialized frames (HELLO, plain send)
+  /// carry everything in `head`; shared sends carry only the 12-byte length
+  /// prefix in `head` and reference the caller's encoded frame as `body`, so
+  /// an N-peer broadcast queues N tiny headers plus one shared buffer. The
+  /// two parts are written with one writev (scatter-gather).
+  struct OutFrame {
+    Bytes head;
+    std::shared_ptr<const Bytes> body;  // may be null
+    size_t size() const { return head.size() + (body ? body->size() : 0); }
+  };
+
   struct Conn {
     int fd = -1;
     bool connecting = false;   // non-blocking connect in progress
     bool hello_sent = false;
     Bytes inbuf;
-    std::deque<Bytes> outq;    // encoded frames (len prefix included)
+    std::deque<OutFrame> outq;
     size_t out_offset = 0;     // bytes of outq.front() already written
     TimePoint retry_at = kTimeZero;
   };
@@ -101,11 +114,12 @@ class TcpTransport final : public Transport {
   void handle_writable(NodeId peer);
   void handle_accept();
   void flush_pending_locked(NodeId peer);
-  void enqueue_locked(NodeId peer, Bytes encoded);
+  void enqueue_or_pend(NodeId dst, OutFrame frame);
   void enforce_pending_bound_locked(NodeId peer);
   Duration next_retry_delay_locked(NodeId peer);
   void rearm_epoll(NodeId peer);
   static Bytes encode_frame(uint32_t kind, NodeId src, BytesView payload);
+  static Bytes encode_header(uint32_t kind, NodeId src, size_t payload_size);
 
   const NodeId self_;
   const std::vector<TcpPeerAddr> peers_;
@@ -114,7 +128,7 @@ class TcpTransport final : public Transport {
 
   mutable std::mutex mutex_;
   std::vector<Conn> conns_;          // indexed by peer id
-  std::vector<std::deque<Bytes>> pending_;  // frames queued while disconnected
+  std::vector<std::deque<OutFrame>> pending_;  // queued while disconnected
   std::vector<size_t> pending_bytes_;       // bytes in pending_[peer]
   std::vector<Duration> backoff_;           // current reconnect delay per peer
   Rng jitter_rng_;                          // guarded by mutex_

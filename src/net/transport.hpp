@@ -14,6 +14,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "common/bytes.hpp"
 #include "common/env.hpp"
@@ -26,8 +27,13 @@ class Transport {
   /// Called on the transport's Env thread when a frame arrives. `wire_size`
   /// is the size the frame occupied on the (possibly simulated) wire; it is
   /// >= frame.size() when the sender attached virtual padding.
+  ///
+  /// `frame` is a view into a buffer the transport owns for the duration of
+  /// the call only — handlers must decode (or copy) before returning. This
+  /// is what lets a broadcast fan out one refcounted buffer with zero
+  /// per-receiver copies.
   using ReceiveHandler =
-      std::function<void(NodeId src, Bytes frame, uint64_t wire_size)>;
+      std::function<void(NodeId src, BytesView frame, uint64_t wire_size)>;
 
   virtual ~Transport() = default;
 
@@ -40,6 +46,16 @@ class Transport {
   /// models payload bytes that are accounted for bandwidth but not carried
   /// (trace replay); real transports ignore the padding.
   virtual void send(NodeId dst, Bytes frame, uint64_t wire_size = 0) = 0;
+
+  /// Queue an already-encoded frame that the caller also keeps (encode-once
+  /// fan-out: the same buffer goes to every peer and is retained for
+  /// retransmits). The default copies for transports that predate the fast
+  /// path; Sim/InProc enqueue the refcounted buffer directly and Tcp
+  /// scatter-gathers it from the socket queue, so fan-out is zero-copy.
+  virtual void send_shared(NodeId dst, std::shared_ptr<const Bytes> frame,
+                           uint64_t wire_size = 0) {
+    send(dst, Bytes(*frame), wire_size);
+  }
 
   /// The Env all of this node's Stabilizer work runs on.
   virtual Env& env() = 0;

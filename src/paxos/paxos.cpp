@@ -26,8 +26,8 @@ PaxosNode::PaxosNode(PaxosOptions options, Transport& transport)
                 options_.self) == options_.members.end())
     throw std::invalid_argument("paxos: self must be a member");
   transport_.set_receive_handler(
-      [this](NodeId src, Bytes frame, uint64_t wire) {
-        on_frame(src, std::move(frame), wire);
+      [this](NodeId src, BytesView frame, uint64_t wire) {
+        on_frame(src, frame, wire);
       });
   if (options_.start_as_leader) start_leadership();
   if (options_.retry_interval > Duration::zero()) schedule_retry();
@@ -245,7 +245,7 @@ void PaxosNode::schedule_retry() {
       });
 }
 
-void PaxosNode::on_frame(NodeId src, Bytes frame, uint64_t wire_size) {
+void PaxosNode::on_frame(NodeId src, BytesView frame, uint64_t wire_size) {
   (void)wire_size;
   try {
     Reader r(frame);

@@ -104,7 +104,7 @@ class PaxosNode {
     return (round << 16) | options_.self;
   }
   void broadcast(const Bytes& frame, uint64_t virtual_size = 0);
-  void on_frame(NodeId src, Bytes frame, uint64_t wire_size);
+  void on_frame(NodeId src, BytesView frame, uint64_t wire_size);
   void adopt_accepted(InstanceId instance, Ballot aballot, Bytes value);
   void reconcile_learned_proposals();
   void on_leadership_established();

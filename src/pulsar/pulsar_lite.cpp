@@ -13,8 +13,8 @@ constexpr uint8_t kAck = 0x51;
 PulsarBroker::PulsarBroker(PulsarOptions options, Transport& transport)
     : options_(std::move(options)), transport_(transport) {
   transport_.set_receive_handler(
-      [this](NodeId src, Bytes frame, uint64_t wire) {
-        on_frame(src, std::move(frame), wire);
+      [this](NodeId src, BytesView frame, uint64_t wire) {
+        on_frame(src, frame, wire);
       });
 }
 
@@ -89,7 +89,7 @@ void PulsarBroker::forward(NodeId dst, uint64_t msg_id, BytesView message,
   transport_.send(dst, std::move(frame), wire_size);
 }
 
-void PulsarBroker::on_frame(NodeId src, Bytes frame, uint64_t wire_size) {
+void PulsarBroker::on_frame(NodeId src, BytesView frame, uint64_t wire_size) {
   try {
     Reader r(frame);
     uint8_t kind = r.u8();

@@ -72,7 +72,7 @@ class PulsarBroker {
   TimePoint process_message(uint64_t bytes);
   void forward(NodeId dst, uint64_t msg_id, BytesView message,
                uint64_t virtual_size);
-  void on_frame(NodeId src, Bytes frame, uint64_t wire_size);
+  void on_frame(NodeId src, BytesView frame, uint64_t wire_size);
 
   PulsarOptions options_;
   Transport& transport_;

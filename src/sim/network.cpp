@@ -52,10 +52,18 @@ void SimNetwork::set_delivery_handler(NodeId node, DeliveryHandler handler) {
 
 std::optional<TimePoint> SimNetwork::send(NodeId src, NodeId dst, Bytes frame,
                                           uint64_t wire_size) {
+  return send_shared(src, dst,
+                     std::make_shared<const Bytes>(std::move(frame)),
+                     wire_size);
+}
+
+std::optional<TimePoint> SimNetwork::send_shared(
+    NodeId src, NodeId dst, std::shared_ptr<const Bytes> frame,
+    uint64_t wire_size) {
   Link& link = link_at(src, dst);
   if (!link.configured)
     throw std::out_of_range("SimNetwork: link not configured");
-  if (wire_size < frame.size()) wire_size = frame.size();
+  if (wire_size < frame->size()) wire_size = frame->size();
 
   if (!link.up || !nodes_[src].up || !nodes_[dst].up) {
     ++dropped_;
@@ -94,7 +102,7 @@ std::optional<TimePoint> SimNetwork::send(NodeId src, NodeId dst, Bytes frame,
           return;
         }
         ++node.delivered;
-        if (node.handler) node.handler(src, std::move(frame), wire_size);
+        if (node.handler) node.handler(src, BytesView(*frame), wire_size);
       });
   return deliver_at;
 }

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -39,9 +40,12 @@ struct LinkParams {
 
 class SimNetwork {
  public:
-  /// Handler invoked at the destination when a frame arrives.
+  /// Handler invoked at the destination when a frame arrives. The view is
+  /// valid for the duration of the call only — the delivery event owns the
+  /// buffer (possibly shared with other in-flight deliveries of the same
+  /// broadcast, see send_shared).
   using DeliveryHandler =
-      std::function<void(NodeId src, Bytes frame, uint64_t wire_size)>;
+      std::function<void(NodeId src, BytesView frame, uint64_t wire_size)>;
 
   SimNetwork(Simulator& simulator, size_t num_nodes);
 
@@ -63,6 +67,12 @@ class SimNetwork {
   /// the frame was dropped (link down / random loss).
   std::optional<TimePoint> send(NodeId src, NodeId dst, Bytes frame,
                                 uint64_t wire_size = 0);
+  /// Same, but the in-flight delivery event holds a reference on the
+  /// caller's buffer instead of a copy — N-way fan-out of one frame keeps a
+  /// single allocation alive.
+  std::optional<TimePoint> send_shared(NodeId src, NodeId dst,
+                                       std::shared_ptr<const Bytes> frame,
+                                       uint64_t wire_size = 0);
 
   // --- fault injection -----------------------------------------------------
   /// Taking a link down blackholes frames already in flight on it and

@@ -319,10 +319,12 @@ ChaosScript scripted_campaign() {
   return script;
 }
 
-std::unique_ptr<ChaosCluster> run_scripted(uint64_t seed, DispatchMode mode) {
+std::unique_ptr<ChaosCluster> run_scripted(
+    uint64_t seed, DispatchMode mode,
+    StabilizerOptions base = chaos_base_options()) {
   auto c = std::make_unique<ChaosCluster>(
-      chaos_mesh(4, {"r0", "r0", "r1", "r2"}), chaos_base_options(), seed,
-      mode, chaos_predicates());
+      chaos_mesh(4, {"r0", "r0", "r1", "r2"}), std::move(base), seed, mode,
+      chaos_predicates());
   c->chaos->arm(scripted_campaign());
   c->start_traffic(millis(100), seconds(24));
   c->sim.run_until(seconds(40));
@@ -382,6 +384,32 @@ TEST(ChaosCampaign, LegacyScanAgreesWithIndexedPostHeal) {
   EXPECT_EQ(indexed->core_digest(), legacy->core_digest());
 }
 
+// Small-frame coalescing changes the wire-level framing (kDataBatch) and the
+// flush timing (deferred pump) but must not change what the application
+// observes: lossless FIFO logs, frontier convergence, and the
+// indexed-vs-legacy dispatch differential.
+TEST(ChaosCampaign, CoalescedCampaignHoldsInvariantsAcrossDispatchModes) {
+  StabilizerOptions coalesced = chaos_base_options();
+  coalesced.coalesce_max_frames = 16;
+  auto indexed = run_scripted(0xC0FFEE, DispatchMode::kIndexed, coalesced);
+  auto legacy = run_scripted(0xC0FFEE, DispatchMode::kLegacyScan, coalesced);
+  indexed->check_converged();  // FIFO + completeness + frontier agreement
+  legacy->check_converged();
+  EXPECT_EQ(indexed->core_digest(), legacy->core_digest());
+
+  // The crash-rejoin's go-back-N rewind pumps a run of consecutive slots
+  // through one flush, so the campaign genuinely exercises batching.
+  uint64_t coalesced_frames = 0;
+  for (NodeId o = 0; o < indexed->num_nodes(); ++o)
+    coalesced_frames += indexed->node(o).stats().frames_coalesced;
+  EXPECT_GT(coalesced_frames, 0u);
+
+  // Post-convergence application state is framing-independent: the same
+  // campaign without coalescing lands on the identical core digest.
+  auto plain = run_scripted(0xC0FFEE, DispatchMode::kIndexed);
+  EXPECT_EQ(indexed->core_digest(), plain->core_digest());
+}
+
 // --- random campaigns ---------------------------------------------------------
 
 void run_random_campaign(uint64_t seed) {
@@ -398,7 +426,12 @@ void run_random_campaign(uint64_t seed) {
   params.background_loss = 0.01;
   ChaosScript script = sim::make_random_script(seed, params);
 
-  ChaosCluster c(chaos_mesh(n, regions), chaos_base_options(), seed,
+  // The sweep runs with coalescing enabled: crash/restart, RESUME rewind and
+  // loss-burst retransmits all reuse cached frames under batching. The
+  // scripted campaigns above keep the uncoalesced path covered.
+  StabilizerOptions base = chaos_base_options();
+  base.coalesce_max_frames = 16;
+  ChaosCluster c(chaos_mesh(n, regions), std::move(base), seed,
                  DispatchMode::kIndexed, chaos_predicates());
   c.chaos->arm(script);
   c.start_traffic(millis(100), seconds(22));

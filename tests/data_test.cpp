@@ -2,6 +2,11 @@
 // out-buffer, receive tracker.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "common/rng.hpp"
 #include "data/out_buffer.hpp"
 #include "data/receive_tracker.hpp"
 #include "data/wire.hpp"
@@ -66,6 +71,130 @@ TEST(Wire, PeekRejectsGarbage) {
   EXPECT_FALSE(peek_kind(Bytes{0x77}).has_value());
 }
 
+TEST(Wire, PeekKnowsDataBatch) {
+  DataBatchFrame b;
+  b.origin = 1;
+  b.first_seq = 0;
+  Bytes p = to_bytes("x");
+  b.entries.push_back(DataBatchFrame::Entry{BytesView(p), 0});
+  EXPECT_EQ(peek_kind(encode(b)), FrameKind::kDataBatch);
+}
+
+TEST(Wire, PeekTreatsApplicationRangeAsUnknown) {
+  // Kind bytes >= 0x40 belong to applications (send_raw's contract); every
+  // one of them must come back unknown so the raw handler gets the frame.
+  for (int k = 0x40; k <= 0xff; ++k)
+    EXPECT_FALSE(peek_kind(Bytes{static_cast<uint8_t>(k)}).has_value())
+        << "kind byte " << k;
+  // The Stabilizer kinds themselves are recognized.
+  EXPECT_TRUE(peek_kind(Bytes{0x01}).has_value());
+  EXPECT_TRUE(peek_kind(Bytes{0x04}).has_value());
+  EXPECT_FALSE(peek_kind(Bytes{0x05}).has_value());  // unassigned gap
+}
+
+TEST(Wire, DataBatchRoundTripProperty) {
+  Rng rng(0x5eed);
+  for (int round = 0; round < 50; ++round) {
+    DataBatchFrame in;
+    in.origin = static_cast<NodeId>(rng.next_below(9));
+    in.first_seq = static_cast<SeqNum>(rng.next_below(1u << 20));
+    size_t count = 1 + rng.next_below(17);
+    // Backing store must outlive the views.
+    std::vector<Bytes> payloads(count);
+    for (size_t i = 0; i < count; ++i) {
+      payloads[i].resize(rng.next_below(300));  // sizes 0..299, empty legal
+      for (auto& byte : payloads[i])
+        byte = static_cast<uint8_t>(rng.next_u64());
+      in.entries.push_back(DataBatchFrame::Entry{
+          BytesView(payloads[i]), rng.next_bool(0.3) ? rng.next_below(5000)
+                                                     : 0});
+    }
+    Bytes enc = encode(in);
+    DataBatchFrame out = decode_data_batch(enc);
+    EXPECT_EQ(out.origin, in.origin);
+    EXPECT_EQ(out.first_seq, in.first_seq);
+    ASSERT_EQ(out.entries.size(), count);
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_TRUE(std::equal(out.entries[i].payload.begin(),
+                             out.entries[i].payload.end(),
+                             payloads[i].begin(), payloads[i].end()));
+      EXPECT_EQ(out.entries[i].virtual_size, in.entries[i].virtual_size);
+    }
+  }
+}
+
+TEST(Wire, DataBatchRejectsEmpty) {
+  DataBatchFrame empty;
+  empty.origin = 2;
+  empty.first_seq = 10;
+  EXPECT_THROW(encode(empty), std::invalid_argument);
+
+  // A hand-built zero-count frame must be rejected by the decoder too.
+  Writer w;
+  w.u8(4);  // kDataBatch
+  w.u32(2);
+  w.i64(10);
+  w.u32(0);  // count = 0
+  EXPECT_THROW(decode_data_batch(std::move(w).take()), CodecError);
+}
+
+TEST(Wire, DataBatchMalformedThrows) {
+  DataBatchFrame b;
+  b.origin = 1;
+  b.first_seq = 5;
+  Bytes p = to_bytes("payload");
+  b.entries.push_back(DataBatchFrame::Entry{BytesView(p), 0});
+  b.entries.push_back(DataBatchFrame::Entry{BytesView(p), 9});
+  Bytes enc = encode(b);
+  Bytes truncated(enc.begin(), enc.end() - 3);
+  EXPECT_THROW(decode_data_batch(truncated), CodecError);
+  EXPECT_THROW(decode_data_batch(encode(DataFrame{})), CodecError);
+}
+
+TEST(Wire, EncodersAreSingleAllocation) {
+  // Every encoder precomputes its exact frame size, so the returned vector's
+  // capacity equals its size — a growth re-allocation would leave capacity
+  // above size. Regression for the Writer::reserve pass.
+  DataFrame d;
+  d.payload = to_bytes("some payload of a nontrivial size, 64 bytes or so..");
+  Bytes enc = encode(d);
+  EXPECT_EQ(enc.capacity(), enc.size());
+
+  AckBatchFrame a;
+  a.reporter = 1;
+  for (int i = 0; i < 10; ++i)
+    a.entries.push_back(AckEntry{0, 0, i, i % 2 ? to_bytes("extra") : Bytes{}});
+  enc = encode(a);
+  EXPECT_EQ(enc.capacity(), enc.size());
+
+  enc = encode(ResumeFrame{});
+  EXPECT_EQ(enc.capacity(), enc.size());
+
+  DataBatchFrame b;
+  b.origin = 0;
+  b.first_seq = 0;
+  Bytes p = to_bytes("0123456789");
+  for (int i = 0; i < 8; ++i)
+    b.entries.push_back(DataBatchFrame::Entry{BytesView(p), 3});
+  enc = encode(b);
+  EXPECT_EQ(enc.capacity(), enc.size());
+}
+
+TEST(Wire, DataViewAliasesFrame) {
+  DataFrame d;
+  d.origin = 4;
+  d.seq = 77;
+  d.payload = to_bytes("zero-copy");
+  Bytes enc = encode(d);
+  DataView v = decode_data_view(enc);
+  EXPECT_EQ(v.origin, 4u);
+  EXPECT_EQ(v.seq, 77);
+  EXPECT_EQ(to_string(v.payload), "zero-copy");
+  // The view points into the encoded buffer, not a copy.
+  EXPECT_GE(v.payload.data(), enc.data());
+  EXPECT_LT(v.payload.data(), enc.data() + enc.size());
+}
+
 TEST(Wire, DecodeWrongKindThrows) {
   DataFrame d;
   d.payload = to_bytes("x");
@@ -106,6 +235,28 @@ TEST(OutBuffer, PushGetReclaim) {
   EXPECT_EQ(b.get(1), nullptr);
   ASSERT_NE(b.get(2), nullptr);
   EXPECT_EQ(b.buffered_bytes(), 3u);
+}
+
+TEST(OutBuffer, BufferedBytesIgnoresEncodedCache) {
+  // The encoded-frame cache is an alternate representation of the payload,
+  // not extra application buffering: buffered_bytes() (the paper's buffer
+  // occupancy figure) must not move when the cache fills, and reclaim must
+  // drop the cache with its slot.
+  OutBuffer b;
+  b.push(0, to_bytes("hello"), 7);
+  b.push(1, to_bytes("world!"), 0);
+  const uint64_t before = b.buffered_bytes();
+  EXPECT_EQ(before, 5u + 7 + 6);
+
+  const OutBuffer::Slot* s0 = b.get(0);
+  s0->encoded = std::make_shared<const Bytes>(
+      encode_data(0, 0, BytesView(s0->payload), s0->virtual_size));
+  EXPECT_EQ(b.buffered_bytes(), before);
+
+  std::weak_ptr<const Bytes> cached = b.get(0)->encoded;
+  b.reclaim_through(0);
+  EXPECT_EQ(b.buffered_bytes(), 6u);
+  EXPECT_TRUE(cached.expired());  // the slot owned the last reference
 }
 
 TEST(OutBuffer, NonContiguousPushThrows) {

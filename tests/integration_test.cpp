@@ -72,7 +72,7 @@ TEST(TcpIntegration, NodeRestartHealsAndResumes) {
   std::vector<std::string> got;
   std::mutex m;
   auto make_handler = [&](TcpTransport& t) {
-    t.set_receive_handler([&](NodeId, Bytes frame, uint64_t) {
+    t.set_receive_handler([&](NodeId, BytesView frame, uint64_t) {
       std::lock_guard<std::mutex> l(m);
       got.push_back(to_string(frame));
     });
@@ -134,7 +134,7 @@ link w1 e2 lat_ms 30 bw_mbps 8 pipe haul_in
   // to w1 take ~2 s in total rather than ~1 s each in parallel.
   TimePoint first = kTimeZero, second = kTimeZero;
   int arrivals = 0;
-  cluster.transport(2).set_receive_handler([&](NodeId, Bytes, uint64_t) {
+  cluster.transport(2).set_receive_handler([&](NodeId, BytesView, uint64_t) {
     (++arrivals == 1 ? first : second) = sim.now();
   });
   cluster.transport(0).send(2, Bytes(), 1'000'000);

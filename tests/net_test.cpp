@@ -2,7 +2,9 @@
 // and real TCP sockets on loopback.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -24,7 +26,7 @@ TEST(SimCluster, WiresTopologyLatency) {
 
   TimePoint got = kTimeZero;
   t2.set_receive_handler(
-      [&](NodeId src, Bytes, uint64_t) {
+      [&](NodeId src, BytesView, uint64_t) {
         EXPECT_EQ(src, cloudlab::kUtah1);
         got = sim.now();
       });
@@ -48,9 +50,9 @@ TEST(SimCluster, PipeGroupsShareBandwidth) {
   SimCluster cluster(topo, sim);
   TimePoint at_b = kTimeZero, at_c = kTimeZero;
   cluster.transport(b).set_receive_handler(
-      [&](NodeId, Bytes, uint64_t) { at_b = sim.now(); });
+      [&](NodeId, BytesView, uint64_t) { at_b = sim.now(); });
   cluster.transport(c).set_receive_handler(
-      [&](NodeId, Bytes, uint64_t) { at_c = sim.now(); });
+      [&](NodeId, BytesView, uint64_t) { at_c = sim.now(); });
 
   cluster.transport(a).send(b, Bytes(), 1'000'000);
   cluster.transport(a).send(c, Bytes(), 1'000'000);
@@ -73,7 +75,7 @@ TEST(InProc, DeliversBetweenThreads) {
   InProcCluster cluster(3);
   std::atomic<int> got{0};
   cluster.transport(1).set_receive_handler(
-      [&](NodeId src, Bytes frame, uint64_t) {
+      [&](NodeId src, BytesView frame, uint64_t) {
         EXPECT_EQ(src, 0u);
         EXPECT_EQ(to_string(frame), "hello");
         ++got;
@@ -89,7 +91,7 @@ TEST(InProc, FifoPerPeer) {
   std::mutex m;
   std::vector<uint32_t> got;
   cluster.transport(1).set_receive_handler(
-      [&](NodeId, Bytes frame, uint64_t) {
+      [&](NodeId, BytesView frame, uint64_t) {
         Reader r(frame);
         std::lock_guard<std::mutex> l(m);
         got.push_back(r.u32());
@@ -123,7 +125,7 @@ TEST(InProc, AppliesTopologyLatency) {
   std::atomic<bool> got{false};
   auto start = std::chrono::steady_clock::now();
   std::atomic<int64_t> elapsed_ms{0};
-  cluster.transport(1).set_receive_handler([&](NodeId, Bytes, uint64_t) {
+  cluster.transport(1).set_receive_handler([&](NodeId, BytesView, uint64_t) {
     elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                      std::chrono::steady_clock::now() - start)
                      .count();
@@ -134,6 +136,62 @@ TEST(InProc, AppliesTopologyLatency) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   ASSERT_TRUE(got.load());
   EXPECT_GE(elapsed_ms.load(), 45);
+}
+
+// --- shared-frame fan-out ---------------------------------------------------
+
+TEST(SimCluster, SharedFanOutDeliversWithoutCopy) {
+  Topology topo;
+  NodeId a = topo.add_node("a", "az1");
+  NodeId b = topo.add_node("b", "az2");
+  NodeId c = topo.add_node("c", "az3");
+  topo.set_link(a, b, LinkSpec{});
+  topo.set_link(a, c, LinkSpec{});
+
+  sim::Simulator sim;
+  SimCluster cluster(topo, sim);
+  const uint8_t* seen_b = nullptr;
+  const uint8_t* seen_c = nullptr;
+  cluster.transport(b).set_receive_handler(
+      [&](NodeId, BytesView frame, uint64_t) { seen_b = frame.data(); });
+  cluster.transport(c).set_receive_handler(
+      [&](NodeId, BytesView frame, uint64_t) { seen_c = frame.data(); });
+
+  auto frame = std::make_shared<const Bytes>(to_bytes("refcounted fan-out"));
+  cluster.transport(a).send_shared(b, frame);
+  cluster.transport(a).send_shared(c, frame);
+  sim.run();
+
+  // Every receiver observed the single shared buffer, byte-for-byte in place.
+  EXPECT_EQ(seen_b, frame->data());
+  EXPECT_EQ(seen_c, frame->data());
+}
+
+TEST(InProc, SharedFanOutDeliversSameBuffer) {
+  InProcCluster cluster(3);
+  std::atomic<const uint8_t*> seen1{nullptr};
+  std::atomic<const uint8_t*> seen2{nullptr};
+  cluster.transport(1).set_receive_handler(
+      [&](NodeId, BytesView frame, uint64_t) {
+        EXPECT_EQ(to_string(frame), "one buffer, two threads");
+        seen1 = frame.data();
+      });
+  cluster.transport(2).set_receive_handler(
+      [&](NodeId, BytesView frame, uint64_t) {
+        EXPECT_EQ(to_string(frame), "one buffer, two threads");
+        seen2 = frame.data();
+      });
+
+  auto frame =
+      std::make_shared<const Bytes>(to_bytes("one buffer, two threads"));
+  cluster.transport(0).send_shared(1, frame);
+  cluster.transport(0).send_shared(2, frame);
+  for (int i = 0; i < 2000 && (!seen1.load() || !seen2.load()); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_NE(seen1.load(), nullptr);
+  ASSERT_NE(seen2.load(), nullptr);
+  EXPECT_EQ(seen1.load(), frame->data());
+  EXPECT_EQ(seen2.load(), frame->data());
 }
 
 // --- TcpTransport -----------------------------------------------------------
@@ -151,7 +209,7 @@ TEST(Tcp, ConnectsAndDelivers) {
   ASSERT_TRUE(b.wait_connected(seconds(5)));
 
   std::atomic<int> got{0};
-  b.set_receive_handler([&](NodeId src, Bytes frame, uint64_t) {
+  b.set_receive_handler([&](NodeId src, BytesView frame, uint64_t) {
     EXPECT_EQ(src, 0u);
     EXPECT_EQ(to_string(frame), "over tcp");
     ++got;
@@ -171,14 +229,14 @@ TEST(Tcp, BidirectionalAndFifo) {
 
   std::mutex m;
   std::vector<uint32_t> at_c;
-  c.set_receive_handler([&](NodeId src, Bytes frame, uint64_t) {
+  c.set_receive_handler([&](NodeId src, BytesView frame, uint64_t) {
     Reader r(frame);
     uint32_t v = r.u32();
     std::lock_guard<std::mutex> l(m);
     if (src == 0) at_c.push_back(v);
   });
   std::atomic<int> at_a{0};
-  a.set_receive_handler([&](NodeId src, Bytes, uint64_t) {
+  a.set_receive_handler([&](NodeId src, BytesView, uint64_t) {
     if (src == 2) ++at_a;
   });
 
@@ -213,7 +271,7 @@ TEST(Tcp, BuffersWhilePeerDown) {
   TcpTransport b(1, addrs);
   std::mutex m;
   std::vector<std::string> got;
-  b.set_receive_handler([&](NodeId, Bytes frame, uint64_t) {
+  b.set_receive_handler([&](NodeId, BytesView frame, uint64_t) {
     std::lock_guard<std::mutex> l(m);
     got.push_back(to_string(frame));
   });
@@ -273,7 +331,7 @@ TEST(Tcp, PendingBufferBoundDropsOldestFirst) {
   TcpTransport b(1, addrs);
   std::mutex m;
   std::vector<uint32_t> got;
-  b.set_receive_handler([&](NodeId, Bytes frame, uint64_t) {
+  b.set_receive_handler([&](NodeId, BytesView frame, uint64_t) {
     Reader r(frame);
     std::lock_guard<std::mutex> l(m);
     got.push_back(r.u32());
@@ -303,13 +361,48 @@ TEST(Tcp, LargeFrame) {
   for (size_t i = 0; i < big.size(); ++i)
     big[i] = static_cast<uint8_t>(i * 31 + 7);
   std::atomic<bool> ok{false};
-  b.set_receive_handler([&](NodeId, Bytes frame, uint64_t) {
-    ok = (frame == big);
+  b.set_receive_handler([&](NodeId, BytesView frame, uint64_t) {
+    ok = std::equal(frame.begin(), frame.end(), big.begin(), big.end());
   });
   a.send(1, big);
   for (int i = 0; i < 5000 && !ok; ++i)
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   EXPECT_TRUE(ok.load());
+}
+
+TEST(Tcp, SendSharedScatterGathersPrefixAndBody) {
+  auto addrs = loopback_addrs(2, static_cast<uint16_t>(pick_base_port() + 48));
+  TcpTransport a(0, addrs), b(1, addrs);
+  ASSERT_TRUE(a.wait_connected(seconds(5)));
+
+  // Mix shared and copied sends so the writev path interleaves two-iovec
+  // (header + refcounted body) frames with plain single-buffer frames, and
+  // verify FIFO survives partial-write bookkeeping.
+  std::mutex m;
+  std::vector<std::string> got;
+  b.set_receive_handler([&](NodeId src, BytesView frame, uint64_t) {
+    EXPECT_EQ(src, 0u);
+    std::lock_guard<std::mutex> l(m);
+    got.push_back(to_string(frame));
+  });
+
+  auto shared = std::make_shared<const Bytes>(to_bytes("shared body"));
+  a.send_shared(1, shared);
+  a.send(1, to_bytes("copied"));
+  a.send_shared(1, shared);
+
+  for (int i = 0; i < 5000; ++i) {
+    {
+      std::lock_guard<std::mutex> l(m);
+      if (got.size() == 3) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::lock_guard<std::mutex> l(m);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], "shared body");
+  EXPECT_EQ(got[1], "copied");
+  EXPECT_EQ(got[2], "shared body");
 }
 
 }  // namespace

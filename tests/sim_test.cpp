@@ -124,8 +124,8 @@ class SimNetworkTest : public ::testing::Test {
  protected:
   SimNetworkTest() : net_(sim_, 3) {
     for (NodeId n = 0; n < 3; ++n) {
-      net_.set_delivery_handler(n, [this, n](NodeId src, Bytes f, uint64_t) {
-        got_[n].push_back(Delivery{src, sim_.now(), std::move(f)});
+      net_.set_delivery_handler(n, [this, n](NodeId src, BytesView f, uint64_t) {
+        got_[n].push_back(Delivery{src, sim_.now(), Bytes(f.begin(), f.end())});
       });
     }
   }
@@ -367,7 +367,7 @@ TEST(SimNetworkProperty, DeliveryMatchesAnalyticModel) {
     net.set_link(0, 1, p);
     std::vector<TimePoint> deliveries;
     net.set_delivery_handler(
-        1, [&](NodeId, Bytes, uint64_t) { deliveries.push_back(sim.now()); });
+        1, [&](NodeId, BytesView, uint64_t) { deliveries.push_back(sim.now()); });
 
     Rng rng(seed);
     TimePoint busy = kTimeZero;
