@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Docs link check: every relative markdown link in the tracked *.md files
+# must resolve to an existing file (anchors are stripped; external
+# http(s)/mailto links are skipped). Exits nonzero listing dead links.
+#
+# Usage: scripts/check_docs_links.sh [file.md ...]   (default: all tracked)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$ROOT"
+
+if [[ $# -gt 0 ]]; then
+  FILES=("$@")
+else
+  # Tracked markdown anywhere in the repo; fall back to a find when the
+  # tree is not a git checkout (e.g. an exported tarball).
+  if git rev-parse --is-inside-work-tree > /dev/null 2>&1; then
+    mapfile -t FILES < <(git ls-files '*.md')
+  else
+    mapfile -t FILES < <(find . -name '*.md' -not -path './build*' | sed 's|^\./||')
+  fi
+fi
+
+FAIL=0
+for f in "${FILES[@]}"; do
+  [[ -f "$f" ]] || { echo "MISSING FILE: $f"; FAIL=1; continue; }
+  dir="$(dirname "$f")"
+  # Inline markdown links: [text](target). Images share the syntax and are
+  # checked the same way. Reference-style links are not used in this repo.
+  # Fenced code blocks are stripped first — C++ lambdas (`[](SeqNum)`)
+  # would otherwise read as links.
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:* | \#*) continue ;;
+    esac
+    path="${target%%#*}"             # strip the anchor
+    [[ -z "$path" ]] && continue
+    if [[ ! -e "$dir/$path" ]]; then
+      echo "DEAD LINK: $f -> $target"
+      FAIL=1
+    fi
+  done < <(awk '/^ *```/ { fenced = !fenced; next } !fenced' "$f" \
+             | grep -oE '\]\(([^)]+)\)' | sed -E 's/^\]\(//; s/\)$//' || true)
+done
+
+if [[ "$FAIL" != 0 ]]; then
+  echo "docs link check FAILED"
+  exit 1
+fi
+echo "docs link check OK (${#FILES[@]} files)"

@@ -15,6 +15,9 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 SAN="${STAB_CI_SANITIZER:-address}"
 
+echo "==> docs link check"
+"$ROOT/scripts/check_docs_links.sh"
+
 echo "==> tier-1: configure + build (build/)"
 cmake -B "$ROOT/build" -S "$ROOT" "$@"
 cmake --build "$ROOT/build" -j
@@ -26,6 +29,17 @@ echo "==> data-plane hot path bench (smoke)"
 # Runs in build/ so the smoke JSON does not clobber the committed full-mode
 # BENCH_data_hotpath.json at the repo root.
 (cd "$ROOT/build" && bench/bench_data_hotpath --smoke)
+
+# Compiled-out flavor: the obs macros must vanish cleanly — build the core
+# with -DSTAB_OBS=OFF and run the suites that pin the disabled contract
+# (obs_disabled_test) and the widest consumer of registry-backed stats
+# (core_test, whose stats assertions are flavor-gated).
+echo "==> STAB_OBS=OFF flavor: configure + build (build-noobs/)"
+cmake -B "$ROOT/build-noobs" -S "$ROOT" -DSTAB_OBS=OFF "$@"
+cmake --build "$ROOT/build-noobs" -j --target obs_disabled_test core_test
+echo "==> STAB_OBS=OFF flavor: obs_disabled_test + core_test"
+"$ROOT/build-noobs/tests/obs_disabled_test"
+"$ROOT/build-noobs/tests/core_test"
 
 NUM_SEEDS="${STAB_CI_CHAOS_SEEDS:-8}"
 SEEDS=""
@@ -58,11 +72,12 @@ fi
 SAN_DIR="$ROOT/build-$SAN"
 echo "==> $SAN sanitizer: configure + build (build-$SAN/)"
 cmake -B "$SAN_DIR" -S "$ROOT" -DSTAB_SANITIZE="$SAN" "$@"
-cmake --build "$SAN_DIR" -j --target control_test core_test
+cmake --build "$SAN_DIR" -j --target control_test core_test obs_test
 
-echo "==> $SAN sanitizer: control_test + core_test"
+echo "==> $SAN sanitizer: control_test + core_test + obs_test"
 "$SAN_DIR/tests/control_test"
 "$SAN_DIR/tests/core_test"
+"$SAN_DIR/tests/obs_test"
 
 # Fault-handling suites under both ASan and TSan: the crash-restart path
 # destroys and rebuilds Stabilizers mid-simulation (lifetime hazards) and
@@ -77,10 +92,13 @@ for FSAN in address thread; do
   if [[ "$FSAN" == "thread" ]]; then
     # The refcounted fan-out hands one buffer to concurrent receiver threads
     # (InProc) and to the TCP IO thread via scatter-gather; net_test under
-    # TSan guards the shared-frame lifetime and ordering.
-    echo "==> $FSAN sanitizer: net_test (shared fan-out)"
-    cmake --build "$FSAN_DIR" -j --target net_test
+    # TSan guards the shared-frame lifetime and ordering. obs_test under
+    # TSan guards the registry's relaxed-atomic counters and the tracer's
+    # mutexed append (its multithreaded hammer tests).
+    echo "==> $FSAN sanitizer: net_test (shared fan-out) + obs_test"
+    cmake --build "$FSAN_DIR" -j --target net_test obs_test
     "$FSAN_DIR/tests/net_test"
+    "$FSAN_DIR/tests/obs_test"
   fi
 done
 

@@ -13,6 +13,20 @@ FrontierEngine::FrontierEngine(const Topology& topology, NodeId self,
       mode_(mode),
       acks_(topology.num_nodes()) {}
 
+#if STAB_OBS_ENABLED
+std::string FrontierEngine::lag_gauge_name(const std::string& key) const {
+  return "control.frontier_lag.o" + std::to_string(obs_.origin) + "." + key;
+}
+
+void FrontierEngine::set_obs(ObsSinks sinks) {
+  obs_ = std::move(sinks);
+  // Backfill gauges for predicates registered before the sinks arrived.
+  if (obs_.registry)
+    for (auto& [key, entry] : entries_)
+      entry->lag_gauge = &obs_.registry->gauge(lag_gauge_name(key));
+}
+#endif
+
 Result<dsl::Predicate> FrontierEngine::compile(const std::string& source) {
   dsl::PredicateContext ctx;
   ctx.topology = &topology_;
@@ -58,6 +72,11 @@ Status FrontierEngine::register_predicate(const std::string& key,
   for (StabilityTypeId t : entry->predicate.referenced_types())
     acks_.ensure_type(t);
   Entry& ref = *entry;
+  STAB_OBS({
+    ref.key = key;
+    if (obs_.registry)
+      ref.lag_gauge = &obs_.registry->gauge(lag_gauge_name(key));
+  });
   entries_.emplace(key, std::move(entry));
   index_entry(ref);
   // Initial evaluation so frontier() is meaningful immediately.
@@ -178,6 +197,7 @@ bool FrontierEngine::on_ack(StabilityTypeId type, NodeId node, SeqNum seq,
                             BytesView extra) {
   int64_t old_value = kNoSeq;
   if (!acks_.update(type, node, seq, &old_value)) return false;
+  STAB_OBS(if (seq > high_water_) high_water_ = seq);
   dispatch_cell(type, node, old_value, seq, extra);
   return true;
 }
@@ -203,6 +223,7 @@ size_t FrontierEngine::on_ack_batch(std::span<const AckUpdate> updates) {
     int64_t old_value = kNoSeq;
     if (!acks_.update(u.type, u.node, u.seq, &old_value)) continue;
     ++advanced;
+    STAB_OBS(if (u.seq > high_water_) high_water_ = u.seq);
     auto it = index_.find(cell_key(u.type, u.node));
     const size_t affected = it == index_.end() ? 0 : it->second.size();
     evals_skipped_index_ += entries_.size() - affected;
@@ -254,10 +275,39 @@ void FrontierEngine::reevaluate_all() {
 void FrontierEngine::reevaluate(Entry& entry, BytesView extra,
                                 bool allow_regress) {
   ++predicate_evals_;
+#if STAB_OBS_ENABLED
+  SeqNum next;
+  // 1-in-16 sampled eval latency, timed on the active Env clock (virtual
+  // time under the simulator, where evals take zero virtual nanoseconds —
+  // real latencies require a RealtimeEnv run; see docs/OBSERVABILITY.md).
+  if (obs_.eval_ns != nullptr && obs_.now && (predicate_evals_ & 0xF) == 0) {
+    TimePoint t0 = obs_.now();
+    next = entry.predicate.eval(acks_);
+    obs_.eval_ns->record(static_cast<uint64_t>((obs_.now() - t0).count()));
+  } else {
+    next = entry.predicate.eval(acks_);
+  }
+#else
   SeqNum next = entry.predicate.eval(acks_);
+#endif
   if (next == entry.frontier) return;
   if (next < entry.frontier && !allow_regress) return;  // monotonic guard
   entry.frontier = next;
+#if STAB_OBS_ENABLED
+  if (next >= 0) {
+    // Frontier lag: how far the newest known message on this stream is
+    // ahead of the predicate's frontier at the moment it fires.
+    uint64_t lag =
+        high_water_ > next ? static_cast<uint64_t>(high_water_ - next) : 0;
+    if (obs_.frontier_lag != nullptr) obs_.frontier_lag->record(lag);
+    if (entry.lag_gauge != nullptr)
+      entry.lag_gauge->set(static_cast<int64_t>(lag));
+    if (STAB_TRACE_WANTS(obs_.tracer, obs::SpanEvent::kFrontierFire) &&
+        obs_.now)
+      obs_.tracer->record(obs_.now(), obs::SpanEvent::kFrontierFire, obs_.node,
+                          obs_.origin, next, kInvalidNode, entry.key);
+  }
+#endif
   for (const auto& m : entry.monitors) m(next, extra);
   // Wake waiters whose seq is now covered (sorted ascending).
   size_t fired = 0;

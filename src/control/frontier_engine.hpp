@@ -40,6 +40,7 @@
 #include "control/ack_table.hpp"
 #include "control/stability_types.hpp"
 #include "dsl/predicate.hpp"
+#include "obs/obs.hpp"
 
 namespace stab {
 
@@ -135,6 +136,24 @@ class FrontierEngine {
   NodeId self() const { return self_; }
 
   // --- hot-path observability ---------------------------------------------------
+#if STAB_OBS_ENABLED
+  /// Observability sinks, wired by the owning Stabilizer. Every field is
+  /// optional (null/empty = not recorded). `now` must read the active Env
+  /// clock so eval timing and kFrontierFire spans are deterministic under
+  /// the simulator. Call from the engine's own thread (no internal locking;
+  /// the sinks themselves are thread-safe).
+  struct ObsSinks {
+    obs::MetricsRegistry* registry = nullptr;  // owns the per-key lag gauges
+    obs::Histogram* frontier_lag = nullptr;    // lag sample per frontier fire
+    obs::Histogram* eval_ns = nullptr;         // sampled (1/16) eval latency
+    obs::Tracer* tracer = nullptr;             // kFrontierFire spans
+    NodeId node = kInvalidNode;                // evaluating node (trace id)
+    NodeId origin = kInvalidNode;              // this engine's origin stream
+    std::function<TimePoint()> now;
+  };
+  void set_obs(ObsSinks sinks);
+#endif
+
   /// Total Predicate::eval calls performed.
   uint64_t predicate_evals() const { return predicate_evals_; }
   /// Evals avoided by dispatch: predicates not referencing an advanced cell
@@ -160,6 +179,10 @@ class FrontierEngine {
     uint64_t batch_stamp = 0;          // dedup marker (see on_ack_batch)
     BytesView pending_extra{};         // extra routed to this entry's eval
     SeqNum pending_extra_seq = kNoSeq; // seq of the report carrying it
+#if STAB_OBS_ENABLED
+    std::string key;                   // registration key (trace detail)
+    obs::Gauge* lag_gauge = nullptr;   // control.frontier_lag.oN.<key>
+#endif
   };
 
   static uint64_t cell_key(StabilityTypeId type, NodeId node) {
@@ -190,6 +213,13 @@ class FrontierEngine {
   uint64_t predicate_evals_ = 0;
   uint64_t evals_skipped_index_ = 0;
   uint64_t evals_skipped_binding_ = 0;
+#if STAB_OBS_ENABLED
+  std::string lag_gauge_name(const std::string& key) const;
+  ObsSinks obs_;
+  // Highest sequence any report has mentioned for this stream — the
+  // "newest message we know of" reference point for frontier lag.
+  SeqNum high_water_ = kNoSeq;
+#endif
 };
 
 }  // namespace stab

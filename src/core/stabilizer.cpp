@@ -6,6 +6,59 @@
 
 namespace stab {
 
+#if STAB_OBS_ENABLED
+Stabilizer::Counters::Counters(obs::MetricsRegistry& r)
+    : messages_sent(r.counter("core.messages_sent")),
+      messages_delivered(r.counter("core.messages_delivered")),
+      peer_stall_episodes(r.counter("core.peer_stall_episodes")),
+      peer_recover_episodes(r.counter("core.peer_recover_episodes")),
+      resumes_sent(r.counter("core.resumes_sent")),
+      resumes_received(r.counter("core.resumes_received")),
+      frames_transmitted(r.counter("data.frames_transmitted")),
+      duplicates_dropped(r.counter("data.duplicates_dropped")),
+      gaps_detected(r.counter("data.gaps_detected")),
+      retransmits_sent(r.counter("data.retransmits_sent")),
+      data_encodes(r.counter("data.encodes")),
+      shared_sends(r.counter("data.shared_sends")),
+      frames_coalesced(r.counter("data.frames_coalesced")),
+      fanout_bytes_copied(r.counter("data.fanout_bytes_copied")),
+      ack_batches_sent(r.counter("control.ack_batches_sent")),
+      ack_entries_applied(r.counter("control.ack_entries_applied")),
+      batch_frames(r.histogram("data.batch_frames")),
+      ack_flush_entries(r.histogram("control.ack_flush_entries")) {}
+
+void Stabilizer::Counters::flush_pending() {
+  if (pending_messages_sent) {
+    messages_sent.inc(pending_messages_sent);
+    pending_messages_sent = 0;
+  }
+  if (pending_messages_delivered) {
+    messages_delivered.inc(pending_messages_delivered);
+    pending_messages_delivered = 0;
+  }
+  if (pending_frames_transmitted) {
+    frames_transmitted.inc(pending_frames_transmitted);
+    pending_frames_transmitted = 0;
+  }
+  if (pending_data_encodes) {
+    data_encodes.inc(pending_data_encodes);
+    pending_data_encodes = 0;
+  }
+  if (pending_shared_sends) {
+    shared_sends.inc(pending_shared_sends);
+    pending_shared_sends = 0;
+  }
+  if (pending_frames_coalesced) {
+    frames_coalesced.inc(pending_frames_coalesced);
+    pending_frames_coalesced = 0;
+  }
+  if (pending_fanout_bytes_copied) {
+    fanout_bytes_copied.inc(pending_fanout_bytes_copied);
+    pending_fanout_bytes_copied = 0;
+  }
+}
+#endif
+
 Stabilizer::Stabilizer(StabilizerOptions options, Transport& transport)
     : options_(std::move(options)),
       transport_(transport),
@@ -21,6 +74,26 @@ Stabilizer::Stabilizer(StabilizerOptions options, Transport& transport)
   for (NodeId origin = 0; origin < n; ++origin)
     engines_.push_back(std::make_unique<FrontierEngine>(
         options_.topology, options_.self, types_, options_.eval_mode));
+
+#if STAB_OBS_ENABLED
+  tracer_ = options_.tracer.get();
+  // All origin engines share the node-wide lag/eval histograms; per-key lag
+  // gauges are engine-created inside metrics_. Timestamps come from the
+  // transport's Env clock so sim traces are deterministic.
+  obs::Histogram& frontier_lag = metrics_.histogram("control.frontier_lag");
+  obs::Histogram& eval_ns = metrics_.histogram("control.eval_ns");
+  for (NodeId origin = 0; origin < n; ++origin) {
+    FrontierEngine::ObsSinks sinks;
+    sinks.registry = &metrics_;
+    sinks.frontier_lag = &frontier_lag;
+    sinks.eval_ns = &eval_ns;
+    sinks.tracer = tracer_;
+    sinks.node = options_.self;
+    sinks.origin = origin;
+    sinks.now = [this] { return transport_.env().now(); };
+    engines_[origin]->set_obs(std::move(sinks));
+  }
+#endif
 
   transport_.set_receive_handler(
       [this](NodeId src, BytesView frame, uint64_t wire_size) {
@@ -55,7 +128,9 @@ SeqNum Stabilizer::send(BytesView payload, uint64_t virtual_size) {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   SeqNum seq = sequencer_.next();
   out_.push(seq, Bytes(payload.begin(), payload.end()), virtual_size);
-  ++stats_.messages_sent;
+  STAB_OBS(++ctr_.pending_messages_sent);
+  STAB_TRACE(tracer_, env().now(), obs::SpanEvent::kBroadcast, options_.self,
+             options_.self, seq);
 
   if (coalescing_enabled())
     arm_flush();  // batch with the rest of this event-loop turn's sends
@@ -162,6 +237,7 @@ void Stabilizer::pump_windows() {
       ++cursor;
     }
   }
+  STAB_OBS(ctr_.flush_pending());
 }
 
 void Stabilizer::transmit(NodeId dst, const data::OutBuffer::Slot& slot) {
@@ -172,20 +248,24 @@ void Stabilizer::transmit(NodeId dst, const data::OutBuffer::Slot& slot) {
     if (!slot.encoded) {
       slot.encoded = std::make_shared<const Bytes>(data::encode_data(
           options_.self, slot.seq, slot.payload, slot.virtual_size));
-      ++stats_.data_encodes;
+      STAB_OBS(++ctr_.pending_data_encodes);
     }
     uint64_t wire = slot.encoded->size() + slot.virtual_size;
     transport_.send_shared(dst, slot.encoded, wire);
-    ++stats_.shared_sends;
+    STAB_OBS(++ctr_.pending_shared_sends);
   } else {
     Bytes encoded = data::encode_data(options_.self, slot.seq, slot.payload,
                                       slot.virtual_size);
-    ++stats_.data_encodes;
-    stats_.fanout_bytes_copied += encoded.size();
+    STAB_OBS({
+      ++ctr_.pending_data_encodes;
+      ctr_.pending_fanout_bytes_copied += encoded.size();
+    });
     uint64_t wire = encoded.size() + slot.virtual_size;
     transport_.send(dst, std::move(encoded), wire);
   }
-  ++stats_.frames_transmitted;
+  STAB_OBS(++ctr_.pending_frames_transmitted);
+  STAB_TRACE(tracer_, env().now(), obs::SpanEvent::kTransmit, options_.self,
+             options_.self, slot.seq, dst);
 }
 
 bool Stabilizer::coalescable(const data::OutBuffer::Slot& slot) const {
@@ -211,12 +291,25 @@ void Stabilizer::transmit_batch(NodeId dst, SeqNum first, size_t count) {
     batch_first_ = first;
     batch_count_ = count;
     batch_wire_ = batch_frame_->size() + virtual_total;
-    ++stats_.data_encodes;
+    STAB_OBS({
+      ++ctr_.pending_data_encodes;
+      ctr_.batch_frames.record(count);
+    });
   }
   transport_.send_shared(dst, batch_frame_, batch_wire_);
-  ++stats_.shared_sends;
-  stats_.frames_transmitted += count;
-  stats_.frames_coalesced += count;
+  STAB_OBS({
+    ++ctr_.pending_shared_sends;
+    ctr_.pending_frames_transmitted += count;
+    ctr_.pending_frames_coalesced += count;
+  });
+#if STAB_OBS_ENABLED
+  if (STAB_TRACE_WANTS(tracer_, obs::SpanEvent::kTransmit)) {
+    TimePoint now = env().now();
+    for (size_t i = 0; i < count; ++i)
+      tracer_->record(now, obs::SpanEvent::kTransmit, options_.self,
+                      options_.self, first + static_cast<SeqNum>(i), dst);
+  }
+#endif
 }
 
 void Stabilizer::apply_origin_rule_for_send(SeqNum seq) {
@@ -289,15 +382,17 @@ void Stabilizer::handle_data(NodeId src, const data::DataView& frame,
   if (frame.origin >= options_.topology.num_nodes()) return;
   switch (rx_.on_frame(frame.origin, frame.seq)) {
     case data::ReceiveTracker::Verdict::kStaleDuplicate:
-      ++stats_.duplicates_dropped;
+      STAB_OBS(ctr_.duplicates_dropped.inc());
       return;
     case data::ReceiveTracker::Verdict::kGap:
-      ++stats_.gaps_detected;
+      STAB_OBS(ctr_.gaps_detected.inc());
       return;  // go-back-N: wait for the retransmitted tail
     case data::ReceiveTracker::Verdict::kAccept:
       break;
   }
-  ++stats_.messages_delivered;
+  STAB_OBS(++ctr_.pending_messages_delivered);
+  STAB_TRACE(tracer_, env().now(), obs::SpanEvent::kDeliver, options_.self,
+             frame.origin, frame.seq, src);
 
   FrontierEngine& engine = *engines_[frame.origin];
   // Origin rule for the remote stream (the origin has every property for
@@ -331,12 +426,15 @@ void Stabilizer::handle_ack_batch(const data::AckBatchFrame& frame) {
   // Buckets are local because monitors fired by the batch may re-enter
   // (send -> apply_origin_rule_for_send runs a nested batch).
   std::vector<std::vector<AckUpdate>> per_origin(engines_.size());
+  uint64_t applied = 0;
   for (const data::AckEntry& e : frame.entries) {
     if (e.about_origin >= engines_.size()) continue;
     per_origin[e.about_origin].push_back(
         AckUpdate{e.type, frame.reporter, e.seq, BytesView(e.extra)});
-    ++stats_.ack_entries_applied;
+    ++applied;
   }
+  STAB_OBS(if (applied) ctr_.ack_entries_applied.inc(applied));
+  (void)applied;
   for (NodeId origin = 0; origin < per_origin.size(); ++origin)
     if (!per_origin[origin].empty())
       engines_[origin]->on_ack_batch(per_origin[origin]);
@@ -354,12 +452,14 @@ void Stabilizer::send_resume(NodeId peer, bool reply) {
   frame.reply = reply;
   transport_.send_shared(peer,
                          std::make_shared<const Bytes>(data::encode(frame)));
-  ++stats_.shared_sends;
-  ++stats_.resumes_sent;
+  STAB_OBS({
+    ctr_.shared_sends.inc();
+    ctr_.resumes_sent.inc();
+  });
 }
 
 void Stabilizer::handle_resume(NodeId src, const data::ResumeFrame& frame) {
-  ++stats_.resumes_received;
+  STAB_OBS(ctr_.resumes_received.inc());
   if (frame.sender != src || src >= peer_epoch_.size()) return;
 
   // Any RESUME from src was sent causally after src processed our own
@@ -400,7 +500,7 @@ void Stabilizer::mark_peer_recovered(NodeId peer) {
   // Exactly-once per episode: a RESUME-driven recovery suppresses the
   // stall_check progress path (stalled_ already cleared) and vice versa.
   stalled_[peer] = false;
-  ++stats_.peer_recover_episodes;
+  STAB_OBS(ctr_.peer_recover_episodes.inc());
   if (recovered_handler_) recovered_handler_(peer);
 }
 
@@ -464,14 +564,26 @@ void Stabilizer::flush_acks() {
       }
     }
     if (batch.entries.empty()) return;
+    STAB_OBS(ctr_.ack_flush_entries.record(batch.entries.size()));
+#if STAB_OBS_ENABLED
+    if (STAB_TRACE_WANTS(tracer_, obs::SpanEvent::kAckReport)) {
+      TimePoint now = env().now();
+      for (const data::AckEntry& e : batch.entries)
+        tracer_->record(now, obs::SpanEvent::kAckReport, options_.self,
+                        e.about_origin, e.seq, kInvalidNode,
+                        types_.name(e.type));
+    }
+#endif
     // One encode, fanned out refcounted — the ack broadcast rides the same
     // zero-copy path as the data plane.
     auto encoded = std::make_shared<const Bytes>(data::encode(batch));
     for (NodeId peer = 0; peer < options_.topology.num_nodes(); ++peer) {
       if (peer == options_.self || excluded_[peer]) continue;
       transport_.send_shared(peer, encoded);
-      ++stats_.shared_sends;
-      ++stats_.ack_batches_sent;
+      STAB_OBS({
+        ++ctr_.pending_shared_sends;
+        ctr_.ack_batches_sent.inc();
+      });
     }
   } else {
     // Origin-scoped: each origin gets only the reports about its stream.
@@ -487,10 +599,24 @@ void Stabilizer::flush_acks() {
       }
       if (batch.entries.empty()) continue;
       if (about == options_.self || excluded_[about]) continue;
+      STAB_OBS(ctr_.ack_flush_entries.record(batch.entries.size()));
+#if STAB_OBS_ENABLED
+      if (STAB_TRACE_WANTS(tracer_, obs::SpanEvent::kAckReport)) {
+        TimePoint now = env().now();
+        for (const data::AckEntry& e : batch.entries)
+          tracer_->record(now, obs::SpanEvent::kAckReport, options_.self,
+                          e.about_origin, e.seq, kInvalidNode,
+                          types_.name(e.type));
+      }
+#endif
       transport_.send(about, data::encode(batch));
-      ++stats_.ack_batches_sent;
+      STAB_OBS(ctr_.ack_batches_sent.inc());
     }
   }
+  // The periodic control flush doubles as the fold point for the batched
+  // data-plane deltas, so receive-side counters stay at most one
+  // ack_interval stale (stats()/metrics() fold on read anyway).
+  STAB_OBS(ctr_.flush_pending());
 }
 
 // --- retransmission ------------------------------------------------------------
@@ -540,11 +666,12 @@ void Stabilizer::retransmit_check() {
     for (SeqNum s = from; s <= to; ++s) {
       if (const auto* slot = out_.get(s)) {
         transmit(peer, *slot);
-        ++stats_.retransmits_sent;
+        STAB_OBS(ctr_.retransmits_sent.inc());
       }
     }
     peer_acked_at_last_probe_[peer] = acked;
   }
+  STAB_OBS(ctr_.flush_pending());
 }
 
 // --- peer stall detection (§III-E) --------------------------------------------
@@ -584,7 +711,7 @@ void Stabilizer::stall_check() {
     }
     if (!stalled_[peer]) {
       stalled_[peer] = true;  // one notification per stall episode
-      ++stats_.peer_stall_episodes;
+      STAB_OBS(ctr_.peer_stall_episodes.inc());
       if (stall_handler_) stall_handler_(peer);
     }
   }
@@ -860,7 +987,26 @@ SeqNum Stabilizer::last_sent() const {
 
 StabilizerStats Stabilizer::stats() const {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
-  StabilizerStats s = stats_;
+  StabilizerStats s;
+  STAB_OBS({
+    ctr_.flush_pending();
+    s.messages_sent = ctr_.messages_sent.value();
+    s.frames_transmitted = ctr_.frames_transmitted.value();
+    s.messages_delivered = ctr_.messages_delivered.value();
+    s.ack_batches_sent = ctr_.ack_batches_sent.value();
+    s.ack_entries_applied = ctr_.ack_entries_applied.value();
+    s.duplicates_dropped = ctr_.duplicates_dropped.value();
+    s.gaps_detected = ctr_.gaps_detected.value();
+    s.retransmits_sent = ctr_.retransmits_sent.value();
+    s.peer_stall_episodes = ctr_.peer_stall_episodes.value();
+    s.peer_recover_episodes = ctr_.peer_recover_episodes.value();
+    s.resumes_sent = ctr_.resumes_sent.value();
+    s.resumes_received = ctr_.resumes_received.value();
+    s.data_encodes = ctr_.data_encodes.value();
+    s.shared_sends = ctr_.shared_sends.value();
+    s.frames_coalesced = ctr_.frames_coalesced.value();
+    s.fanout_bytes_copied = ctr_.fanout_bytes_copied.value();
+  });
   for (const auto& engine : engines_) {
     s.predicate_evals += engine->predicate_evals();
     s.evals_skipped_index += engine->evals_skipped_index();

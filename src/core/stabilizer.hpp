@@ -46,6 +46,7 @@
 #include "data/wire.hpp"
 #include "dsl/predicate.hpp"
 #include "net/transport.hpp"
+#include "obs/obs.hpp"
 
 namespace stab {
 
@@ -113,8 +114,24 @@ struct StabilizerOptions {
   /// Automatically report the "delivered" level after the application
   /// upcall returns.
   bool auto_report_delivered = true;
+
+#if STAB_OBS_ENABLED
+  /// Opt-in message-lifecycle tracer (docs/OBSERVABILITY.md). Usually one
+  /// Tracer is shared by every node of a cluster so a message's broadcast,
+  /// per-peer transmits, deliveries, ack reports, and frontier fires land in
+  /// one stream. Null (the default) records nothing and costs one branch
+  /// per instrumentation site.
+  std::shared_ptr<obs::Tracer> tracer;
+#endif
 };
 
+/// Point-in-time snapshot of a node's core counters. Since the obs layer
+/// (src/obs) landed this struct is a *compatibility view*: the authoritative
+/// values live in the node's obs::MetricsRegistry (relaxed atomics, safe to
+/// bump from transport IO threads without the API lock) and
+/// Stabilizer::stats() reads through it. In a -DSTAB_OBS=OFF build every
+/// registry-backed field reads 0; the control-plane eval counters are
+/// engine-owned plain fields and report in every build.
 struct StabilizerStats {
   uint64_t messages_sent = 0;       // local stream messages
   uint64_t frames_transmitted = 0;  // DATA frames put on the wire
@@ -163,9 +180,26 @@ class Stabilizer {
   Stabilizer(const Stabilizer&) = delete;
   Stabilizer& operator=(const Stabilizer&) = delete;
 
+  /// This node's id within the topology. Constant; safe from any thread.
   NodeId self() const { return options_.self; }
+  /// The cluster topology this node was constructed with. Constant; safe
+  /// from any thread.
   const Topology& topology() const { return options_.topology; }
+  /// The transport's execution environment (clock + timers). Safe from any
+  /// thread; scheduling callbacks is the transport's thread-safety problem.
   Env& env() { return transport_.env(); }
+
+#if STAB_OBS_ENABLED
+  /// This node's metrics registry — counters/gauges/histograms the
+  /// instrumented hot paths feed and stats() reads through. Thread-safe;
+  /// takes the API lock briefly to fold batched transmit deltas into the
+  /// registry so the returned view is current.
+  obs::MetricsRegistry& metrics() const {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    ctr_.flush_pending();
+    return metrics_;
+  }
+#endif
 
   // --- data plane -------------------------------------------------------------
   /// Sequence and stream one message of the local pool to every peer.
@@ -380,7 +414,50 @@ class Stabilizer {
   std::vector<bool> resume_pending_;
   bool stopped_ = false;
 
-  StabilizerStats stats_;
+#if STAB_OBS_ENABLED
+  /// One relaxed-atomic counter per StabilizerStats field (plus the two core
+  /// histograms), resolved from metrics_ once at construction so the hot
+  /// paths bump references with no lookup. See docs/OBSERVABILITY.md for
+  /// the name catalog.
+  struct Counters {
+    obs::Counter& messages_sent;
+    obs::Counter& messages_delivered;
+    obs::Counter& peer_stall_episodes;
+    obs::Counter& peer_recover_episodes;
+    obs::Counter& resumes_sent;
+    obs::Counter& resumes_received;
+    obs::Counter& frames_transmitted;
+    obs::Counter& duplicates_dropped;
+    obs::Counter& gaps_detected;
+    obs::Counter& retransmits_sent;
+    obs::Counter& data_encodes;
+    obs::Counter& shared_sends;
+    obs::Counter& frames_coalesced;
+    obs::Counter& fanout_bytes_copied;
+    obs::Counter& ack_batches_sent;
+    obs::Counter& ack_entries_applied;
+    obs::Histogram& batch_frames;       // messages per encoded DATABATCH
+    obs::Histogram& ack_flush_entries;  // entries per flushed ACKBATCH
+
+    // Per-frame transmit accounting is batched to keep atomic RMWs off the
+    // hot path: transmit()/transmit_batch() bump these plain members (all
+    // callers hold mutex_) and flush_pending() folds them into the
+    // atomic counters once per pump/probe/stats read.
+    uint64_t pending_messages_sent = 0;
+    uint64_t pending_messages_delivered = 0;
+    uint64_t pending_frames_transmitted = 0;
+    uint64_t pending_data_encodes = 0;
+    uint64_t pending_shared_sends = 0;
+    uint64_t pending_frames_coalesced = 0;
+    uint64_t pending_fanout_bytes_copied = 0;
+    void flush_pending();
+
+    explicit Counters(obs::MetricsRegistry& r);
+  };
+  mutable obs::MetricsRegistry metrics_;  // declared before ctr_ (init order)
+  mutable Counters ctr_{metrics_};
+  obs::Tracer* tracer_ = nullptr;  // cached from options_.tracer
+#endif
   mutable std::recursive_mutex mutex_;
 };
 

@@ -2,7 +2,37 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace stab::data {
+
+// Codec-level accounting lives in the process-wide registry (obs::global()):
+// the codec is stateless and has no node identity. The function-local
+// statics resolve each counter once; obs::global() is a leaky singleton so
+// the references stay valid through shutdown. Updates batch in thread-local
+// accumulators and fold into the shared counters every 16 ops, keeping the
+// two atomic RMWs off the per-frame path — wire.* volume counters may
+// therefore lag the truth by up to 15 ops per call site per thread.
+#if STAB_OBS_ENABLED
+#define WIRE_COUNT(counter_name, bytes_name, nbytes)                       \
+  do {                                                                     \
+    static obs::Counter& c_ = obs::global().counter(counter_name);         \
+    static obs::Counter& b_ = obs::global().counter(bytes_name);           \
+    thread_local uint64_t pending_count_ = 0, pending_bytes_ = 0;          \
+    ++pending_count_;                                                      \
+    pending_bytes_ += (nbytes);                                            \
+    if (pending_count_ >= 16) {                                            \
+      c_.inc(pending_count_);                                              \
+      b_.inc(pending_bytes_);                                              \
+      pending_count_ = 0;                                                  \
+      pending_bytes_ = 0;                                                  \
+    }                                                                      \
+  } while (0)
+#else
+#define WIRE_COUNT(counter_name, bytes_name, nbytes) \
+  do {                                               \
+  } while (0)
+#endif
 
 // Frame layouts (all integers little-endian):
 //   DATA      u8 kind | u32 origin | i64 seq | u64 virtual_size | blob payload
@@ -20,7 +50,9 @@ Bytes encode_data(NodeId origin, SeqNum seq, BytesView payload,
   w.i64(seq);
   w.u64(virtual_size);
   w.blob(payload);
-  return std::move(w).take();
+  Bytes out = std::move(w).take();
+  WIRE_COUNT("wire.data_encodes", "wire.data_encode_bytes", out.size());
+  return out;
 }
 
 Bytes encode(const DataFrame& frame) {
@@ -43,7 +75,9 @@ Bytes encode(const DataBatchFrame& frame) {
     w.blob(e.payload);
     w.u64(e.virtual_size);
   }
-  return std::move(w).take();
+  Bytes out = std::move(w).take();
+  WIRE_COUNT("wire.batch_encodes", "wire.batch_encode_bytes", out.size());
+  return out;
 }
 
 Bytes encode(const AckBatchFrame& frame) {
@@ -59,7 +93,9 @@ Bytes encode(const AckBatchFrame& frame) {
     w.i64(e.seq);
     w.blob(e.extra);
   }
-  return std::move(w).take();
+  Bytes out = std::move(w).take();
+  WIRE_COUNT("wire.ack_encodes", "wire.ack_encode_bytes", out.size());
+  return out;
 }
 
 Bytes encode(const ResumeFrame& frame) {
@@ -69,7 +105,9 @@ Bytes encode(const ResumeFrame& frame) {
   w.u64(frame.epoch);
   w.i64(frame.receive_through);
   w.u8(frame.reply ? 1 : 0);
-  return std::move(w).take();
+  Bytes out = std::move(w).take();
+  WIRE_COUNT("wire.resume_encodes", "wire.resume_encode_bytes", out.size());
+  return out;
 }
 
 std::optional<FrameKind> peek_kind(BytesView frame) {
@@ -97,6 +135,7 @@ DataFrame decode_data(BytesView frame) {
 }
 
 DataView decode_data_view(BytesView frame) {
+  WIRE_COUNT("wire.data_decodes", "wire.data_decode_bytes", frame.size());
   Reader r(frame);
   if (r.u8() != static_cast<uint8_t>(FrameKind::kData))
     throw CodecError("not a DATA frame");
@@ -109,6 +148,7 @@ DataView decode_data_view(BytesView frame) {
 }
 
 DataBatchFrame decode_data_batch(BytesView frame) {
+  WIRE_COUNT("wire.batch_decodes", "wire.batch_decode_bytes", frame.size());
   Reader r(frame);
   if (r.u8() != static_cast<uint8_t>(FrameKind::kDataBatch))
     throw CodecError("not a DATABATCH frame");
@@ -128,6 +168,7 @@ DataBatchFrame decode_data_batch(BytesView frame) {
 }
 
 AckBatchFrame decode_ack_batch(BytesView frame) {
+  WIRE_COUNT("wire.ack_decodes", "wire.ack_decode_bytes", frame.size());
   Reader r(frame);
   if (r.u8() != static_cast<uint8_t>(FrameKind::kAckBatch))
     throw CodecError("not an ACKBATCH frame");
@@ -147,6 +188,7 @@ AckBatchFrame decode_ack_batch(BytesView frame) {
 }
 
 ResumeFrame decode_resume(BytesView frame) {
+  WIRE_COUNT("wire.resume_decodes", "wire.resume_decode_bytes", frame.size());
   Reader r(frame);
   if (r.u8() != static_cast<uint8_t>(FrameKind::kResume))
     throw CodecError("not a RESUME frame");

@@ -85,6 +85,16 @@ TcpTransport::TcpTransport(NodeId self, std::vector<TcpPeerAddr> peers,
       backoff_(peers_.size(), Duration::zero()),
       jitter_rng_(options.jitter_seed ^
                   (0x9e3779b97f4a7c15ULL * (self + 1))) {
+  STAB_OBS({
+    obs::MetricsRegistry& reg = obs::global();
+    obs_dial_attempts_ = &reg.counter("net.tcp.dial_attempts");
+    obs_connects_ = &reg.counter("net.tcp.connects");
+    obs_reconnects_ = &reg.counter("net.tcp.reconnects");
+    obs_disconnects_ = &reg.counter("net.tcp.disconnects");
+    obs_pending_dropped_ = &reg.counter("net.tcp.pending_dropped_frames");
+    obs_pending_bytes_ = &reg.gauge("net.tcp.pending_bytes");
+    obs_was_connected_.assign(peers_.size(), false);
+  });
   epoll_fd_ = epoll_create1(0);
   wake_fd_ = eventfd(0, EFD_NONBLOCK);
   epoll_event ev{};
@@ -110,6 +120,12 @@ void TcpTransport::shutdown() {
         close(c.fd);
         c.fd = -1;
       }
+    // Return this transport's buffered bytes to the process-wide gauge so
+    // it reads 0 once every transport is down.
+    STAB_OBS({
+      for (size_t b : pending_bytes_)
+        if (b > 0) obs_pending_bytes_->add(-static_cast<int64_t>(b));
+    });
   }
   if (listen_fd_ >= 0) close(listen_fd_);
   if (wake_fd_ >= 0) close(wake_fd_);
@@ -147,6 +163,7 @@ void TcpTransport::enqueue_or_pend(NodeId dst, OutFrame frame) {
       c.outq.push_back(std::move(frame));
     } else {
       pending_bytes_[dst] += frame.size();
+      STAB_OBS(obs_pending_bytes_->add(static_cast<int64_t>(frame.size())));
       pending_[dst].push_back(std::move(frame));  // flushed on reconnect
       enforce_pending_bound_locked(dst);
     }
@@ -212,6 +229,7 @@ void TcpTransport::try_dial(NodeId peer) {
   // caller holds mutex_
   Conn& c = conns_[peer];
   if (c.fd >= 0) return;
+  STAB_OBS(obs_dial_attempts_->inc());
   int fd = socket(AF_INET, SOCK_STREAM, 0);
   set_nonblocking(fd);
   set_nodelay(fd);
@@ -239,6 +257,7 @@ void TcpTransport::close_conn(NodeId peer, const char* why) {
                          << why << ")");
   epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c.fd, nullptr);
   close(c.fd);
+  STAB_OBS(obs_disconnects_->inc());
   // Unsent frames go back to pending so they survive the reconnect.
   if (!c.outq.empty()) {
     // Drop the partially written frame: the peer would see a torn frame
@@ -246,6 +265,8 @@ void TcpTransport::close_conn(NodeId peer, const char* why) {
     if (c.out_offset > 0) c.outq.pop_front();
     while (!c.outq.empty()) {
       pending_bytes_[peer] += c.outq.back().size();
+      STAB_OBS(obs_pending_bytes_->add(
+          static_cast<int64_t>(c.outq.back().size())));
       pending_[peer].push_front(std::move(c.outq.back()));
       c.outq.pop_back();
     }
@@ -271,6 +292,10 @@ void TcpTransport::enforce_pending_bound_locked(NodeId peer) {
   // still goes out eventually.
   while (pending_bytes_[peer] > opts_.max_pending_bytes && q.size() > 1) {
     pending_bytes_[peer] -= q.front().size();
+    STAB_OBS({
+      obs_pending_bytes_->add(-static_cast<int64_t>(q.front().size()));
+      obs_pending_dropped_->inc();
+    });
     q.pop_front();
     ++pending_dropped_;
   }
@@ -285,10 +310,20 @@ void TcpTransport::flush_pending_locked(NodeId peer) {
   }
   while (!pending_[peer].empty()) {
     pending_bytes_[peer] -= pending_[peer].front().size();
+    STAB_OBS(obs_pending_bytes_->add(
+        -static_cast<int64_t>(pending_[peer].front().size())));
     c.outq.push_back(std::move(pending_[peer].front()));
     pending_[peer].pop_front();
   }
 }
+
+#if STAB_OBS_ENABLED
+void TcpTransport::obs_on_connected_locked(NodeId peer) {
+  obs_connects_->inc();
+  if (obs_was_connected_[peer]) obs_reconnects_->inc();
+  obs_was_connected_[peer] = true;
+}
+#endif
 
 void TcpTransport::rearm_epoll(NodeId peer) {
   Conn& c = conns_[peer];
@@ -356,6 +391,7 @@ void TcpTransport::handle_accept() {
     c.connecting = false;
     c.hello_sent = true;  // acceptor doesn't dial, no hello needed from us
     backoff_[src] = Duration::zero();  // live connection resets the backoff
+    STAB_OBS(obs_on_connected_locked(src));
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.u32 = src;
@@ -423,6 +459,7 @@ void TcpTransport::handle_writable(NodeId peer) {
     }
     c.connecting = false;
     backoff_[peer] = Duration::zero();  // live connection resets the backoff
+    STAB_OBS(obs_on_connected_locked(peer));
     flush_pending_locked(peer);
   }
   // Scatter-gather up to 16 queued frames (header + shared body each) per

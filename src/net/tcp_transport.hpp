@@ -24,6 +24,7 @@
 #include "common/realtime_env.hpp"
 #include "common/rng.hpp"
 #include "net/transport.hpp"
+#include "obs/obs.hpp"
 
 namespace stab {
 
@@ -140,6 +141,22 @@ class TcpTransport final : public Transport {
   int wake_fd_ = -1;  // eventfd to kick the IO thread
   std::atomic<bool> stop_{false};
   std::thread io_thread_;
+
+#if STAB_OBS_ENABLED
+  // Process-wide transport metrics (obs::global(); see
+  // docs/OBSERVABILITY.md), resolved once at construction. The counters are
+  // bumped from the IO thread and from senders' threads — relaxed atomics,
+  // no extra locking. obs_was_connected_ (guarded by mutex_) distinguishes
+  // a peer's first connect from a reconnect episode.
+  obs::Counter* obs_dial_attempts_ = nullptr;
+  obs::Counter* obs_connects_ = nullptr;
+  obs::Counter* obs_reconnects_ = nullptr;
+  obs::Counter* obs_disconnects_ = nullptr;
+  obs::Counter* obs_pending_dropped_ = nullptr;
+  obs::Gauge* obs_pending_bytes_ = nullptr;  // summed over peers (delta-kept)
+  std::vector<bool> obs_was_connected_;
+  void obs_on_connected_locked(NodeId peer);
+#endif
 };
 
 /// Convenience: build an n-node loopback cluster on consecutive ports

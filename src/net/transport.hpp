@@ -37,14 +37,25 @@ class Transport {
 
   virtual ~Transport() = default;
 
+  /// This node's id in the cluster. Constant for the transport's lifetime;
+  /// callable from any thread.
   virtual NodeId self() const = 0;
+
+  /// Number of nodes in the configured cluster (valid NodeIds are
+  /// [0, cluster_size)). Constant; callable from any thread.
   virtual size_t cluster_size() const = 0;
 
+  /// Install (or, with nullptr, remove) the frame sink. Not thread-safe
+  /// against concurrent delivery: call before traffic starts, or from the
+  /// Env thread itself (a destructing Stabilizer unhooks this way so no
+  /// callback can land in freed state). At most one handler is active.
   virtual void set_receive_handler(ReceiveHandler handler) = 0;
 
-  /// Queue a frame to `dst`. Never blocks. `wire_size` (0 = frame.size())
-  /// models payload bytes that are accounted for bandwidth but not carried
-  /// (trace replay); real transports ignore the padding.
+  /// Queue a frame to `dst`. Never blocks; safe from any thread (real
+  /// transports lock internally; SimTransport is single-threaded by
+  /// construction). `wire_size` (0 = frame.size()) models payload bytes
+  /// that are accounted for bandwidth but not carried (trace replay); real
+  /// transports ignore the padding.
   virtual void send(NodeId dst, Bytes frame, uint64_t wire_size = 0) = 0;
 
   /// Queue an already-encoded frame that the caller also keeps (encode-once
@@ -52,12 +63,17 @@ class Transport {
   /// retransmits). The default copies for transports that predate the fast
   /// path; Sim/InProc enqueue the refcounted buffer directly and Tcp
   /// scatter-gathers it from the socket queue, so fan-out is zero-copy.
+  /// Same blocking/threading contract as send(); the buffer must never be
+  /// mutated after handoff (receivers may still be reading it).
   virtual void send_shared(NodeId dst, std::shared_ptr<const Bytes> frame,
                            uint64_t wire_size = 0) {
     send(dst, Bytes(*frame), wire_size);
   }
 
-  /// The Env all of this node's Stabilizer work runs on.
+  /// The Env all of this node's Stabilizer work runs on — its clock stamps
+  /// timers, trace records, and eval timings (virtual time on SimTransport,
+  /// monotonic real time otherwise). The reference outlives the transport's
+  /// users; scheduling into it is thread-safe per the Env contract.
   virtual Env& env() = 0;
 };
 

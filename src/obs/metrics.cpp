@@ -1,0 +1,246 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace stab::obs {
+
+// --- Histogram -----------------------------------------------------------------
+
+size_t Histogram::bucket_of(uint64_t v) {
+  if (v < 4) return static_cast<size_t>(v);
+  // b = floor(log2 v) >= 2; sub-bucket = next two bits below the top one.
+  const int b = std::bit_width(v) - 1;
+  const uint64_t sub = (v >> (b - 2)) & 3;
+  return static_cast<size_t>((b - 1) * 4 + sub);
+}
+
+uint64_t Histogram::bucket_lo(size_t b) {
+  if (b < 4) return b;
+  const int exp = static_cast<int>(b / 4) + 1;
+  const uint64_t sub = b % 4;
+  return (uint64_t{4} + sub) << (exp - 2);
+}
+
+uint64_t Histogram::bucket_hi(size_t b) {
+  if (b < 4) return b;
+  const int exp = static_cast<int>(b / 4) + 1;
+  return bucket_lo(b) + (uint64_t{1} << (exp - 2)) - 1;
+}
+
+void Histogram::record(uint64_t v) {
+  buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    uint64_t n = other.buckets_[b].load(std::memory_order_relaxed);
+    if (n) buckets_[b].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  if (other.count() > 0) {
+    uint64_t v = other.min();
+    uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    v = other.max();
+    cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+uint64_t Histogram::min() const {
+  uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+uint64_t Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+uint64_t Histogram::percentile(double p) const {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p / 100.0 * n));
+  if (rank == 0) rank = 1;
+  uint64_t cum = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    cum += buckets_[b].load(std::memory_order_relaxed);
+    if (cum >= rank) return std::min(bucket_hi(b), max());
+  }
+  return max();
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count();
+  s.sum = sum();
+  s.min = min();
+  s.max = max();
+  s.p50 = percentile(50);
+  s.p95 = percentile(95);
+  s.p99 = percentile(99);
+  return s;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> Histogram::nonzero_buckets() const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    uint64_t n = buckets_[b].load(std::memory_order_relaxed);
+    if (n) out.emplace_back(bucket_hi(b), n);
+  }
+  return out;
+}
+
+// --- MetricsRegistry -----------------------------------------------------------
+
+namespace {
+template <typename Map>
+auto& get_or_create(Map& map, std::string_view name, std::mutex& mu) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = map.find(name);
+  if (it == map.end())
+    it = map.emplace(std::string(name),
+                     std::make_unique<typename Map::mapped_type::element_type>())
+             .first;
+  return *it->second;
+}
+
+template <typename Map>
+auto* find_in(const Map& map, std::string_view name, std::mutex& mu) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = map.find(name);
+  return it == map.end() ? static_cast<typename Map::mapped_type::element_type*>(
+                               nullptr)
+                         : it->second.get();
+}
+
+// Metric names are code-controlled identifiers, but escape defensively so
+// the JSONL stays well-formed whatever a predicate key contains.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return get_or_create(counters_, name, mu_);
+}
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return get_or_create(gauges_, name, mu_);
+}
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return get_or_create(histograms_, name, mu_);
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  return find_in(counters_, name, mu_);
+}
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  return find_in(gauges_, name, mu_);
+}
+const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  return find_in(histograms_, name, mu_);
+}
+
+void MetricsRegistry::dump_jsonl(std::ostream& out,
+                                 std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string pfx(prefix);
+  for (const auto& [name, c] : counters_)
+    out << "{\"name\":\"" << json_escape(pfx + name)
+        << "\",\"type\":\"counter\",\"value\":" << c->value() << "}\n";
+  for (const auto& [name, g] : gauges_)
+    out << "{\"name\":\"" << json_escape(pfx + name)
+        << "\",\"type\":\"gauge\",\"value\":" << g->value() << "}\n";
+  for (const auto& [name, h] : histograms_) {
+    auto s = h->snapshot();
+    out << "{\"name\":\"" << json_escape(pfx + name)
+        << "\",\"type\":\"histogram\",\"count\":" << s.count
+        << ",\"sum\":" << s.sum << ",\"min\":" << s.min << ",\"max\":" << s.max
+        << ",\"p50\":" << s.p50 << ",\"p95\":" << s.p95 << ",\"p99\":" << s.p99
+        << ",\"buckets\":[";
+    bool first = true;
+    for (auto [hi, n] : h->nonzero_buckets()) {
+      if (!first) out << ",";
+      first = false;
+      out << "[" << hi << "," << n << "]";
+    }
+    out << "]}\n";
+  }
+}
+
+void MetricsRegistry::dump_table(std::ostream& out,
+                                 std::string_view title) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!title.empty()) out << "--- " << title << " ---\n";
+  size_t width = 12;
+  for (const auto& [name, _] : counters_) width = std::max(width, name.size());
+  for (const auto& [name, _] : gauges_) width = std::max(width, name.size());
+  for (const auto& [name, _] : histograms_)
+    width = std::max(width, name.size());
+  for (const auto& [name, c] : counters_)
+    out << "  " << std::left << std::setw(static_cast<int>(width)) << name
+        << "  " << c->value() << "\n";
+  for (const auto& [name, g] : gauges_)
+    out << "  " << std::left << std::setw(static_cast<int>(width)) << name
+        << "  " << g->value() << "\n";
+  for (const auto& [name, h] : histograms_) {
+    auto s = h->snapshot();
+    out << "  " << std::left << std::setw(static_cast<int>(width)) << name
+        << "  n=" << s.count << " sum=" << s.sum << " min=" << s.min
+        << " p50=" << s.p50 << " p95=" << s.p95 << " p99=" << s.p99
+        << " max=" << s.max << "\n";
+  }
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, _] : counters_) out.push_back(name);
+  for (const auto& [name, _] : gauges_) out.push_back(name);
+  for (const auto& [name, _] : histograms_) out.push_back(name);
+  return out;
+}
+
+MetricsRegistry& global() {
+  static MetricsRegistry* reg = new MetricsRegistry();  // leaky: see header
+  return *reg;
+}
+
+}  // namespace stab::obs

@@ -136,8 +136,13 @@ TEST(Core, AckBatchingCoalesces) {
   SimFixture f(tiny_topology(2, 5));
   for (int i = 0; i < 100; ++i) f.node(0).send(to_bytes("m"));
   f.sim.run();
+  // Registry-backed stats read zero when the obs layer is compiled out
+  // (-DSTAB_OBS=OFF), so stats introspection is gated; the semantic
+  // assertions around it run in every build flavor.
+#if STAB_OBS_ENABLED
   EXPECT_EQ(f.node(1).stats().messages_delivered, 100u);
   EXPECT_LT(f.node(1).stats().ack_batches_sent, 30u);
+#endif
   // ... and the sender still learned the final frontier exactly.
   EXPECT_EQ(f.node(0)
                 .engine()
@@ -276,7 +281,9 @@ TEST(Core, LossyLinkRecoveredByRetransmission) {
 
   ASSERT_EQ(delivered.size(), static_cast<size_t>(kCount));
   for (int i = 0; i < kCount; ++i) EXPECT_EQ(delivered[i], i);
+#if STAB_OBS_ENABLED
   EXPECT_GT(f.node(0).stats().retransmits_sent, 0u);
+#endif
   EXPECT_EQ(f.node(1).delivered_through(0), kCount - 1);
 }
 
@@ -323,12 +330,14 @@ TEST(Core, EncodeOncePerBroadcastEvenUnderRetransmission) {
       seconds(120));
   ASSERT_TRUE(ok);
 
+#if STAB_OBS_ENABLED
   StabilizerStats s = f.node(0).stats();
   EXPECT_GT(s.retransmits_sent, 0u);  // the lossy links forced re-sends
   EXPECT_GT(s.frames_transmitted, static_cast<uint64_t>(kCount) * 4);
   EXPECT_EQ(s.data_encodes, static_cast<uint64_t>(kCount));
   EXPECT_EQ(s.fanout_bytes_copied, 0u);
   EXPECT_GE(s.shared_sends, s.frames_transmitted);  // data + acks, all shared
+#endif
 }
 
 TEST(Core, LegacyDataPathReencodesPerPeer) {
@@ -341,9 +350,11 @@ TEST(Core, LegacyDataPathReencodesPerPeer) {
   for (int i = 0; i < kCount; ++i) f.node(0).send(to_bytes("msg"));
   f.sim.run();
 
+#if STAB_OBS_ENABLED
   StabilizerStats s = f.node(0).stats();
   EXPECT_EQ(s.data_encodes, static_cast<uint64_t>(kCount) * 4);
   EXPECT_GT(s.fanout_bytes_copied, 0u);
+#endif
   for (NodeId peer = 1; peer < 5; ++peer)
     EXPECT_EQ(f.node(peer).delivered_through(0), kCount - 1);
 }
@@ -376,6 +387,7 @@ TEST(Core, CoalescingPreservesFifoAndFrontiers) {
   }
   EXPECT_EQ(f.node(0).get_stability_frontier("all"), kCount - 1);
 
+#if STAB_OBS_ENABLED
   StabilizerStats s = f.node(0).stats();
   // The burst was sent in one event-loop turn, so nearly everything rode in
   // batches; per-message accounting is unchanged.
@@ -384,6 +396,7 @@ TEST(Core, CoalescingPreservesFifoAndFrontiers) {
   // Far fewer encodes than messages: batches of up to 16, each encoded once
   // for both peers.
   EXPECT_LT(s.data_encodes, static_cast<uint64_t>(kCount) / 2);
+#endif
 }
 
 TEST(Core, CoalescingRespectsByteBoundAndLargePayloads) {
@@ -409,9 +422,11 @@ TEST(Core, CoalescingRespectsByteBoundAndLargePayloads) {
     if (sizes[i] == 4096) ++big_seen;
   }
   EXPECT_EQ(big_seen, 3u);
+#if STAB_OBS_ENABLED
   StabilizerStats s = f.node(0).stats();
   EXPECT_GT(s.frames_coalesced, 0u);
   EXPECT_EQ(s.frames_transmitted, 33u);
+#endif
 }
 
 TEST(Core, SendWindowLimitsInFlight) {
@@ -420,7 +435,9 @@ TEST(Core, SendWindowLimitsInFlight) {
   SimFixture f(tiny_topology(2, 10), base);
   for (int i = 0; i < 20; ++i) f.node(0).send(to_bytes("m"));
   // Only the window's worth of frames may be on the wire before any ack.
+#if STAB_OBS_ENABLED
   EXPECT_EQ(f.node(0).stats().frames_transmitted, 4u);
+#endif
   // As acks flow back the rest drain; everything is delivered in order.
   std::vector<SeqNum> got;
   f.node(1).set_delivery_handler(
@@ -428,7 +445,9 @@ TEST(Core, SendWindowLimitsInFlight) {
   f.sim.run();
   ASSERT_EQ(got.size(), 20u);
   for (int i = 0; i < 20; ++i) EXPECT_EQ(got[i], i);
+#if STAB_OBS_ENABLED
   EXPECT_EQ(f.node(0).stats().frames_transmitted, 20u);
+#endif
 }
 
 TEST(Core, SendWindowIsPerPeer) {
@@ -446,7 +465,9 @@ TEST(Core, SendWindowIsPerPeer) {
   // Node 0 transmitted all 10 DATA frames to node 1 but only the 2-message
   // window toward the dead node 2 (dropped frames also include ack batches
   // aimed at node 2, so count transmissions, not drops).
+#if STAB_OBS_ENABLED
   EXPECT_EQ(f.node(0).stats().frames_transmitted, 12u);
+#endif
 }
 
 TEST(Core, WindowedAndUnwindowedDeliverIdentically) {
@@ -464,6 +485,7 @@ TEST(Core, WindowedAndUnwindowedDeliverIdentically) {
   }
 }
 
+#if STAB_OBS_ENABLED
 TEST(Core, StatsAreCoherent) {
   SimFixture f(tiny_topology(3));
   for (int i = 0; i < 10; ++i) f.node(0).send(to_bytes("x"));
@@ -474,6 +496,7 @@ TEST(Core, StatsAreCoherent) {
   EXPECT_EQ(f.node(1).stats().messages_delivered, 10u);
   EXPECT_GT(st.ack_entries_applied, 0u);
 }
+#endif  // STAB_OBS_ENABLED
 
 TEST(Core, SendLargeEdgeCases) {
   SimFixture f(tiny_topology(2));

@@ -1,0 +1,104 @@
+// Compile-out verification for the observability layer.
+//
+// This translation unit is always built with STAB_OBS_ENABLED forced to 0
+// (tests/CMakeLists.txt), so it checks the macro layer's disabled
+// expansion: STAB_OBS / STAB_TRACE must discard their arguments WITHOUT
+// evaluating them, and must compile around references to members/types that
+// only exist in enabled builds (that's how the instrumented sources stay
+// obs-free when compiled out).
+//
+// The core zero-counter assertions are additionally compiled only in a
+// -DSTAB_OBS=OFF build (STAB_CORE_OBS_DISABLED): in the default build the
+// stab_core library was compiled with the obs members present, so including
+// stabilizer.hpp here with the flag forced off would be an ODR/ABI
+// violation, not a test. scripts/ci.sh runs the OFF-build flavor.
+#define STAB_OBS_ENABLED 0
+
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stab {
+namespace {
+
+struct MustNotExist;  // declared, never defined
+
+// A function whose evaluation would fail the test — and whose *compilation*
+// inside a disabled macro must be skipped entirely.
+int side_effects = 0;
+int bump() { return ++side_effects; }
+
+TEST(ObsDisabled, StabObsDiscardsArgumentsUnevaluated) {
+  STAB_OBS(bump());
+  STAB_OBS({
+    bump();
+    bump();
+  });
+  // Arguments are not even name-looked-up: these identifiers don't exist.
+  STAB_OBS(ctr_.nonexistent_counter.inc());
+  STAB_OBS(obs::global().counter("nope").inc(bump()));
+  EXPECT_EQ(side_effects, 0);
+}
+
+TEST(ObsDisabled, StabTraceDiscardsArgumentsUnevaluated) {
+  MustNotExist* tracer = nullptr;
+  (void)tracer;  // only ever named inside the discarding macro
+  STAB_TRACE(tracer, bump(), obs::SpanEvent::kBroadcast, 0, 0, 0);
+  EXPECT_EQ(side_effects, 0);
+}
+
+TEST(ObsDisabled, StabTraceWantsIsConstantFalse) {
+  MustNotExist* tracer = nullptr;
+  (void)tracer;
+  bool wants = STAB_TRACE_WANTS(tracer, obs::SpanEvent::kDeliver);
+  EXPECT_FALSE(wants);
+  if (STAB_TRACE_WANTS(tracer, anything_goes_here)) bump();
+  EXPECT_EQ(side_effects, 0);
+}
+
+}  // namespace
+}  // namespace stab
+
+#ifdef STAB_CORE_OBS_DISABLED
+// Only in a -DSTAB_OBS=OFF build: the whole library was compiled with the
+// instrumentation expanded away, so the registry-backed stats fields must
+// read zero after real traffic while the engine-owned eval counters (plain
+// members, never macro-gated) still count.
+#include "core/stabilizer.hpp"
+#include "net/sim_transport.hpp"
+
+namespace stab {
+namespace {
+
+TEST(ObsDisabledCore, RegistryBackedCountersStayZero) {
+  sim::Simulator sim;
+  Topology topo;
+  for (int i = 0; i < 3; ++i) topo.add_node("n" + std::to_string(i), "az0");
+  LinkSpec s;
+  s.latency = from_ms(5);
+  for (NodeId a = 0; a < 3; ++a)
+    for (NodeId b = 0; b < 3; ++b)
+      if (a != b) topo.set_link(a, b, s);
+  SimCluster cluster(topo, sim);
+  std::vector<std::unique_ptr<Stabilizer>> nodes;
+  for (NodeId n = 0; n < 3; ++n) {
+    StabilizerOptions opts;
+    opts.topology = topo;
+    opts.self = n;
+    nodes.push_back(std::make_unique<Stabilizer>(opts, cluster.transport(n)));
+  }
+  nodes[0]->register_predicate("all", "MIN($ALLWNODES)");
+  for (int i = 0; i < 3; ++i) nodes[0]->send(to_bytes("x"));
+  sim.run();
+  ASSERT_EQ(nodes[0]->get_stability_frontier("all"), 2);  // cluster works
+
+  StabilizerStats st = nodes[0]->stats();
+  EXPECT_EQ(st.messages_sent, 0u);       // compiled out
+  EXPECT_EQ(st.frames_transmitted, 0u);  // compiled out
+  EXPECT_EQ(st.shared_sends, 0u);        // compiled out
+  EXPECT_GT(st.predicate_evals, 0u);     // engine-owned, always live
+}
+
+}  // namespace
+}  // namespace stab
+#endif  // STAB_CORE_OBS_DISABLED

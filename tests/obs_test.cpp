@@ -1,0 +1,343 @@
+// Tests for the observability layer (src/obs): histogram bucket math and
+// percentile estimates pinned against a sorted-vector oracle, registry
+// semantics and JSONL export determinism, tracer lifecycle + determinism
+// over the simulator, and the StabilizerStats compatibility view reading
+// through the per-node registry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/stabilizer.hpp"
+#include "net/sim_transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace stab {
+namespace {
+
+// --- Histogram bucket math ------------------------------------------------------
+
+TEST(Histogram, BucketBoundsTileTheRange) {
+  // Buckets partition [0, 2^63): contiguous, non-overlapping, and bucket_of
+  // maps both endpoints back to the bucket.
+  for (size_t b = 0; b + 1 < obs::Histogram::kNumBuckets; ++b) {
+    uint64_t lo = obs::Histogram::bucket_lo(b);
+    uint64_t hi = obs::Histogram::bucket_hi(b);
+    ASSERT_LE(lo, hi) << "bucket " << b;
+    EXPECT_EQ(obs::Histogram::bucket_of(lo), b);
+    EXPECT_EQ(obs::Histogram::bucket_of(hi), b);
+    EXPECT_EQ(obs::Histogram::bucket_lo(b + 1), hi + 1) << "bucket " << b;
+  }
+  // Quarter-octave guarantee: every bucket's width is at most lo/4, so a
+  // percentile reported as bucket_hi over-estimates by < 25%.
+  for (size_t b = 4; b < obs::Histogram::kNumBuckets; ++b) {
+    uint64_t lo = obs::Histogram::bucket_lo(b);
+    uint64_t width = obs::Histogram::bucket_hi(b) - lo + 1;
+    EXPECT_LE(width, lo / 4) << "bucket " << b;
+  }
+  // Values 0..7 are exact (width-1 buckets).
+  for (uint64_t v = 0; v < 8; ++v) {
+    size_t b = obs::Histogram::bucket_of(v);
+    EXPECT_EQ(obs::Histogram::bucket_lo(b), v);
+    EXPECT_EQ(obs::Histogram::bucket_hi(b), v);
+  }
+}
+
+// Nearest-rank oracle matching Histogram::percentile's rank definition.
+uint64_t oracle_percentile(std::vector<uint64_t> sorted, double p) {
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(p / 100.0 * sorted.size()));
+  if (rank == 0) rank = 1;
+  return sorted[rank - 1];
+}
+
+void check_against_oracle(const std::vector<uint64_t>& samples) {
+  obs::Histogram h;
+  for (uint64_t v : samples) h.record(v);
+  std::vector<uint64_t> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+
+  EXPECT_EQ(h.count(), samples.size());
+  EXPECT_EQ(h.min(), sorted.front());
+  EXPECT_EQ(h.max(), sorted.back());
+  uint64_t sum = 0;
+  for (uint64_t v : samples) sum += v;
+  EXPECT_EQ(h.sum(), sum);
+
+  for (double p : {0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0}) {
+    uint64_t exact = oracle_percentile(sorted, p);
+    uint64_t est = h.percentile(p);
+    // The estimate is the true sample's bucket upper bound (clamped to
+    // max): never below the truth, never more than 25% above it.
+    EXPECT_GE(est, exact) << "p" << p;
+    EXPECT_LE(est, exact + exact / 4) << "p" << p;
+  }
+}
+
+TEST(Histogram, PercentilesMatchSortedOracleAcrossDistributions) {
+  Rng rng(0xfeedbeefULL);
+  // Uniform small values (mostly exact buckets).
+  {
+    std::vector<uint64_t> s;
+    for (int i = 0; i < 5000; ++i) s.push_back(rng.next_below(16));
+    check_against_oracle(s);
+  }
+  // Uniform over a wide range.
+  {
+    std::vector<uint64_t> s;
+    for (int i = 0; i < 5000; ++i) s.push_back(rng.next_below(50'000'000));
+    check_against_oracle(s);
+  }
+  // Heavy-tailed (Pareto) — the shape latency distributions actually have.
+  {
+    std::vector<uint64_t> s;
+    for (int i = 0; i < 5000; ++i)
+      s.push_back(static_cast<uint64_t>(rng.next_pareto(100.0, 1.2)));
+    check_against_oracle(s);
+  }
+  // Degenerate: constant samples.
+  check_against_oracle(std::vector<uint64_t>(100, 42));
+}
+
+TEST(Histogram, MergeFoldsCountsAndExtremes) {
+  obs::Histogram a, b;
+  for (uint64_t v : {1ull, 10ull, 100ull}) a.record(v);
+  for (uint64_t v : {5ull, 1000ull}) b.record(v);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_EQ(a.sum(), 1116u);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), 1000u);
+  obs::Histogram empty;
+  a.merge(empty);  // merging an empty histogram is a no-op
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_EQ(a.min(), 1u);
+}
+
+// --- MetricsRegistry ------------------------------------------------------------
+
+TEST(Registry, GetOrCreateReturnsStableReferences) {
+  obs::MetricsRegistry reg;
+  EXPECT_EQ(reg.find_counter("x"), nullptr);
+  obs::Counter& c1 = reg.counter("x");
+  obs::Counter& c2 = reg.counter("x");
+  EXPECT_EQ(&c1, &c2);
+  c1.inc(3);
+  EXPECT_EQ(reg.find_counter("x")->value(), 3u);
+  reg.gauge("g").set(-7);
+  EXPECT_EQ(reg.find_gauge("g")->value(), -7);
+  reg.histogram("h").record(9);
+  EXPECT_EQ(reg.find_histogram("h")->count(), 1u);
+  EXPECT_EQ(reg.names(), (std::vector<std::string>{"x", "g", "h"}));
+}
+
+TEST(Registry, JsonlExportIsSortedDeterministicAndPrefixed) {
+  obs::MetricsRegistry reg;
+  reg.counter("b.count").inc(2);
+  reg.counter("a.count").inc(1);
+  reg.gauge("depth").set(4);
+  reg.histogram("lat").record(5);
+  std::ostringstream s1, s2;
+  reg.dump_jsonl(s1, "node0.");
+  reg.dump_jsonl(s2, "node0.");
+  EXPECT_EQ(s1.str(), s2.str());  // byte-identical re-export
+  std::string out = s1.str();
+  EXPECT_NE(out.find("{\"name\":\"node0.a.count\",\"type\":\"counter\","
+                     "\"value\":1}"),
+            std::string::npos);
+  // Sorted by name within each type: a.count precedes b.count.
+  EXPECT_LT(out.find("node0.a.count"), out.find("node0.b.count"));
+  EXPECT_NE(out.find("\"type\":\"histogram\""), std::string::npos);
+}
+
+// --- Tracer ---------------------------------------------------------------------
+
+TEST(Tracer, CapacityBoundDropsDeterministically) {
+  obs::Tracer t(/*capacity=*/2);
+  for (SeqNum s = 0; s < 5; ++s)
+    t.record(TimePoint{}, obs::SpanEvent::kBroadcast, 0, 0, s);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.dropped(), 3u);
+  auto recs = t.records();
+  EXPECT_EQ(recs[0].seq, 0);  // kept prefix is append-ordered
+  EXPECT_EQ(recs[1].seq, 1);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Tracer, EventMaskFiltersUnsubscribedEvents) {
+  obs::Tracer t(1024, obs::event_bit(obs::SpanEvent::kDeliver));
+  EXPECT_TRUE(t.wants(obs::SpanEvent::kDeliver));
+  EXPECT_FALSE(t.wants(obs::SpanEvent::kBroadcast));
+  t.record(TimePoint{}, obs::SpanEvent::kBroadcast, 0, 0, 0);
+  t.record(TimePoint{}, obs::SpanEvent::kDeliver, 1, 0, 0, 0);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.records()[0].ev, obs::SpanEvent::kDeliver);
+}
+
+// --- End-to-end over the simulator ---------------------------------------------
+
+Topology mesh_topology(size_t n, double lat_ms = 10) {
+  Topology t;
+  for (size_t i = 0; i < n; ++i) t.add_node("n" + std::to_string(i), "az0");
+  LinkSpec s;
+  s.latency = from_ms(lat_ms);
+  for (NodeId a = 0; a < n; ++a)
+    for (NodeId b = 0; b < n; ++b)
+      if (a != b) t.set_link(a, b, s);
+  return t;
+}
+
+/// Runs a fixed 3-node workload with a shared tracer; returns the trace
+/// JSONL plus node 0's metrics JSONL.
+struct RunArtifacts {
+  std::string trace;
+  std::string metrics;
+};
+
+RunArtifacts run_traced_workload() {
+  sim::Simulator sim;
+  Topology topo = mesh_topology(3);
+  SimCluster cluster(topo, sim);
+  auto tracer = std::make_shared<obs::Tracer>();
+  std::vector<std::unique_ptr<Stabilizer>> nodes;
+  for (NodeId n = 0; n < 3; ++n) {
+    StabilizerOptions opts;
+    opts.topology = topo;
+    opts.self = n;
+    opts.tracer = tracer;
+    nodes.push_back(std::make_unique<Stabilizer>(opts, cluster.transport(n)));
+  }
+  for (auto& node : nodes)
+    node->register_predicate("all", "MIN($ALLWNODES)");
+  for (int i = 0; i < 5; ++i) nodes[0]->send(to_bytes("m" + std::to_string(i)));
+  nodes[1]->send(to_bytes("from1"));
+  sim.run();
+  RunArtifacts out;
+  std::ostringstream ts, ms;
+  tracer->export_jsonl(ts);
+  nodes[0]->metrics().dump_jsonl(ms, "node0.");
+  out.trace = ts.str();
+  out.metrics = ms.str();
+  return out;
+}
+
+TEST(TraceE2E, LifecycleSpansCoverBroadcastTransmitDeliverFire) {
+  sim::Simulator sim;
+  Topology topo = mesh_topology(3);
+  SimCluster cluster(topo, sim);
+  auto tracer = std::make_shared<obs::Tracer>();
+  std::vector<std::unique_ptr<Stabilizer>> nodes;
+  for (NodeId n = 0; n < 3; ++n) {
+    StabilizerOptions opts;
+    opts.topology = topo;
+    opts.self = n;
+    opts.tracer = tracer;
+    nodes.push_back(std::make_unique<Stabilizer>(opts, cluster.transport(n)));
+  }
+  nodes[0]->register_predicate("all", "MIN($ALLWNODES)");
+  SeqNum seq = nodes[0]->send(to_bytes("hello"));
+  sim.run();
+
+  std::map<obs::SpanEvent, int> per_event;
+  bool fired_for_seq = false;
+  for (const auto& r : tracer->records()) {
+    if (r.origin != 0 || r.seq != seq) continue;
+    ++per_event[r.ev];
+    if (r.ev == obs::SpanEvent::kFrontierFire && r.detail == "all")
+      fired_for_seq = true;
+  }
+  EXPECT_EQ(per_event[obs::SpanEvent::kBroadcast], 1);
+  EXPECT_EQ(per_event[obs::SpanEvent::kTransmit], 2);  // one per peer
+  EXPECT_EQ(per_event[obs::SpanEvent::kDeliver], 2);   // both receivers
+  EXPECT_GE(per_event[obs::SpanEvent::kAckReport], 2);
+  EXPECT_TRUE(fired_for_seq) << "no kFrontierFire for predicate 'all'";
+  // Deliveries happen strictly after the broadcast on the virtual clock.
+  TimePoint sent{}, delivered{};
+  for (const auto& r : tracer->records()) {
+    if (r.origin != 0 || r.seq != seq) continue;
+    if (r.ev == obs::SpanEvent::kBroadcast) sent = r.t;
+    if (r.ev == obs::SpanEvent::kDeliver) delivered = r.t;
+  }
+  EXPECT_GE(delivered - sent, from_ms(10));  // one link latency minimum
+}
+
+TEST(TraceE2E, IdenticalSimRunsProduceByteIdenticalArtifacts) {
+  RunArtifacts a = run_traced_workload();
+  RunArtifacts b = run_traced_workload();
+  EXPECT_FALSE(a.trace.empty());
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.metrics, b.metrics);
+}
+
+TEST(StatsCompat, StructViewReadsThroughRegistry) {
+  sim::Simulator sim;
+  Topology topo = mesh_topology(3);
+  SimCluster cluster(topo, sim);
+  std::vector<std::unique_ptr<Stabilizer>> nodes;
+  for (NodeId n = 0; n < 3; ++n) {
+    StabilizerOptions opts;
+    opts.topology = topo;
+    opts.self = n;
+    nodes.push_back(std::make_unique<Stabilizer>(opts, cluster.transport(n)));
+  }
+  nodes[0]->register_predicate("all", "MIN($ALLWNODES)");
+  for (int i = 0; i < 4; ++i) nodes[0]->send(to_bytes("x"));
+  sim.run();
+
+  StabilizerStats s = nodes[0]->stats();
+  obs::MetricsRegistry& reg = nodes[0]->metrics();
+  EXPECT_EQ(s.messages_sent, 4u);
+  EXPECT_EQ(s.messages_sent, reg.find_counter("core.messages_sent")->value());
+  EXPECT_EQ(s.frames_transmitted,
+            reg.find_counter("data.frames_transmitted")->value());
+  EXPECT_EQ(s.shared_sends, reg.find_counter("data.shared_sends")->value());
+  EXPECT_EQ(s.ack_entries_applied,
+            reg.find_counter("control.ack_entries_applied")->value());
+  EXPECT_GT(s.frames_transmitted, 0u);
+  EXPECT_GT(s.ack_entries_applied, 0u);
+  // Engine-owned eval counters still aggregate into the view.
+  EXPECT_GT(s.predicate_evals, 0u);
+
+  StabilizerStats s1 = nodes[1]->stats();
+  EXPECT_EQ(s1.messages_delivered, 4u);
+  EXPECT_EQ(s1.messages_delivered,
+            nodes[1]->metrics().find_counter("core.messages_delivered")
+                ->value());
+}
+
+TEST(FrontierLag, HistogramAndPerKeyGaugePopulated) {
+  sim::Simulator sim;
+  Topology topo = mesh_topology(3);
+  SimCluster cluster(topo, sim);
+  std::vector<std::unique_ptr<Stabilizer>> nodes;
+  for (NodeId n = 0; n < 3; ++n) {
+    StabilizerOptions opts;
+    opts.topology = topo;
+    opts.self = n;
+    nodes.push_back(std::make_unique<Stabilizer>(opts, cluster.transport(n)));
+  }
+  nodes[0]->register_predicate("all", "MIN($ALLWNODES)");
+  for (int i = 0; i < 8; ++i) nodes[0]->send(to_bytes("x"));
+  sim.run();
+
+  obs::MetricsRegistry& reg = nodes[0]->metrics();
+  const obs::Histogram* lag = reg.find_histogram("control.frontier_lag");
+  ASSERT_NE(lag, nullptr);
+  EXPECT_GT(lag->count(), 0u);
+  const obs::Gauge* per_key = reg.find_gauge("control.frontier_lag.o0.all");
+  ASSERT_NE(per_key, nullptr);
+  // Quiesced cluster: the predicate caught up with the stream.
+  EXPECT_EQ(per_key->value(), 0);
+  EXPECT_EQ(nodes[0]->get_stability_frontier("all"), 7);
+}
+
+}  // namespace
+}  // namespace stab
