@@ -1,28 +1,39 @@
-// Control-plane hot path microbench: indexed batch dispatch vs the legacy
-// per-entry scan.
+// Control-plane hot path microbench, two studies in one binary:
 //
-// The frontier engine is the hot loop of every trace run: each AckBatchFrame
-// entry used to trigger an O(#predicates) scan plus a full eval of every
-// predicate referencing the updated cell. This bench measures, for P
-// registered predicates x batch size B, the number of Predicate::eval calls
-// and the wall-clock cost per ack entry under both dispatch paths:
-//   * legacy  — DispatchMode::kLegacyScan, one on_ack per entry (seed code),
-//   * indexed — DispatchMode::kIndexed, one on_ack_batch per batch (reverse
-//     dependency index + batch dedup + binding-cell skip).
-// Both paths replay the identical ack sequence and the final frontiers are
-// asserted equal. Results go to stdout and BENCH_control.json
-// (EXPERIMENTS.md "Control-plane hot path").
+//  1. Single-threaded dispatch: indexed batch dispatch vs the legacy
+//     per-entry scan (ISSUE 1 tentpole). Each AckBatchFrame entry used to
+//     trigger an O(#predicates) scan plus a full eval of every predicate
+//     referencing the updated cell; the indexed path cuts that with a
+//     reverse dependency index + batch dedup + binding-cell skip. Writes
+//     BENCH_control.json (working artifact, not committed — see
+//     EXPERIMENTS.md "Control-plane hot path" for the recorded numbers).
+//
+//  2. Multi-threaded producer scaling: PipelineMode::kPipelined vs
+//     kLegacyLocked under 1/2/4/8 producer threads x ack-heavy and
+//     read-heavy mixes (ISSUE 6 tentpole). Producers drive one Stabilizer
+//     facade concurrently; the pipelined mode folds reports into lock-free
+//     ack cells and answers frontier reads from the wait-free board, the
+//     locked baseline serializes everything through the API mutex. Writes
+//     BENCH_control_mt.json (committed artifact, EXPERIMENTS.md "Producer
+//     scaling"). `--smoke` shrinks both studies for CI and skips the
+//     timing-based acceptance floors (structural assertions still run).
 #include <cassert>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <ctime>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "common/rng.hpp"
 #include "config/topology.hpp"
 #include "control/frontier_engine.hpp"
+#include "core/stabilizer.hpp"
+#include "net/inproc_transport.hpp"
 
 namespace stab::bench {
 namespace {
@@ -115,20 +126,11 @@ RunResult run(const Topology& topo, size_t num_predicates, size_t batch_size,
   return r;
 }
 
-}  // namespace
-}  // namespace stab::bench
-
-int main() {
-  using namespace stab;
-  using namespace stab::bench;
-
-  print_header("Control-plane hot path: indexed batch dispatch",
-               "DESIGN.md §4c / ISSUE 1 tentpole");
-
+int run_single_threaded(bool smoke) {
   Topology topo = ec2_topology();
   const size_t predicates[] = {1, 2, 4, 8, 16, 32, 64};
   const size_t batches[] = {1, 4, 16, 64, 256};
-  const size_t total_acks = 65536;  // per cell, split into batches
+  const size_t total_acks = smoke ? 8192 : 65536;  // per config
 
   std::FILE* json = std::fopen("BENCH_control.json", "w");
   if (!json) {
@@ -202,4 +204,283 @@ int main() {
   }
   std::printf("wrote BENCH_control.json\n");
   return 0;
+}
+
+// --- multi-threaded producer scaling (ISSUE 6) ---------------------------------
+
+using PipelineMode = StabilizerOptions::PipelineMode;
+
+struct MtResult {
+  double ops_per_sec = 0;        // aggregate producer ops completed / wall time
+  double ns_per_op = 0;          // inverse, per single op (wall)
+  double read_cpu_ns_per_op = 0; // reader THREAD-CPU per op (read mixes only)
+  SeqNum final_frontier = 0;     // after full convergence (digest input)
+};
+
+enum class Mix { kAck, kRead, kReadQuiet };
+
+/// Per-thread CPU time (ns): unaffected by timeslicing, which on a
+/// single-core machine otherwise dominates wall-clock per-op numbers.
+double thread_cpu_ns() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e9 +
+         static_cast<double>(ts.tv_nsec);
+}
+
+/// One facade under `producers` concurrent client threads.
+///   kAck      : every producer op is report_stability("verified", ...) with
+///               a globally increasing seq (shared fetch_add — every report
+///               genuinely advances the stream, no binding-skip freebies).
+///               The clock stops when the frontier has absorbed ALL reports
+///               (end-to-end: ingestion + drain + eval), not when the last
+///               producer returns.
+///   kRead     : every producer op is get_stability_frontier, with one
+///               background storm thread reporting continuously so reads
+///               contend with ack ingestion (the "ack storm" of the ISSUE).
+///   kReadQuiet: reads with no storm — the baseline the storm runs are
+///               compared against for the flat-read-latency claim.
+MtResult run_mt(PipelineMode mode, size_t producers, Mix mix,
+                size_t ops_per_thread) {
+  Topology topo;
+  topo.add_node("n0", "az0");
+  topo.add_node("n1", "az1");
+  LinkSpec link;  // zero latency: direct dispatch on the InProc path
+  topo.set_link(0, 1, link);
+  topo.set_link(1, 0, link);
+  InProcCluster cluster(2, &topo);
+
+  StabilizerOptions opts;
+  opts.topology = topo;
+  opts.self = 0;
+  opts.pipeline_mode = mode;
+  Stabilizer node(opts, cluster.transport(0));
+  // Several subscribers each register their own frontier key over the same
+  // reported level (the paper's pattern: every consumer/application installs
+  // its own predicate). The locked path re-evaluates every key under the
+  // mutex per report; the pipelined drain evaluates each key once per
+  // coalesced batch — the structural win this curve measures.
+  constexpr size_t kKeys = 8;
+  std::vector<std::string> keys;
+  for (size_t k = 0; k < kKeys; ++k) {
+    keys.push_back("sub" + std::to_string(k));
+    Status st =
+        node.register_predicate(keys.back(), "MAX(($ALLWNODES).verified)");
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "register failed: %s\n", st.message().c_str());
+      std::exit(1);
+    }
+  }
+  // Warm-up report: registers "verified" on every engine path and makes the
+  // first timed op representative.
+  node.report_stability("verified", 0, 0);
+
+  const bool reading = mix != Mix::kAck;
+  std::atomic<SeqNum> next_seq{1};
+  std::atomic<bool> storm_stop{false};
+  std::atomic<uint64_t> reader_cpu_ns{0};
+  const SeqNum expected_final =
+      reading ? kNoSeq  // storm progress is unbounded; digest not compared
+              : static_cast<SeqNum>(producers * ops_per_thread);
+
+  std::vector<std::thread> threads;
+  std::thread storm;
+  if (mix == Mix::kRead)
+    storm = std::thread([&] {
+      while (!storm_stop.load(std::memory_order_relaxed))
+        node.report_stability("verified", 0,
+                              next_seq.fetch_add(1, std::memory_order_relaxed));
+    });
+
+  auto start = std::chrono::steady_clock::now();
+  for (size_t t = 0; t < producers; ++t)
+    threads.emplace_back([&] {
+      if (reading) {
+        const double cpu0 = thread_cpu_ns();
+        SeqNum prev = kNoSeq;
+        for (size_t i = 0; i < ops_per_thread; ++i) {
+          SeqNum f = node.get_stability_frontier(keys[0]);
+          if (f < prev) {
+            std::fprintf(stderr, "FRONTIER REGRESSION %lld -> %lld\n",
+                         static_cast<long long>(prev),
+                         static_cast<long long>(f));
+            std::exit(1);
+          }
+          prev = f;
+        }
+        reader_cpu_ns.fetch_add(
+            static_cast<uint64_t>(thread_cpu_ns() - cpu0),
+            std::memory_order_relaxed);
+      } else {
+        for (size_t i = 0; i < ops_per_thread; ++i)
+          node.report_stability(
+              "verified", 0, next_seq.fetch_add(1, std::memory_order_relaxed));
+      }
+    });
+  for (auto& t : threads) t.join();
+  if (!reading) {
+    // End-to-end: the run is not done until every report is visible.
+    while (node.get_stability_frontier(keys[0]) < expected_final)
+      std::this_thread::yield();
+  }
+  auto elapsed = std::chrono::steady_clock::now() - start;
+
+  if (mix == Mix::kRead) {
+    storm_stop.store(true, std::memory_order_relaxed);
+    storm.join();
+  }
+  // Let any still-armed drain finish, then snapshot the converged frontier.
+  SeqNum settled = node.get_stability_frontier(keys[0]);
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    SeqNum again = node.get_stability_frontier(keys[0]);
+    if (again == settled) break;
+    settled = again;
+  }
+
+  // Every subscriber key tracks the same cells: their frontiers must agree.
+  for (const auto& k : keys)
+    if (node.get_stability_frontier(k) != settled) {
+      std::fprintf(stderr, "SUBSCRIBER FRONTIER DISAGREEMENT at %s\n",
+                   k.c_str());
+      std::exit(1);
+    }
+
+  MtResult r;
+  const double ops = static_cast<double>(producers * ops_per_thread);
+  const double ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  r.ops_per_sec = ops / (ns / 1e9);
+  r.ns_per_op = ns / ops;
+  r.read_cpu_ns_per_op =
+      reading ? static_cast<double>(reader_cpu_ns.load()) / ops : 0;
+  r.final_frontier = settled;
+  if (!reading && settled != expected_final) {
+    std::fprintf(stderr, "FRONTIER SHORTFALL: %lld != expected %lld\n",
+                 static_cast<long long>(settled),
+                 static_cast<long long>(expected_final));
+    std::exit(1);
+  }
+  return r;
+}
+
+int run_multi_threaded(bool smoke) {
+  const size_t producer_counts[] = {1, 2, 4, 8};
+  const size_t ops_per_thread = smoke ? 5000 : 100000;
+
+  std::FILE* json = std::fopen("BENCH_control_mt.json", "w");
+  if (!json) {
+    std::fprintf(stderr, "cannot open BENCH_control_mt.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"rows\": [\n");
+
+  std::printf("\n%10s %5s | %14s %14s %8s | %12s %12s\n", "mix", "prods",
+              "locked ops/s", "piped ops/s", "speedup", "locked rdcpu",
+              "piped rdcpu");
+
+  struct MixSpec {
+    Mix mix;
+    const char* name;
+  };
+  const MixSpec mixes[] = {{Mix::kAck, "ack"},
+                           {Mix::kRead, "read"},
+                           {Mix::kReadQuiet, "read_quiet"}};
+
+  double speedup_4p_ack = 0, speedup_4p_read = 0;
+  double piped_read_cpu_storm_4p = 0, piped_read_cpu_quiet_4p = 0;
+  bool first_row = true;
+  for (const MixSpec& m : mixes) {
+    for (size_t p : producer_counts) {
+      MtResult locked =
+          run_mt(PipelineMode::kLegacyLocked, p, m.mix, ops_per_thread);
+      MtResult piped =
+          run_mt(PipelineMode::kPipelined, p, m.mix, ops_per_thread);
+      // Digest equality (ack mix): both modes must converge on the exact
+      // same final frontier — every report absorbed, none lost or double
+      // counted. (The read mixes' storm makes unequal progress by design.)
+      if (m.mix == Mix::kAck &&
+          locked.final_frontier != piped.final_frontier) {
+        std::fprintf(stderr, "DIGEST MISMATCH at producers=%zu: %lld != %lld\n",
+                     p, static_cast<long long>(locked.final_frontier),
+                     static_cast<long long>(piped.final_frontier));
+        return 1;
+      }
+      const double speedup = piped.ops_per_sec / locked.ops_per_sec;
+      if (p == 4 && m.mix == Mix::kAck) speedup_4p_ack = speedup;
+      if (p == 4 && m.mix == Mix::kRead) {
+        speedup_4p_read = speedup;
+        piped_read_cpu_storm_4p = piped.read_cpu_ns_per_op;
+      }
+      if (p == 4 && m.mix == Mix::kReadQuiet)
+        piped_read_cpu_quiet_4p = piped.read_cpu_ns_per_op;
+      std::printf("%10s %5zu | %14.0f %14.0f %7.2fx | %12.1f %12.1f\n",
+                  m.name, p, locked.ops_per_sec, piped.ops_per_sec, speedup,
+                  locked.read_cpu_ns_per_op, piped.read_cpu_ns_per_op);
+      std::fprintf(
+          json,
+          "%s    {\"mix\": \"%s\", \"producers\": %zu, "
+          "\"ops_per_thread\": %zu, \"locked_ops_per_sec\": %.0f, "
+          "\"pipelined_ops_per_sec\": %.0f, \"speedup\": %.3f, "
+          "\"locked_ns_per_op\": %.1f, \"pipelined_ns_per_op\": %.1f, "
+          "\"locked_read_cpu_ns_per_op\": %.1f, "
+          "\"pipelined_read_cpu_ns_per_op\": %.1f}",
+          first_row ? "" : ",\n", m.name, p, ops_per_thread,
+          locked.ops_per_sec, piped.ops_per_sec, speedup, locked.ns_per_op,
+          piped.ns_per_op, locked.read_cpu_ns_per_op,
+          piped.read_cpu_ns_per_op);
+      first_row = false;
+    }
+  }
+
+  // Flat-read-latency check: the wait-free read's CPU cost per op under an
+  // ack storm vs quiet. (Thread-CPU, not wall: on a single-core machine the
+  // storm steals timeslices from every thread, which wall-clock can't
+  // separate from actual read-path degradation.)
+  const double read_degradation =
+      piped_read_cpu_quiet_4p > 0
+          ? piped_read_cpu_storm_4p / piped_read_cpu_quiet_4p
+          : 0;
+  std::printf(
+      "\naggregate speedup at 4 producers: ack-heavy %.2fx, read-heavy %.2fx "
+      "(acceptance floor: 3x%s)\n"
+      "wait-free read CPU under storm vs quiet at 4 producers: %.2fx\n",
+      speedup_4p_ack, speedup_4p_read,
+      smoke ? ", not enforced in --smoke" : "", read_degradation);
+  std::fprintf(json,
+               "\n  ],\n  \"speedup_4producers_ack\": %.3f,\n"
+               "  \"speedup_4producers_read\": %.3f,\n"
+               "  \"read_cpu_storm_over_quiet_4producers\": %.3f,\n"
+               "  \"acceptance_floor\": 3.0,\n"
+               "  \"smoke\": %s\n}\n",
+               speedup_4p_ack, speedup_4p_read, read_degradation,
+               smoke ? "true" : "false");
+  std::fclose(json);
+  if (!smoke && speedup_4p_ack < 3.0 && speedup_4p_read < 3.0) {
+    std::fprintf(stderr, "FAIL: 4-producer speedup ack %.2fx / read %.2fx, "
+                         "neither reaches 3x\n",
+                 speedup_4p_ack, speedup_4p_read);
+    return 1;
+  }
+  std::printf("wrote BENCH_control_mt.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace stab::bench
+
+int main(int argc, char** argv) {
+  using namespace stab;
+  using namespace stab::bench;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  print_header("Control-plane hot path: indexed dispatch + pipelined facade",
+               "DESIGN.md §4c/§4f — ISSUE 1 + ISSUE 6 tentpoles");
+
+  int rc = run_single_threaded(smoke);
+  if (rc != 0) return rc;
+  return run_multi_threaded(smoke);
 }

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Tier-1 CI: plain build + full ctest, a chaos property sweep under fresh
-# random seeds, then sanitizer passes: one configurable pass over the
-# control-plane/core suites (the indexed dispatch / batched ack hot path and
-# its re-entrant callback surface) plus one ASan and one TSan pass over the
-# fault-handling suites (recovery_test + chaos_test — the crash-restart /
-# RESUME machinery).
+# Tier-1 CI: plain build + full ctest, bench smokes (data-plane fan-out and
+# the control-plane dispatch + MT producer curve), a chaos property sweep
+# under fresh random seeds, then sanitizer passes: one configurable pass over
+# the control-plane/core suites (the indexed dispatch / batched ack hot path,
+# its re-entrant callback surface, and the lock-free pipeline's MT suite)
+# plus one ASan and one TSan pass over the fault-handling suites
+# (recovery_test + chaos_test — the crash-restart / RESUME machinery, with
+# pipeline-enabled campaigns). The TSan leg additionally runs core_mt_test
+# unconditionally.
 #
 # Usage: scripts/ci.sh [extra cmake args...]
 # Env:   STAB_CI_SANITIZER=address|thread|undefined  (default: address)
@@ -29,6 +32,12 @@ echo "==> data-plane hot path bench (smoke)"
 # Runs in build/ so the smoke JSON does not clobber the committed full-mode
 # BENCH_data_hotpath.json at the repo root.
 (cd "$ROOT/build" && bench/bench_data_hotpath --smoke)
+
+echo "==> control-plane hot path bench (smoke: dispatch + MT producer curve)"
+# Same convention: the committed BENCH_control_mt.json at the repo root is
+# full-mode only; the smoke pass exercises the digest-equality assertions
+# (indexed-vs-legacy, pipelined-vs-locked) without enforcing timing floors.
+(cd "$ROOT/build" && bench/bench_control_hotpath --smoke)
 
 # Compiled-out flavor: the obs macros must vanish cleanly — build the core
 # with -DSTAB_OBS=OFF and run the suites that pin the disabled contract
@@ -72,11 +81,12 @@ fi
 SAN_DIR="$ROOT/build-$SAN"
 echo "==> $SAN sanitizer: configure + build (build-$SAN/)"
 cmake -B "$SAN_DIR" -S "$ROOT" -DSTAB_SANITIZE="$SAN" "$@"
-cmake --build "$SAN_DIR" -j --target control_test core_test obs_test
+cmake --build "$SAN_DIR" -j --target control_test core_test core_mt_test obs_test
 
-echo "==> $SAN sanitizer: control_test + core_test + obs_test"
+echo "==> $SAN sanitizer: control_test + core_test + core_mt_test + obs_test"
 "$SAN_DIR/tests/control_test"
 "$SAN_DIR/tests/core_test"
+"$SAN_DIR/tests/core_mt_test"
 "$SAN_DIR/tests/obs_test"
 
 # Fault-handling suites under both ASan and TSan: the crash-restart path
@@ -94,11 +104,20 @@ for FSAN in address thread; do
     # (InProc) and to the TCP IO thread via scatter-gather; net_test under
     # TSan guards the shared-frame lifetime and ordering. obs_test under
     # TSan guards the registry's relaxed-atomic counters and the tracer's
-    # mutexed append (its multithreaded hammer tests).
-    echo "==> $FSAN sanitizer: net_test (shared fan-out) + obs_test"
-    cmake --build "$FSAN_DIR" -j --target net_test obs_test
+    # mutexed append (its multithreaded hammer tests). core_mt_test under
+    # TSan guards the lock-free control-plane pipeline (SPSC rings, CAS-max
+    # ack cells, epoch-snapshot frontier reads) under genuinely concurrent
+    # facade use — it runs here unconditionally even when STAB_CI_SANITIZER
+    # selects a different flavor for the configurable pass above. The
+    # pipeline-enabled chaos campaign (ChaosCampaign.PipelinedAgreesWith-
+    # LockedPostHeal + the odd sweep seeds) already ran as part of
+    # chaos_test just above.
+    echo "==> $FSAN sanitizer: net_test (shared fan-out) + obs_test" \
+         "+ core_mt_test (pipeline)"
+    cmake --build "$FSAN_DIR" -j --target net_test obs_test core_mt_test
     "$FSAN_DIR/tests/net_test"
     "$FSAN_DIR/tests/obs_test"
+    "$FSAN_DIR/tests/core_mt_test"
   fi
 done
 

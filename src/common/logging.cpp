@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
 namespace stab {
 
@@ -25,14 +27,41 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
 
-void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg) {
+  // Re-check the level with a relaxed atomic load so callers that reach here
+  // directly (or raced a set_log_level) bail without touching the mutex —
+  // filtered-out messages never serialize against active loggers.
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed))
+    return;
+
+  // Format the full line into a local buffer first; g_mutex is held only for
+  // the single write so concurrent logging threads contend on the fd hand-off,
+  // not on formatting.
+  char stack_buf[512];
+  const int want = std::snprintf(stack_buf, sizeof(stack_buf), "[stab %s] %s\n",
+                                 level_name(level), msg.c_str());
+  const char* line = stack_buf;
+  size_t len = want > 0 ? static_cast<size_t>(want) : 0;
+  std::vector<char> heap_buf;
+  if (len >= sizeof(stack_buf)) {
+    heap_buf.resize(len + 1);
+    std::snprintf(heap_buf.data(), heap_buf.size(), "[stab %s] %s\n",
+                  level_name(level), msg.c_str());
+    line = heap_buf.data();
+  }
+  if (len == 0) return;
+
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[stab %s] %s\n", level_name(level), msg.c_str());
+  std::fwrite(line, 1, len, stderr);
 }
 }  // namespace detail
 

@@ -1,0 +1,98 @@
+// Bounded lock-free single-producer/single-consumer ring buffer — the
+// ingestion lane of the control-plane pipeline (DESIGN.md §4f).
+//
+// One producer thread pushes, one consumer thread pops; neither ever blocks
+// on a lock. The classic two-index scheme: the producer owns `tail_`, the
+// consumer owns `head_`, and each side keeps a cached copy of the other's
+// index so the common case touches one shared cache line only when its
+// cached view says the ring might be full/empty (Rigtorp-style optimization;
+// the obs registry's relaxed-atomic counters use the same "plain fast path,
+// atomic fold point" idea).
+//
+// "Single consumer" may be a set of threads that serialize externally (the
+// Stabilizer drains rings under its API mutex): the mutex hand-off provides
+// the ordering the consumer-side relaxed loads of `head_` rely on.
+//
+// Capacity is rounded up to a power of two; one slot is never used, so
+// size() can distinguish full from empty without a separate counter.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace stab {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t min_capacity) {
+    size_t cap = 2;
+    while (cap < min_capacity + 1) cap <<= 1;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<T[]>(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Usable capacity (the allocation keeps one slot free).
+  size_t capacity() const { return mask_; }
+
+  /// Producer side. Returns false when the ring is full (the caller decides
+  /// whether to yield-and-retry or divert; the pipeline counts a stall and
+  /// retries — dropping would break the transport's FIFO contract).
+  bool try_push(T&& v) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t next = (tail + 1) & mask_;
+    if (next == head_cache_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (next == head_cache_) return false;
+    }
+    slots_[tail] = std::move(v);
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = std::move(slots_[head]);
+    head_.store((head + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy — exact when called from either endpoint's
+  /// thread, otherwise a consistent-enough snapshot for a depth gauge.
+  size_t size_approx() const {
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    const size_t head = head_.load(std::memory_order_acquire);
+    return (tail - head) & mask_;
+  }
+
+  bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  // Destructive-interference distance, pinned (gcc warns that the std::
+  // constant is tuning-dependent and ABI-hazardous): 64 is the line size on
+  // every deployment target; a too-small value costs false sharing, never
+  // correctness.
+  static constexpr size_t kCacheLine = 64;
+
+  size_t mask_ = 0;
+  std::unique_ptr<T[]> slots_;
+
+  // Producer-owned line: tail index plus the producer's cached head.
+  alignas(kCacheLine) std::atomic<size_t> tail_{0};
+  size_t head_cache_ = 0;
+  // Consumer-owned line: head index plus the consumer's cached tail.
+  alignas(kCacheLine) std::atomic<size_t> head_{0};
+  size_t tail_cache_ = 0;
+};
+
+}  // namespace stab

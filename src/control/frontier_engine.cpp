@@ -79,6 +79,9 @@ Status FrontierEngine::register_predicate(const std::string& key,
   });
   entries_.emplace(key, std::move(entry));
   index_entry(ref);
+  // Publish the board slot before the initial evaluation so the wait-free
+  // read path sees the freshly computed frontier, not a registration gap.
+  ref.board_slot = board_.publish(key, kNoSeq);
   // Initial evaluation so frontier() is meaningful immediately.
   reevaluate(ref, {}, /*allow_regress=*/true);
   return Status::ok();
@@ -108,6 +111,7 @@ Status FrontierEngine::remove_predicate(const std::string& key) {
   std::unique_ptr<Entry> entry = std::move(it->second);
   deindex_entry(*entry);
   entries_.erase(it);
+  board_.unpublish(key);
   // Fail pending waiters explicitly (removal can never cover their seq):
   // each fires once with kNoSeq so blocking callers don't hang forever.
   // The entry is already unlinked, so callbacks may re-register the key.
@@ -293,6 +297,10 @@ void FrontierEngine::reevaluate(Entry& entry, BytesView extra,
   if (next == entry.frontier) return;
   if (next < entry.frontier && !allow_regress) return;  // monotonic guard
   entry.frontier = next;
+  // Publish to the wait-free board before user callbacks run, so a reader
+  // woken by a monitor observes a frontier at least as new as the wake.
+  if (entry.board_slot != nullptr)
+    entry.board_slot->frontier.store(next, std::memory_order_release);
 #if STAB_OBS_ENABLED
   if (next >= 0) {
     // Frontier lag: how far the newest known message on this stream is

@@ -38,6 +38,7 @@
 #include "common/result.hpp"
 #include "config/topology.hpp"
 #include "control/ack_table.hpp"
+#include "control/frontier_board.hpp"
 #include "control/stability_types.hpp"
 #include "dsl/predicate.hpp"
 #include "obs/obs.hpp"
@@ -135,6 +136,11 @@ class FrontierEngine {
   StabilityTypeRegistry& types() { return types_; }
   NodeId self() const { return self_; }
 
+  /// Wait-free snapshot of every predicate's frontier (DESIGN.md §4f). The
+  /// board outlives individual predicates; reads are safe from any thread
+  /// while the engine mutates under its caller's lock.
+  const FrontierBoard& board() const { return board_; }
+
   // --- hot-path observability ---------------------------------------------------
 #if STAB_OBS_ENABLED
   /// Observability sinks, wired by the owning Stabilizer. Every field is
@@ -179,6 +185,7 @@ class FrontierEngine {
     uint64_t batch_stamp = 0;          // dedup marker (see on_ack_batch)
     BytesView pending_extra{};         // extra routed to this entry's eval
     SeqNum pending_extra_seq = kNoSeq; // seq of the report carrying it
+    FrontierBoard::Slot* board_slot = nullptr;  // wait-free published copy
 #if STAB_OBS_ENABLED
     std::string key;                   // registration key (trace detail)
     obs::Gauge* lag_gauge = nullptr;   // control.frontier_lag.oN.<key>
@@ -207,6 +214,7 @@ class FrontierEngine {
   dsl::EvalMode mode_;
   DispatchMode dispatch_ = DispatchMode::kIndexed;
   AckTable acks_;
+  FrontierBoard board_;
   std::map<std::string, std::unique_ptr<Entry>> entries_;
   std::unordered_map<uint64_t, std::vector<Entry*>> index_;
   uint64_t batch_stamp_ = 0;

@@ -95,10 +95,29 @@ Stabilizer::Stabilizer(StabilizerOptions options, Transport& transport)
   }
 #endif
 
-  transport_.set_receive_handler(
-      [this](NodeId src, BytesView frame, uint64_t wire_size) {
-        on_frame(src, frame, wire_size);
-      });
+  if (options_.pipeline_mode == StabilizerOptions::PipelineMode::kPipelined) {
+    ControlPipeline::RegistryPtr reg = nullptr;
+    STAB_OBS(reg = &metrics_);
+    pipeline_ = std::make_unique<ControlPipeline>(
+        n, std::max<size_t>(options_.pipeline_cell_types, types_.count()),
+        options_.pipeline_ring_capacity, reg);
+    drain_gate_ = std::make_shared<DrainGate>();
+    drain_gate_->owner = this;
+    inline_drain_ = transport_.single_threaded();
+    transport_.set_receive_handler(
+        [this](NodeId src, BytesView frame, uint64_t wire_size) {
+          ingest_frame(src, frame, wire_size);
+        });
+    // The ingest path is lock-free, so the transport may call it straight
+    // from its receive thread instead of bouncing through an Env task.
+    if (!inline_drain_) transport_.set_direct_dispatch(true);
+  } else {
+    transport_.set_direct_dispatch(false);  // locked handler: never direct
+    transport_.set_receive_handler(
+        [this](NodeId src, BytesView frame, uint64_t wire_size) {
+          on_frame(src, frame, wire_size);
+        });
+  }
   stall_last_acked_.assign(n, kNoSeq);
   stalled_.assign(n, false);
   next_to_send_.assign(n, 0);
@@ -113,7 +132,17 @@ Stabilizer::~Stabilizer() {
   // Unhook from the transport first: a crashed-and-destroyed node must not
   // receive callbacks into freed state while the rest of the cluster (and
   // the simulator's event queue) keeps running.
+  ingest_stopped_.store(true, std::memory_order_release);
   transport_.set_receive_handler(nullptr);
+  transport_.set_direct_dispatch(false);
+  // Disarm any posted drain task: after `owner` is nulled under the gate
+  // mutex, a task that fires later no-ops. A task already past the gate
+  // check holds the gate mutex through its drain, so this store waits for
+  // it to finish (lock order gate -> mutex_ keeps that deadlock-free).
+  if (drain_gate_) {
+    std::lock_guard<std::mutex> gate(drain_gate_->m);
+    drain_gate_->owner = nullptr;
+  }
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   stopped_ = true;
   if (ack_timer_ != kInvalidTimer) env().cancel(ack_timer_);
@@ -353,6 +382,130 @@ void Stabilizer::on_frame(NodeId src, BytesView frame, uint64_t wire_size) {
       handle_resume(src, data::decode_resume(frame));
       break;
   }
+}
+
+// --- pipelined ingestion (DESIGN.md §4f) ------------------------------------
+
+void Stabilizer::ingest_frame(NodeId src, BytesView frame,
+                              uint64_t wire_size) {
+  // Receive-thread side: no facade lock, ever. A producer that blocked on
+  // mutex_ here would re-serialize the whole receive path (and an inline
+  // locked fallback could deadlock two nodes sending to each other while
+  // holding their own locks).
+  if (ingest_stopped_.load(std::memory_order_acquire)) return;
+
+  bool need_drain;
+  auto kind = data::peek_kind(frame);
+  if (kind && *kind == data::FrameKind::kAckBatch) {
+    // Decode on the receive thread and fold plain monotonic entries straight
+    // into the atomic cells. Entries carrying extra bytes (which must reach
+    // the matching eval) or out-of-grid coordinates route the whole frame
+    // through the ring instead, preserving the frame's internal order.
+    data::AckBatchFrame ack = data::decode_ack_batch(frame);
+    bool plain = ack.reporter < options_.topology.num_nodes();
+    if (plain) {
+      for (const data::AckEntry& e : ack.entries) {
+        if (!e.extra.empty() || e.type >= pipeline_->cell_types() ||
+            e.about_origin >= options_.topology.num_nodes()) {
+          plain = false;
+          break;
+        }
+      }
+    }
+    if (plain) {
+      bool any_advance = false;
+      for (const data::AckEntry& e : ack.entries) {
+        bool advanced = false;
+        pipeline_->offer_ack(e.about_origin, e.type, ack.reporter, e.seq,
+                             &advanced);
+        any_advance |= advanced;
+      }
+      STAB_OBS(if (!ack.entries.empty())
+                   ctr_.ack_entries_applied.inc(ack.entries.size()));
+      need_drain = any_advance;  // duplicates need no wakeup
+    } else {
+      pipeline_->push_frame(src, frame, wire_size);
+      need_drain = true;
+    }
+  } else {
+    pipeline_->push_frame(src, frame, wire_size);
+    need_drain = true;
+  }
+  if (need_drain) arm_drain();
+}
+
+void Stabilizer::arm_drain() {
+  if (inline_drain_) {
+    // Single-threaded transport (the simulator): the ingest call is already
+    // on the only thread, so drain synchronously — same code path as the
+    // multi-threaded drain, deterministic schedule.
+    drain_pipeline_locked();
+    return;
+  }
+  if (!pipeline_->try_arm()) return;  // a drain task is already outstanding
+  auto gate = drain_gate_;
+  transport_.env().post([gate] {
+    std::lock_guard<std::mutex> g(gate->m);
+    if (gate->owner != nullptr) gate->owner->drain_pipeline_locked();
+  });
+}
+
+void Stabilizer::drain_pipeline_locked() {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  drain_pipeline();
+}
+
+void Stabilizer::drain_pipeline() {
+  if (stopped_ || !pipeline_) return;
+  if (draining_) return;  // re-entered from a callback; the outer loop covers
+  draining_ = true;
+  do {
+    // Disarm before popping: a producer racing this drain re-arms and posts
+    // a fresh task rather than stranding its events.
+    pipeline_->disarm();
+
+    // Cells first: one coalesced on_ack_batch per origin. Cells with
+    // node == self are local report_stability fast-path entries — they must
+    // also flush to peers, which remote-reported cells must not (a node
+    // never re-broadcasts another reporter's acks).
+    std::vector<std::vector<AckUpdate>> per_origin(engines_.size());
+    struct SelfMark {
+      NodeId origin;
+      StabilityTypeId type;
+      SeqNum seq;
+    };
+    std::vector<SelfMark> self_marks;
+    size_t cells = pipeline_->drain_cells(
+        [&](NodeId origin, StabilityTypeId type, NodeId node, SeqNum seq) {
+          per_origin[origin].push_back(AckUpdate{type, node, seq, {}});
+          if (node == options_.self)
+            self_marks.push_back(SelfMark{origin, type, seq});
+        });
+    for (NodeId origin = 0; origin < per_origin.size(); ++origin)
+      if (!per_origin[origin].empty())
+        engines_[origin]->on_ack_batch(per_origin[origin]);
+    for (const SelfMark& m : self_marks)
+      mark_dirty(m.origin, m.type, m.seq, {});
+
+    // Then the frame rings: each event runs the ordinary locked dispatch
+    // (the mutex is recursive, so on_frame's lock_guard is free here).
+    size_t frames =
+        pipeline_->drain_frames([&](ControlPipeline::FrameEvent& ev) {
+          on_frame(ev.src, BytesView(ev.frame), ev.wire_size);
+        });
+
+    if (cells > 0) {
+      // handle_ack_batch does this for ring-routed ack frames; cell-routed
+      // acks need the same follow-up (acks free window space and may let
+      // the send buffer reclaim).
+      if (options_.send_window > 0) pump_windows();
+      maybe_reclaim();
+    }
+    pipeline_->record_drain(cells + frames);
+    // Re-check: producers kept appending while we applied, and a re-entrant
+    // drain attempt from a callback no-op'd into this loop.
+  } while (!stopped_ && pipeline_->has_pending());
+  draining_ = false;
 }
 
 void Stabilizer::handle_data_batch(NodeId src,
@@ -721,6 +874,10 @@ void Stabilizer::stall_check() {
 
 Bytes Stabilizer::snapshot_control_state() const {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
+  // Fold any pending pipeline state into the tables first, so the snapshot
+  // includes reports that were ingested but not yet drained (logically
+  // const: draining only applies already-received input).
+  const_cast<Stabilizer*>(this)->drain_pipeline();
   Writer w(1024);
   w.u32(0x53544142);  // "STAB"
   w.u32(2);           // snapshot format version
@@ -898,6 +1055,14 @@ bool Stabilizer::has_predicate(const std::string& key) const {
 
 SeqNum Stabilizer::get_stability_frontier(const std::string& key,
                                           NodeId origin) const {
+  if (pipeline_) {
+    // Wait-free: one atomic snapshot load + one hash lookup + one atomic
+    // read, no mutex — an ack storm hammering the drain cannot delay this.
+    // An unpublished key means the predicate isn't (yet) registered, which
+    // is exactly the locked path's kNoSeq answer.
+    auto f = engines_[resolve_origin(origin)]->board().read(key);
+    return f ? *f : kNoSeq;
+  }
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   return engines_[resolve_origin(origin)]->frontier(key);
 }
@@ -910,12 +1075,43 @@ Status Stabilizer::monitor_stability_frontier(const std::string& key,
 
 Status Stabilizer::waitfor(SeqNum seq, const std::string& key, WaiterFn fn,
                            NodeId origin) {
+  if (pipeline_) {
+    // Already-stable fast path: wait-free board read; fire immediately with
+    // no lock. Not yet stable (or key unpublished) falls through to the
+    // locked path, which re-checks the authoritative frontier under the
+    // mutex before parking the waiter — drains fire waiters under that same
+    // mutex, so there is no lost-wakeup window between the check and the
+    // registration.
+    auto f = engines_[resolve_origin(origin)]->board().read(key);
+    if (f && *f >= seq) {
+      fn(*f);
+      return Status::ok();
+    }
+  }
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   return engines_[resolve_origin(origin)]->waitfor(key, seq, std::move(fn));
 }
 
 bool Stabilizer::waitfor_blocking(SeqNum seq, const std::string& key,
                                   Duration timeout, NodeId origin) {
+  // Lifetime: the registered waiter callback co-owns `state` via the
+  // shared_ptr, so the engine firing it AFTER this frame returned (a timeout
+  // here does not deregister the waiter; neither coverage nor
+  // remove_predicate has consumed it yet) writes into live, private memory —
+  // never into a dangling stack frame. The late fire is then simply unheard.
+  //
+  // No lost wakeup: waitfor()'s already-stable check and the waiter
+  // registration happen under the API mutex, and every waiter fire
+  // (coverage from a drain/ack, or cancellation via remove_predicate) runs
+  // under that same mutex. A fire that races this thread between
+  // registration and wait_for() lands before wait_for re-checks `done`
+  // under state->m — wait_for's predicate sees done == true and returns
+  // without sleeping.
+  //
+  // Cancellation while parked: remove_predicate fails pending waiters with
+  // kNoSeq, so the callback wakes us with frontier == kNoSeq and we report
+  // false immediately instead of burning the whole timeout
+  // (core_mt_test.WaitforBlockingCancelledWhileParked pins this).
   struct State {
     std::mutex m;
     std::condition_variable cv;
@@ -943,6 +1139,24 @@ bool Stabilizer::waitfor_blocking(SeqNum seq, const std::string& key,
 Status Stabilizer::report_stability(const std::string& type_name,
                                     NodeId origin, SeqNum seq,
                                     BytesView extra) {
+  if (pipeline_ && extra.empty()) {
+    // Lock-free fast path: resolve the type against the registry's published
+    // snapshot and fold the report into the atomic cells; the drain applies
+    // it (and flushes it to peers — node == self cells mark_dirty there).
+    // Unknown types (registration needed), out-of-grid types, and reports
+    // carrying extra bytes take the locked path below.
+    NodeId o = origin == kInvalidNode ? options_.self : origin;
+    if (o >= engines_.size())
+      return Status::error("report_stability: bad origin");
+    auto type = types_.find_fast(type_name);
+    if (type && *type < pipeline_->cell_types()) {
+      bool advanced = false;
+      if (pipeline_->offer_ack(o, *type, options_.self, seq, &advanced)) {
+        if (advanced) arm_drain();
+        return Status::ok();
+      }
+    }
+  }
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   if (origin == kInvalidNode) origin = options_.self;
   if (origin >= engines_.size())
@@ -987,6 +1201,9 @@ SeqNum Stabilizer::last_sent() const {
 
 StabilizerStats Stabilizer::stats() const {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
+  // Same logically-const fold as snapshot_control_state: apply pending
+  // pipeline input so the eval counters reflect everything received.
+  const_cast<Stabilizer*>(this)->drain_pipeline();
   StabilizerStats s;
   STAB_OBS({
     ctr_.flush_pending();

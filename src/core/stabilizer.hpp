@@ -31,8 +31,17 @@
 //     StallDetection.TypicalReactionAdjustsPredicates.
 // A plain std::mutex would deadlock on every one of these, since all
 // callbacks are invoked while the API lock is held.
+//
+// PipelineMode::kPipelined (DESIGN.md §4f) relaxes the receive side of this
+// model: transport receive threads no longer take the mutex (they feed
+// lock-free rings/cells and a posted drain applies everything under the
+// lock), get_stability_frontier and the waitfor fast path are wait-free
+// reads of a published snapshot, and report_stability without extra bytes
+// is lock-free. User callbacks still always run under the mutex, on the Env
+// thread — the re-entrancy contract above is unchanged.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <memory>
@@ -41,6 +50,7 @@
 
 #include "config/topology.hpp"
 #include "control/frontier_engine.hpp"
+#include "core/pipeline.hpp"
 #include "data/out_buffer.hpp"
 #include "data/receive_tracker.hpp"
 #include "data/wire.hpp"
@@ -110,6 +120,29 @@ struct StabilizerOptions {
   /// headers). Messages too large to fit ride alone: coalescing exists to
   /// amortize per-frame overhead that large payloads already amortize.
   size_t coalesce_max_bytes = 16 * 1024;
+
+  /// Control-plane threading (DESIGN.md §4f). kLegacyLocked (the default,
+  /// the seed behaviour and the differential baseline): every received frame
+  /// is processed under the API mutex on the Env thread. kPipelined:
+  /// transport receive threads fold plain monotonic ack entries into
+  /// lock-free per-origin cells and copy all other frames into per-source
+  /// SPSC rings; a posted drain task applies them in batches under the
+  /// mutex, get_stability_frontier and the waitfor already-stable check
+  /// read a wait-free frontier snapshot, and report_stability with no extra
+  /// bytes is lock-free. Pipelined visibility rules: a report becomes
+  /// observable at the next drain, not synchronously within the reporting
+  /// call — use waitfor/monitors, not back-to-back report-then-read, to
+  /// sequence against it. On a single_threaded() transport (the simulator)
+  /// the drain runs inline, keeping the schedule deterministic and
+  /// digest-comparable with kLegacyLocked.
+  enum class PipelineMode { kLegacyLocked, kPipelined };
+  PipelineMode pipeline_mode = PipelineMode::kLegacyLocked;
+  /// Pipelined-mode tuning: per-source ingestion-ring capacity (frames) and
+  /// the per-origin ack-cell grid's stability-type capacity (reports of
+  /// types registered beyond it take the ring path — correctness is
+  /// unaffected, only the lock-free shortcut).
+  size_t pipeline_ring_capacity = 1024;
+  size_t pipeline_cell_types = 16;
 
   /// Automatically report the "delivered" level after the application
   /// upcall returns.
@@ -363,6 +396,21 @@ class Stabilizer {
   /// burst of sends batches; this arms that (single) deferred pump.
   void arm_flush();
 
+  // --- pipelined control plane (DESIGN.md §4f) -------------------------------
+  /// Receive-thread entry in kPipelined mode. Lock-free: folds plain ack
+  /// entries into the pipeline's cells, copies everything else into the
+  /// source's ring, then arms (or, on a single-threaded transport, runs)
+  /// the drain. NEVER takes mutex_.
+  void ingest_frame(NodeId src, BytesView frame, uint64_t wire_size);
+  /// Schedules one drain task onto the Env thread (at most one outstanding),
+  /// or drains inline when the transport is single-threaded.
+  void arm_drain();
+  /// Applies everything the pipeline holds, in batches, until quiescent.
+  /// Caller must hold mutex_; re-entrant calls (a delivery handler sending)
+  /// no-op and the outer drain loops until the pipeline is empty.
+  void drain_pipeline();
+  void drain_pipeline_locked();
+
   StabilizerOptions options_;
   Transport& transport_;
   StabilityTypeRegistry types_;
@@ -413,6 +461,20 @@ class Stabilizer {
   std::vector<uint64_t> peer_epoch_;
   std::vector<bool> resume_pending_;
   bool stopped_ = false;
+
+  // Pipelined control plane (null in kLegacyLocked mode). The drain gate
+  // lets posted drain tasks outlive the Stabilizer safely: tasks lock the
+  // gate and check `owner` before touching `this`; the destructor nulls
+  // `owner` under the gate mutex (lock order: gate -> mutex_, everywhere).
+  struct DrainGate {
+    std::mutex m;
+    Stabilizer* owner = nullptr;
+  };
+  std::unique_ptr<ControlPipeline> pipeline_;
+  std::shared_ptr<DrainGate> drain_gate_;
+  bool inline_drain_ = false;  // single-threaded transport: drain in ingest
+  bool draining_ = false;      // re-entrancy guard, under mutex_
+  std::atomic<bool> ingest_stopped_{false};
 
 #if STAB_OBS_ENABLED
   /// One relaxed-atomic counter per StabilizerStats field (plus the two core

@@ -1,5 +1,7 @@
 #include "net/inproc_transport.hpp"
 
+#include <thread>
+
 #include "obs/obs.hpp"
 
 namespace stab {
@@ -10,7 +12,28 @@ InProcTransport::InProcTransport(InProcCluster& cluster, NodeId self)
 size_t InProcTransport::cluster_size() const { return cluster_.size(); }
 
 void InProcTransport::set_receive_handler(ReceiveHandler handler) {
+  // Disarm, then wait for in-flight dispatches on other threads (env tasks,
+  // direct-dispatch senders) to finish before touching the function object:
+  // ~Stabilizer clears the handler while the rest of the cluster keeps
+  // delivering, and an invocation racing the swap would call into freed
+  // state. seq_cst pairs with the count-then-check in dispatch().
+  handler_armed_.store(false, std::memory_order_seq_cst);
+  while (dispatches_in_flight_.load(std::memory_order_acquire) != 0)
+    std::this_thread::yield();
   handler_ = std::move(handler);
+  if (handler_) handler_armed_.store(true, std::memory_order_seq_cst);
+}
+
+void InProcTransport::dispatch(NodeId src, BytesView frame,
+                               uint64_t wire_size) {
+  // Dekker-style gate against set_receive_handler: the count bump must be
+  // ordered before the armed check, so a concurrent teardown either sees
+  // our count and waits, or we see it disarmed and skip. While the count
+  // is nonzero the handler object is guaranteed not to be mutated.
+  dispatches_in_flight_.fetch_add(1, std::memory_order_seq_cst);
+  if (handler_armed_.load(std::memory_order_seq_cst))
+    handler_(src, frame, wire_size);
+  dispatches_in_flight_.fetch_sub(1, std::memory_order_release);
 }
 
 void InProcTransport::send(NodeId dst, Bytes frame, uint64_t wire_size) {
@@ -55,6 +78,14 @@ void InProcCluster::deliver(NodeId src, NodeId dst,
   if (wire_size < frame->size()) wire_size = frame->size();
   Duration lat = latency_[src * size() + dst];
   InProcTransport* t = transports_[dst].get();
+  // Direct dispatch: zero-latency links skip the destination Env queue and
+  // invoke the handler on this (sender's) thread. Only enabled when the
+  // receiver's handler is lock-free re-entrant (pipelined ingest).
+  if (lat == Duration::zero() &&
+      t->direct_dispatch_.load(std::memory_order_acquire)) {
+    t->dispatch(src, BytesView(*frame), wire_size);
+    return;
+  }
   // Queue-depth gauge: frames scheduled on a destination Env but not yet
   // handed to its receive handler, summed over the cluster.
   STAB_OBS({
@@ -70,7 +101,7 @@ void InProcCluster::deliver(NodeId src, NodeId dst,
           obs::global().gauge("net.inproc.in_flight");
       inflight.add(-1);
     });
-    if (t->handler_) t->handler_(src, BytesView(*frame), wire_size);
+    t->dispatch(src, BytesView(*frame), wire_size);
   });
 }
 

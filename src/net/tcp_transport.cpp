@@ -420,7 +420,17 @@ void TcpTransport::handle_readable(NodeId peer) {
       return;
     }
   }
-  // Parse complete frames.
+  // Parse complete frames. Under direct dispatch the handler is invoked on
+  // this IO thread — but never while holding mutex_ (the handler's ingest
+  // path may call back into send(), which takes it). Frames are collected
+  // under the lock, then dispatched after it is released, preserving
+  // per-peer FIFO order.
+  const bool direct = direct_dispatch_.load(std::memory_order_acquire);
+  struct Parsed {
+    NodeId src;
+    Bytes payload;
+  };
+  std::vector<Parsed> ready;
   size_t pos = 0;
   while (c.inbuf.size() - pos >= 4) {
     uint32_t body_len;
@@ -433,6 +443,10 @@ void TcpTransport::handle_readable(NodeId peer) {
                   c.inbuf.begin() + pos + 4 + body_len);
     pos += 4 + body_len;
     if (kind == kKindData && handler_) {
+      if (direct) {
+        ready.push_back(Parsed{src, std::move(payload)});
+        continue;
+      }
       auto handler = handler_;
       uint64_t wire = payload.size();
       env_.schedule_after(Duration::zero(),
@@ -443,6 +457,11 @@ void TcpTransport::handle_readable(NodeId peer) {
     }
   }
   c.inbuf.erase(c.inbuf.begin(), c.inbuf.begin() + pos);
+  if (ready.empty()) return;
+  auto handler = handler_;
+  lock.unlock();
+  for (Parsed& p : ready)
+    handler(p.src, BytesView(p.payload), p.payload.size());
 }
 
 void TcpTransport::handle_writable(NodeId peer) {

@@ -70,6 +70,12 @@ class TcpTransport final : public Transport {
   void send_shared(NodeId dst, std::shared_ptr<const Bytes> frame,
                    uint64_t wire_size = 0) override;
   Env& env() override { return env_; }
+  // Invoke the receive handler on the epoll IO thread (after transport
+  // mutex release) instead of bouncing each frame through the RealtimeEnv.
+  // Requires a lock-free re-entrant handler — the pipelined ingest path.
+  void set_direct_dispatch(bool on) override {
+    direct_dispatch_.store(on, std::memory_order_release);
+  }
 
   /// Blocks until a live connection exists to every other node, or the
   /// timeout expires. Returns true when fully connected.
@@ -135,6 +141,7 @@ class TcpTransport final : public Transport {
   Rng jitter_rng_;                          // guarded by mutex_
   uint64_t pending_dropped_ = 0;
   ReceiveHandler handler_;
+  std::atomic<bool> direct_dispatch_{false};
 
   int epoll_fd_ = -1;
   int listen_fd_ = -1;

@@ -75,6 +75,21 @@ class Transport {
   /// monotonic real time otherwise). The reference outlives the transport's
   /// users; scheduling into it is thread-safe per the Env contract.
   virtual Env& env() = 0;
+
+  /// True when every ReceiveHandler invocation is serialized with all other
+  /// work on this node (the simulator's single virtual thread). The
+  /// pipelined Stabilizer uses this to drain its ingestion rings inline —
+  /// same code path, deterministic schedule (DESIGN.md §4f).
+  virtual bool single_threaded() const { return false; }
+
+  /// Ask the transport to invoke the ReceiveHandler directly on the thread
+  /// that produced the frame (Tcp: the epoll IO thread; InProc: the sender's
+  /// thread for zero-latency links) instead of bouncing through an Env task.
+  /// Only safe when the installed handler is lock-free re-entrant — the
+  /// pipelined Stabilizer's ingest path is; the legacy locked path is NOT
+  /// (the handler takes the same mutex user threads hold while calling
+  /// send(), which re-enters the transport). Default: ignored.
+  virtual void set_direct_dispatch(bool) {}
 };
 
 }  // namespace stab

@@ -3,10 +3,14 @@
 // predicate-gap semantics), and property tests on monotonicity.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
 
 #include "common/rng.hpp"
 #include "config/topology.hpp"
+#include "control/ack_cells.hpp"
+#include "control/frontier_board.hpp"
 #include "control/frontier_engine.hpp"
 
 namespace stab {
@@ -503,6 +507,135 @@ TEST(FrontierProperty, IncrementalMatchesFromScratch) {
       }
     }
   }
+}
+
+// --- pipelined-path primitives (DESIGN.md §4f) --------------------------------
+
+TEST(StabilityTypes, FindFastMatchesFindAcrossRegistrations) {
+  StabilityTypeRegistry reg;
+  EXPECT_EQ(reg.find_fast("persisted"), StabilityTypeRegistry::kPersisted);
+  EXPECT_FALSE(reg.find_fast("verified").has_value());
+  StabilityTypeId id = reg.get_or_register("verified");
+  // The new snapshot is visible immediately after get_or_register returns.
+  ASSERT_TRUE(reg.find_fast("verified").has_value());
+  EXPECT_EQ(*reg.find_fast("verified"), id);
+  EXPECT_EQ(reg.find_fast("verified"), reg.find("verified"));
+}
+
+TEST(AckCellBlock, DrainCoalescesToFinalValue) {
+  AckCellBlock block(2, 4);
+  bool adv = false;
+  EXPECT_FALSE(block.dirty());
+  ASSERT_TRUE(block.offer(0, 1, 5, &adv));
+  EXPECT_TRUE(adv);
+  ASSERT_TRUE(block.offer(0, 1, 9, &adv));  // overwrites 5 in place
+  EXPECT_TRUE(adv);
+  ASSERT_TRUE(block.offer(0, 1, 7, &adv));  // regression: ignored
+  EXPECT_FALSE(adv);
+  EXPECT_TRUE(block.dirty());
+
+  std::vector<std::tuple<StabilityTypeId, NodeId, SeqNum>> got;
+  size_t n = block.drain(
+      [&](StabilityTypeId t, NodeId node, SeqNum s) { got.emplace_back(t, node, s); });
+  EXPECT_EQ(n, 1u);  // two advances coalesce into one emitted cell
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], std::make_tuple(StabilityTypeId(0), NodeId(1), SeqNum(9)));
+  EXPECT_FALSE(block.dirty());
+  // A second drain with no new offers emits nothing.
+  EXPECT_EQ(block.drain([&](StabilityTypeId, NodeId, SeqNum) { FAIL(); }), 0u);
+}
+
+TEST(AckCellBlock, OutOfGridOffersRefused) {
+  AckCellBlock block(2, 4);
+  bool adv = true;
+  EXPECT_FALSE(block.offer(2, 0, 1, &adv));  // type beyond grid
+  EXPECT_FALSE(adv);
+  EXPECT_FALSE(block.offer(0, 4, 1, &adv));  // node beyond grid
+  EXPECT_FALSE(block.dirty());
+}
+
+TEST(AckCellBlock, ConcurrentOffersConvergeToMax) {
+  AckCellBlock block(1, 2);
+  constexpr int kPerThread = 20000;
+  auto hammer = [&](NodeId node) {
+    bool adv;
+    for (int i = 1; i <= kPerThread; ++i) block.offer(0, node, i, &adv);
+  };
+  std::thread a([&] { hammer(0); });
+  std::thread b([&] { hammer(1); });
+  std::thread c([&] { hammer(0); });  // contends with `a` on the same cell
+  a.join();
+  b.join();
+  c.join();
+  std::vector<SeqNum> final(2, kNoSeq);
+  block.drain([&](StabilityTypeId, NodeId n, SeqNum s) { final[n] = s; });
+  EXPECT_EQ(final[0], kPerThread);
+  EXPECT_EQ(final[1], kPerThread);
+}
+
+TEST(FrontierBoard, PublishReadUnpublish) {
+  FrontierBoard board;
+  EXPECT_FALSE(board.read("p").has_value());
+  FrontierBoard::Slot* slot = board.publish("p", kNoSeq);
+  ASSERT_NE(slot, nullptr);
+  ASSERT_TRUE(board.read("p").has_value());
+  EXPECT_EQ(*board.read("p"), kNoSeq);
+
+  slot->frontier.store(42, std::memory_order_release);
+  EXPECT_EQ(*board.read("p"), 42);
+
+  // Re-publishing the same key reuses the slot (pointer stability).
+  EXPECT_EQ(board.publish("p", 7), slot);
+  EXPECT_EQ(*board.read("p"), 7);
+
+  board.unpublish("p");
+  EXPECT_FALSE(board.read("p").has_value());
+  board.unpublish("p");  // idempotent
+}
+
+TEST(FrontierBoard, ReadersSurviveConcurrentRepublication) {
+  FrontierBoard board;
+  FrontierBoard::Slot* hot = board.publish("hot", 0);
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> last_seen{0};
+  std::thread reader([&] {
+    int64_t prev = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto f = board.read("hot");
+      ASSERT_TRUE(f.has_value());  // "hot" is never unpublished
+      ASSERT_GE(*f, prev);         // monotone despite map churn
+      prev = *f;
+      last_seen.store(prev, std::memory_order_relaxed);
+    }
+  });
+  // Writer: advance the hot slot while churning the map structure.
+  for (int i = 1; i <= 2000; ++i) {
+    hot->frontier.store(i, std::memory_order_release);
+    std::string key = "k" + std::to_string(i % 17);
+    if (i % 2 == 0)
+      board.publish(key, i);
+    else
+      board.unpublish(key);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(*board.read("hot"), 2000);
+}
+
+TEST_F(FrontierTest, BoardTracksFrontierAndUnpublishesOnRemove) {
+  ASSERT_TRUE(engine_.register_predicate("all", "MIN($ALLWNODES-$MYWNODE)"));
+  ASSERT_TRUE(engine_.board().read("all").has_value());
+  EXPECT_EQ(*engine_.board().read("all"), kNoSeq);
+
+  for (NodeId n = 1; n < 8; ++n) engine_.on_ack(0, n, 5);
+  EXPECT_EQ(engine_.frontier("all"), 5);
+  EXPECT_EQ(*engine_.board().read("all"), 5);  // published before monitors
+
+  ASSERT_TRUE(engine_.change_predicate("all", "MAX($ALLWNODES-$MYWNODE)"));
+  EXPECT_EQ(*engine_.board().read("all"), engine_.frontier("all"));
+
+  ASSERT_TRUE(engine_.remove_predicate("all"));
+  EXPECT_FALSE(engine_.board().read("all").has_value());
 }
 
 }  // namespace
