@@ -1,0 +1,250 @@
+// Failover unavailability decomposition (DESIGN.md §6): after the primary
+// of a guarded stream fail-stops, how long until (a) a mirror suspects it,
+// (b) the Paxos-elected successor finishes reconciliation and adopts the
+// stream, and (c) a frontier predicate over the survivors certifies the
+// first sequence issued under the new epoch — the first stable read.
+//
+// The experiment sweeps the lease window (lease_interval, with
+// lease_timeout = 5x interval, the FailoverOptions default ratio) because
+// detection latency is the window's direct product: the mirror cannot tell
+// a dead primary from a slow one before lease_timeout expires. Promotion
+// adds the roughly constant election tail (suspect_gather + one Paxos
+// commit + the reconciliation round), and the first stable read adds one
+// more publish + ack round under the adjusted predicate
+// MIN($ALLWNODES-$1) (the paper's §III-E reaction, applied here the
+// moment a survivor's own detector fires, not by an oracle).
+//
+// Writes BENCH_failover.json (committed artifact, EXPERIMENTS.md "Failover
+// unavailability" section).
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "failover/failover.hpp"
+#include "sim/chaos.hpp"
+
+using namespace stab;
+using namespace stab::bench;
+
+namespace {
+
+StabilizerOptions base_options() {
+  StabilizerOptions base;
+  base.ack_interval = millis(2);
+  base.retransmit_timeout = millis(150);
+  base.broadcast_acks = true;
+  return base;
+}
+
+Topology mesh4() {
+  Topology t;
+  for (int i = 0; i < 4; ++i)
+    t.add_node("n" + std::to_string(i), "r" + std::to_string(i));
+  LinkSpec s;
+  s.latency = from_ms(10);
+  s.bandwidth_bps = mbps(100);
+  for (NodeId a = 0; a < 4; ++a)
+    for (NodeId b = 0; b < 4; ++b)
+      if (a != b) t.set_link(a, b, s);
+  return t;
+}
+
+struct FailoverTimes {
+  double detection_ms = -1;     // kill -> first survivor suspicion
+  double promotion_ms = -1;     // kill -> winner adopted the stream
+  double first_stable_ms = -1;  // kill -> survivors certify a new-epoch seq
+};
+
+// One campaign: node 0 owns stream 0 under traffic, fail-stops at `kill`,
+// survivors detect / elect / promote, and the winner keeps publishing
+// until the adjusted "all" frontier covers its first new sequence.
+FailoverTimes run_campaign(Duration lease_interval, Duration lease_timeout) {
+  Topology topo = mesh4();
+  sim::Simulator sim;
+  SimCluster cluster(topo, sim);
+
+  std::vector<std::unique_ptr<Stabilizer>> nodes;
+  std::vector<std::unique_ptr<failover::FailoverManager>> managers;
+  for (NodeId n = 0; n < 4; ++n) {
+    StabilizerOptions opts = base_options();
+    opts.topology = topo;
+    opts.self = n;
+    nodes.push_back(std::make_unique<Stabilizer>(opts, cluster.transport(n)));
+    if (!nodes.back()->register_predicate("all", "MIN($ALLWNODES)"))
+      std::abort();
+  }
+  for (NodeId n = 0; n < 4; ++n) {
+    failover::FailoverOptions fo;
+    fo.stream = 0;
+    fo.lease_interval = lease_interval;
+    fo.lease_timeout = lease_timeout;
+    managers.push_back(
+        std::make_unique<failover::FailoverManager>(fo, *nodes[n]));
+    managers.back()->start();
+  }
+
+  const TimePoint kill = seconds(3);
+  sim::ChaosSchedule chaos(sim, cluster.network());
+  chaos.set_crash_handler([&](NodeId n) {
+    managers[n].reset();
+    nodes[n].reset();
+    cluster.transport(n).detach();
+  });
+  sim::ChaosScript script;
+  sim::add_kill(script, kill, 0);
+  sim::finalize_script(script);
+  chaos.arm(script);
+
+  // Stream-0 traffic every 10 ms: the primary while it lives, then the
+  // promoted successor (send_as under the new epoch).
+  struct Pump {
+    static void arm(sim::Simulator& sim,
+                    std::vector<std::unique_ptr<Stabilizer>>& nodes,
+                    std::vector<std::unique_ptr<failover::FailoverManager>>&
+                        managers) {
+      sim.schedule_after(millis(10), [&sim, &nodes, &managers] {
+        if (nodes[0]) {
+          nodes[0]->send(to_bytes("payload"));
+        } else {
+          for (NodeId id = 1; id < 4; ++id)
+            if (managers[id] && managers[id]->promoted()) {
+              nodes[id]->send_as(0, to_bytes("payload"));
+              break;
+            }
+        }
+        arm(sim, nodes, managers);
+      });
+    }
+  };
+  Pump::arm(sim, nodes, managers);
+
+  // §III-E reaction: each survivor drops the dead node from "all" as soon
+  // as its OWN detector fires — no oracle, the adjust rides the lease
+  // timeout like it would in production.
+  std::vector<bool> adjusted(4, false);
+  struct Adjust {
+    static void arm(sim::Simulator& sim,
+                    std::vector<std::unique_ptr<Stabilizer>>& nodes,
+                    std::vector<std::unique_ptr<failover::FailoverManager>>&
+                        managers,
+                    std::vector<bool>& adjusted) {
+      sim.schedule_after(millis(5), [&] {
+        for (NodeId id = 1; id < 4; ++id) {
+          if (adjusted[id] || !managers[id]) continue;
+          if (managers[id]->stats().suspicions == 0) continue;
+          if (!nodes[id]->change_predicate("all", "MIN($ALLWNODES-$1)"))
+            std::abort();
+          adjusted[id] = true;
+        }
+        arm(sim, nodes, managers, adjusted);
+      });
+    }
+  };
+  Adjust::arm(sim, nodes, managers, adjusted);
+
+  // Run until the survivors certify a sequence issued under epoch 1: the
+  // winner must have adopted, published at least one new seq, and every
+  // survivor's adjusted "all" frontier must cover it.
+  NodeId winner = kInvalidNode;
+  SeqNum target = kNoSeq;
+  auto first_stable = [&] {
+    if (winner == kInvalidNode) {
+      for (NodeId id = 1; id < 4; ++id)
+        if (managers[id] && managers[id]->promoted()) {
+          winner = id;
+          target = nodes[id]->acting_last_sent(0) + 1;
+        }
+      if (winner == kInvalidNode) return false;
+    }
+    if (nodes[winner]->acting_last_sent(0) < target) return false;
+    for (NodeId id = 1; id < 4; ++id)
+      if (nodes[id]->get_stability_frontier("all", 0) < target) return false;
+    return true;
+  };
+  if (!sim.run_until_pred(first_stable, kill + seconds(60)))
+    return {};  // wedged — reported as -1 across the row
+
+  FailoverTimes out;
+  out.first_stable_ms = to_ms(sim.now() - kill);
+  TimePoint suspected{};
+  for (NodeId id = 1; id < 4; ++id) {
+    TimePoint s = managers[id]->stats().suspected_at;
+    if (s != TimePoint{} && (suspected == TimePoint{} || s < suspected))
+      suspected = s;
+  }
+  if (suspected != TimePoint{}) out.detection_ms = to_ms(suspected - kill);
+  TimePoint promoted = managers[winner]->stats().promoted_at;
+  if (promoted != TimePoint{}) out.promotion_ms = to_ms(promoted - kill);
+
+  managers.clear();  // managers reference the nodes; drop them first
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_header("bench_failover — kill -> detection / promotion / stable read",
+               "DESIGN.md §6 failover unavailability");
+
+  std::printf(
+      "\n4 nodes, 10 ms links. Node 0 owns stream 0 (10 ms publish cadence)\n"
+      "and fail-stops at t=3 s; lease_timeout = 5 x lease_interval.\n"
+      "All columns are virtual ms measured from the kill instant.\n\n");
+  std::printf("%-18s %-14s %12s %12s %14s\n", "lease interval", "timeout",
+              "detect (ms)", "promote (ms)", "stable (ms)");
+
+  struct Row {
+    double interval_ms, timeout_ms;
+    FailoverTimes t;
+  };
+  std::vector<Row> rows;
+  for (double interval_ms : {50.0, 100.0, 200.0, 400.0}) {
+    Duration interval = from_ms(interval_ms);
+    Duration timeout = from_ms(5 * interval_ms);
+    FailoverTimes t = run_campaign(interval, timeout);
+    rows.push_back({interval_ms, 5 * interval_ms, t});
+    std::printf("%-18.0f %-14.0f %12.1f %12.1f %14.1f\n", interval_ms,
+                5 * interval_ms, t.detection_ms, t.promotion_ms,
+                t.first_stable_ms);
+  }
+
+  std::printf(
+      "\nShape check: detection tracks the lease timeout (the mirror must\n"
+      "wait out the full silence window); promotion adds a near-constant\n"
+      "election tail (gather + Paxos commit + reconciliation); the stable\n"
+      "read adds one publish + ack round under MIN($ALLWNODES-$1).\n");
+
+  std::FILE* json = std::fopen("BENCH_failover.json", "w");
+  if (!json) {
+    std::fprintf(stderr, "cannot open BENCH_failover.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(json,
+                 "    {\"lease_interval_ms\": %.0f, \"lease_timeout_ms\": "
+                 "%.0f, \"detection_ms\": %.1f, \"promotion_ms\": %.1f, "
+                 "\"first_stable_read_ms\": %.1f}%s\n",
+                 r.interval_ms, r.timeout_ms, r.t.detection_ms,
+                 r.t.promotion_ms, r.t.first_stable_ms,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  double max_overhead = 0;  // worst promote -> stable tail across windows
+  double min_detect_slack = 1e18;
+  bool all_ok = true;
+  for (const Row& r : rows) {
+    if (r.t.first_stable_ms < 0) all_ok = false;
+    max_overhead = std::max(max_overhead,
+                            r.t.first_stable_ms - r.t.promotion_ms);
+    min_detect_slack =
+        std::min(min_detect_slack, r.t.detection_ms - r.timeout_ms);
+  }
+  std::fprintf(json,
+               "  ],\n  \"election_tail_ms_max\": %.1f,\n"
+               "  \"detection_minus_timeout_ms_min\": %.1f,\n"
+               "  \"all_windows_recovered\": %s\n}\n",
+               max_overhead, min_detect_slack, all_ok ? "true" : "false");
+  std::fclose(json);
+  std::printf("wrote BENCH_failover.json\n");
+  return all_ok ? 0 : 1;
+}

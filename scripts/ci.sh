@@ -4,15 +4,17 @@
 # under fresh random seeds, then sanitizer passes: one configurable pass over
 # the control-plane/core suites (the indexed dispatch / batched ack hot path,
 # its re-entrant callback surface, and the lock-free pipeline's MT suite)
-# plus one ASan and one TSan pass over the fault-handling suites
-# (recovery_test + chaos_test — the crash-restart / RESUME machinery, with
+# plus ASan, TSan, and UBSan passes over the fault-handling suites
+# (recovery_test + chaos_test + failover_test — the crash-restart / RESUME
+# machinery and the primary-failover election/fencing path, with
 # pipeline-enabled campaigns). The TSan leg additionally runs core_mt_test
-# unconditionally.
+# and failover-adjacent MT suites unconditionally.
 #
 # Usage: scripts/ci.sh [extra cmake args...]
 # Env:   STAB_CI_SANITIZER=address|thread|undefined  (default: address)
 #        STAB_CI_SKIP_SANITIZER=1                    skip all sanitized passes
 #        STAB_CI_CHAOS_SEEDS=N                       random seeds (default: 8)
+#        STAB_CI_FAILOVER_SEEDS=N                    random seeds (default: 3)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -73,6 +75,29 @@ if grep -q "CHAOS REPLAY SEED" "$CHAOS_LOG"; then
 fi
 rm -f "$CHAOS_LOG"
 
+# Same workflow for the primary-failover kill campaigns: fresh random seeds
+# every run, replay any failure with STAB_FAILOVER_SEEDS=<seed>.
+NUM_FSEEDS="${STAB_CI_FAILOVER_SEEDS:-3}"
+FSEEDS=""
+for ((i = 0; i < NUM_FSEEDS; ++i)); do
+  FSEEDS+="${FSEEDS:+,}$(( (RANDOM * 32768 + RANDOM) * 32768 + RANDOM + 1 ))"
+done
+echo "==> failover kill-campaign sweep: STAB_FAILOVER_SEEDS=$FSEEDS"
+FAILOVER_LOG="$(mktemp)"
+if ! STAB_FAILOVER_SEEDS="$FSEEDS" "$ROOT/build/tests/failover_test" \
+    --gtest_filter='FailoverProperty.*' 2>&1 | tee "$FAILOVER_LOG"; then
+  echo "==> failover sweep FAILED"
+  grep "FAILOVER REPLAY SEED" "$FAILOVER_LOG" || true
+  rm -f "$FAILOVER_LOG"
+  exit 1
+fi
+if grep -q "FAILOVER REPLAY SEED" "$FAILOVER_LOG"; then
+  echo "==> failover sweep printed a replay seed; failing"
+  rm -f "$FAILOVER_LOG"
+  exit 1
+fi
+rm -f "$FAILOVER_LOG"
+
 if [[ "${STAB_CI_SKIP_SANITIZER:-0}" == "1" ]]; then
   echo "==> sanitizer passes skipped (STAB_CI_SKIP_SANITIZER=1)"
   exit 0
@@ -89,16 +114,20 @@ echo "==> $SAN sanitizer: control_test + core_test + core_mt_test + obs_test"
 "$SAN_DIR/tests/core_mt_test"
 "$SAN_DIR/tests/obs_test"
 
-# Fault-handling suites under both ASan and TSan: the crash-restart path
-# destroys and rebuilds Stabilizers mid-simulation (lifetime hazards) and
-# the TCP reconnect path crosses the IO thread (ordering hazards).
-for FSAN in address thread; do
+# Fault-handling suites under the full sanitizer matrix — ASan, TSan, and
+# UBSan as real legs: the crash-restart path destroys and rebuilds
+# Stabilizers mid-simulation (lifetime hazards), the TCP reconnect path
+# crosses the IO thread (ordering hazards), and the failover codecs +
+# epoch/cursor arithmetic exercise shifts, casts, and enum round-trips on
+# hostile inputs (UB hazards).
+for FSAN in address thread undefined; do
   FSAN_DIR="$ROOT/build-$FSAN"
-  echo "==> $FSAN sanitizer: recovery_test + chaos_test (build-$FSAN/)"
+  echo "==> $FSAN sanitizer: recovery_test + chaos_test + failover_test (build-$FSAN/)"
   cmake -B "$FSAN_DIR" -S "$ROOT" -DSTAB_SANITIZE="$FSAN" "$@"
-  cmake --build "$FSAN_DIR" -j --target recovery_test chaos_test
+  cmake --build "$FSAN_DIR" -j --target recovery_test chaos_test failover_test
   "$FSAN_DIR/tests/recovery_test"
   "$FSAN_DIR/tests/chaos_test"
+  "$FSAN_DIR/tests/failover_test"
   if [[ "$FSAN" == "thread" ]]; then
     # The refcounted fan-out hands one buffer to concurrent receiver threads
     # (InProc) and to the TCP IO thread via scatter-gather; net_test under

@@ -23,6 +23,18 @@ inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
 /// stable yet".
 using SeqNum = int64_t;
 inline constexpr SeqNum kNoSeq = -1;
+/// Sentinel delivered to waitfor callbacks whose stream authority was fenced
+/// (the waiting node was deposed as primary of the stream, so its pending
+/// waiters can never be satisfied by the old sequence space). Distinct from
+/// kNoSeq — "predicate removed/unsatisfiable" — so callers can tell the two
+/// §III-E outcomes apart. See Stabilizer::WaitStatus.
+inline constexpr SeqNum kFencedSeq = -2;
+
+/// Epoch of a stream's sequencing authority. Epoch 0 is the stream's
+/// configured origin node; each Paxos-committed failover promotion bumps it
+/// by one. Stamped into DATA/DATABATCH/ACKBATCH/RESUME wire frames so
+/// receivers can fence frames from a deposed (zombie) ex-primary.
+using PrimaryEpoch = uint32_t;
 
 /// Identifier of a stability type ("received", "persisted", or an
 /// application-defined level such as "verified"). See control/stability_types.

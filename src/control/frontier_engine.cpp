@@ -119,6 +119,29 @@ Status FrontierEngine::remove_predicate(const std::string& key) {
   return Status::ok();
 }
 
+size_t FrontierEngine::fail_all_waiters(SeqNum sentinel) {
+  // Failover fencing: every parked waiter on this engine fires exactly once
+  // with `sentinel` (kFencedSeq) and is discarded. Predicates, frontiers,
+  // and monitors are untouched — only the one-shot waiters are unsatisfiable
+  // once the stream's old sequence space is fenced. Waiters are moved out
+  // before firing so a callback that re-arms a waitfor lands in the fresh
+  // vector instead of being failed too.
+  size_t failed = 0;
+  for (auto& [key, entry] : entries_) {
+    std::vector<Waiter> doomed;
+    doomed.swap(entry->waiters);
+    failed += doomed.size();
+    for (auto& w : doomed) w.fn(sentinel);
+  }
+  return failed;
+}
+
+size_t FrontierEngine::pending_waiters() const {
+  size_t n = 0;
+  for (const auto& [key, entry] : entries_) n += entry->waiters.size();
+  return n;
+}
+
 bool FrontierEngine::has_predicate(const std::string& key) const {
   return entries_.count(key) != 0;
 }

@@ -94,6 +94,17 @@ class FrontierEngine {
   /// waitfor_blocking callers observe the removal instead of hanging
   /// forever. Waiter callbacks must treat kNoSeq as "predicate removed".
   Status remove_predicate(const std::string& key);
+
+  /// Failover fencing: fires every parked waiter (across every predicate)
+  /// once with `sentinel` — kFencedSeq when the local node was deposed as
+  /// this stream's primary — and discards it. Predicates, frontiers, and
+  /// monitors are untouched. Returns the number of waiters failed. Waiter
+  /// callbacks may re-arm waitfor(); the re-armed waiters are kept.
+  size_t fail_all_waiters(SeqNum sentinel);
+  /// Parked (not yet fired) waitfor callbacks across every predicate — the
+  /// "none left parked" failover invariant reads this.
+  size_t pending_waiters() const;
+
   bool has_predicate(const std::string& key) const;
   std::vector<std::string> predicate_keys() const;
   const dsl::Predicate* predicate(const std::string& key) const;

@@ -24,6 +24,12 @@ Stabilizer::Counters::Counters(obs::MetricsRegistry& r)
       fanout_bytes_copied(r.counter("data.fanout_bytes_copied")),
       ack_batches_sent(r.counter("control.ack_batches_sent")),
       ack_entries_applied(r.counter("control.ack_entries_applied")),
+      fenced_frames(r.counter("failover.fenced_frames")),
+      epoch_ahead_drops(r.counter("failover.epoch_ahead_drops")),
+      takeovers_observed(r.counter("failover.takeovers_observed")),
+      failover_seqs_skipped(r.counter("failover.seqs_skipped")),
+      failover_seqs_rolled_back(r.counter("failover.seqs_rolled_back")),
+      waiters_fenced(r.counter("failover.waiters_fenced")),
       batch_frames(r.histogram("data.batch_frames")),
       ack_flush_entries(r.histogram("control.ack_flush_entries")) {}
 
@@ -123,6 +129,12 @@ Stabilizer::Stabilizer(StabilizerOptions options, Transport& transport)
   next_to_send_.assign(n, 0);
   peer_epoch_.assign(n, 0);
   resume_pending_.assign(n, false);
+  stream_epoch_.assign(n, 0);
+  stream_primary_.resize(n);
+  for (NodeId o = 0; o < n; ++o) stream_primary_[o] = o;
+  node_fenced_ = std::make_unique<std::atomic<bool>[]>(n);
+  for (NodeId o = 0; o < n; ++o)
+    node_fenced_[o].store(false, std::memory_order_relaxed);
   if (options_.retransmit_timeout > Duration::zero())
     schedule_retransmit_timer();
   if (options_.peer_stall_timeout > Duration::zero()) schedule_stall_timer();
@@ -155,6 +167,9 @@ Stabilizer::~Stabilizer() {
 
 SeqNum Stabilizer::send(BytesView payload, uint64_t virtual_size) {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
+  // Deposed primaries must not extend the old sequence space: another node
+  // now owns it and would issue the same numbers with different content.
+  if (self_fenced_) return kFencedSeq;
   SeqNum seq = sequencer_.next();
   out_.push(seq, Bytes(payload.begin(), payload.end()), virtual_size);
   STAB_OBS(++ctr_.pending_messages_sent);
@@ -275,16 +290,18 @@ void Stabilizer::transmit(NodeId dst, const data::OutBuffer::Slot& slot) {
     // as a retransmit) fills the slot's frame cache; everything after reuses
     // the refcounted buffer.
     if (!slot.encoded) {
-      slot.encoded = std::make_shared<const Bytes>(data::encode_data(
-          options_.self, slot.seq, slot.payload, slot.virtual_size));
+      slot.encoded = std::make_shared<const Bytes>(
+          data::encode_data(options_.self, slot.seq, slot.payload,
+                            slot.virtual_size, stream_epoch_[options_.self]));
       STAB_OBS(++ctr_.pending_data_encodes);
     }
     uint64_t wire = slot.encoded->size() + slot.virtual_size;
     transport_.send_shared(dst, slot.encoded, wire);
     STAB_OBS(++ctr_.pending_shared_sends);
   } else {
-    Bytes encoded = data::encode_data(options_.self, slot.seq, slot.payload,
-                                      slot.virtual_size);
+    Bytes encoded =
+        data::encode_data(options_.self, slot.seq, slot.payload,
+                          slot.virtual_size, stream_epoch_[options_.self]);
     STAB_OBS({
       ++ctr_.pending_data_encodes;
       ctr_.pending_fanout_bytes_copied += encoded.size();
@@ -306,6 +323,7 @@ void Stabilizer::transmit_batch(NodeId dst, SeqNum first, size_t count) {
   if (!(batch_first_ == first && batch_count_ == count && batch_frame_)) {
     data::DataBatchFrame batch;
     batch.origin = options_.self;
+    batch.primary_epoch = stream_epoch_[options_.self];
     batch.first_seq = first;
     batch.entries.reserve(count);
     uint64_t virtual_total = 0;
@@ -358,6 +376,15 @@ void Stabilizer::apply_origin_rule_for_send(SeqNum seq) {
 void Stabilizer::on_frame(NodeId src, BytesView frame, uint64_t wire_size) {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   if (stopped_) return;
+  // Whole-node fence: once we have learned that `src` was deposed as primary
+  // of its own stream, every frame it sends — data, acks, RESUME, raw — is
+  // zombie output (the cluster elected its successor because it was presumed
+  // dead) and is dropped and counted. Per-stream authority of *other* nodes'
+  // adopted streams is checked per data frame below.
+  if (src < stream_primary_.size() && stream_primary_[src] != src) {
+    STAB_OBS(ctr_.fenced_frames.inc());
+    return;
+  }
   auto kind = data::peek_kind(frame);
   if (!kind) {
     if (raw_handler_) {
@@ -369,12 +396,18 @@ void Stabilizer::on_frame(NodeId src, BytesView frame, uint64_t wire_size) {
     return;
   }
   switch (*kind) {
-    case data::FrameKind::kData:
-      handle_data(src, data::decode_data_view(frame), wire_size);
+    case data::FrameKind::kData: {
+      data::DataView v = data::decode_data_view(frame);
+      if (!admit_data(src, v.origin, v.primary_epoch)) break;
+      handle_data(src, v, wire_size);
       break;
-    case data::FrameKind::kDataBatch:
-      handle_data_batch(src, data::decode_data_batch(frame));
+    }
+    case data::FrameKind::kDataBatch: {
+      data::DataBatchFrame batch = data::decode_data_batch(frame);
+      if (!admit_data(src, batch.origin, batch.primary_epoch)) break;
+      handle_data_batch(src, batch);
       break;
+    }
     case data::FrameKind::kAckBatch:
       handle_ack_batch(data::decode_ack_batch(frame));
       break;
@@ -382,6 +415,26 @@ void Stabilizer::on_frame(NodeId src, BytesView frame, uint64_t wire_size) {
       handle_resume(src, data::decode_resume(frame));
       break;
   }
+}
+
+bool Stabilizer::admit_data(NodeId src, NodeId origin, PrimaryEpoch epoch) {
+  if (origin >= stream_epoch_.size()) return false;
+  const PrimaryEpoch known = stream_epoch_[origin];
+  if (epoch < known || (epoch == known && src != stream_primary_[origin])) {
+    // Stale authority: a zombie ex-primary (or an impostor) extending a
+    // sequence space the cluster has moved past. Counted, never delivered.
+    STAB_OBS(ctr_.fenced_frames.inc());
+    return false;
+  }
+  if (epoch > known) {
+    // The new primary's traffic raced its takeover announcement here. Drop —
+    // we cannot authenticate the authority yet — and count; the announcement
+    // arrives (the winner re-broadcasts it) and the go-back-N probe then
+    // retransmits everything we refused.
+    STAB_OBS(ctr_.epoch_ahead_drops.inc());
+    return false;
+  }
+  return true;
 }
 
 // --- pipelined ingestion (DESIGN.md §4f) ------------------------------------
@@ -393,6 +446,16 @@ void Stabilizer::ingest_frame(NodeId src, BytesView frame,
   // locked fallback could deadlock two nodes sending to each other while
   // holding their own locks).
   if (ingest_stopped_.load(std::memory_order_acquire)) return;
+  // Whole-node fence, lock-free flavor (same rule as on_frame's entry
+  // check): frames from a node this one knows to be deposed never reach the
+  // rings/cells. The flag publishes under the mutex; a frame racing the
+  // publication either folds harmlessly monotone acks or hits the locked
+  // check at drain time.
+  if (src < options_.topology.num_nodes() &&
+      node_fenced_[src].load(std::memory_order_relaxed)) {
+    STAB_OBS(ctr_.fenced_frames.inc());
+    return;
+  }
 
   bool need_drain;
   auto kind = data::peek_kind(frame);
@@ -514,17 +577,18 @@ void Stabilizer::handle_data_batch(NodeId src,
   // order — the receive tracker, acks, session semantics, and the delivery
   // handler cannot tell coalesced messages from singles. Per-message wire
   // accounting reconstructs the batch's footprint: 12 bytes of entry header
-  // plus payload and padding each, with the 17-byte frame header charged to
+  // plus payload and padding each, with the 21-byte frame header charged to
   // the first message.
   for (size_t i = 0; i < batch.entries.size(); ++i) {
     const data::DataBatchFrame::Entry& e = batch.entries[i];
     data::DataView m;
     m.origin = batch.origin;
+    m.primary_epoch = batch.primary_epoch;
     m.seq = batch.first_seq + static_cast<SeqNum>(i);
     m.payload = e.payload;
     m.virtual_size = e.virtual_size;
     uint64_t wire =
-        12 + e.payload.size() + e.virtual_size + (i == 0 ? 17 : 0);
+        12 + e.payload.size() + e.virtual_size + (i == 0 ? 21 : 0);
     handle_data(src, m, wire);
   }
 }
@@ -533,6 +597,11 @@ void Stabilizer::handle_data(NodeId src, const data::DataView& frame,
                              uint64_t wire_size) {
   (void)src;
   if (frame.origin >= options_.topology.num_nodes()) return;
+  // Our own stream never re-delivers to us — after a takeover of our stream
+  // the acting primary skips us anyway, but a retransmit raced against the
+  // fence could still arrive; delivering our own messages back would corrupt
+  // the origin rule.
+  if (frame.origin == options_.self) return;
   switch (rx_.on_frame(frame.origin, frame.seq)) {
     case data::ReceiveTracker::Verdict::kStaleDuplicate:
       STAB_OBS(ctr_.duplicates_dropped.inc());
@@ -548,12 +617,16 @@ void Stabilizer::handle_data(NodeId src, const data::DataView& frame,
              frame.origin, frame.seq, src);
 
   FrontierEngine& engine = *engines_[frame.origin];
-  // Origin rule for the remote stream (the origin has every property for
-  // its own message) plus our own receipt, applied as one batch.
+  // Origin rule for the remote stream (the stream's sequencing authority has
+  // every property for the messages it sequenced) plus our own receipt,
+  // applied as one batch. After a failover the authority is the acting
+  // primary, not the origin node — crediting the dead origin would wedge
+  // MIN-over-all predicates forever.
+  const NodeId authority = stream_primary_[frame.origin];
   std::vector<AckUpdate> updates;
   updates.reserve(types_.count() + 1);
   for (StabilityTypeId t = 0; t < types_.count(); ++t)
-    updates.push_back(AckUpdate{t, frame.origin, frame.seq, {}});
+    updates.push_back(AckUpdate{t, authority, frame.seq, {}});
   updates.push_back(AckUpdate{StabilityTypeRegistry::kReceived, options_.self,
                               frame.seq, {}});
   engine.on_ack_batch(updates);
@@ -600,6 +673,7 @@ void Stabilizer::handle_ack_batch(const data::AckBatchFrame& frame) {
 void Stabilizer::send_resume(NodeId peer, bool reply) {
   data::ResumeFrame frame;
   frame.sender = options_.self;
+  frame.primary_epoch = stream_epoch_[options_.self];
   frame.epoch = session_epoch_;
   frame.receive_through = rx_.received_through(peer);
   frame.reply = reply;
@@ -658,6 +732,7 @@ void Stabilizer::mark_peer_recovered(NodeId peer) {
 }
 
 void Stabilizer::maybe_reclaim() {
+  for (auto& [origin, adopted] : adopted_) reclaim_adopted(origin, adopted);
   if (out_.empty()) return;
   const AckTable& acks = engines_[options_.self]->acks();
   SeqNum floor = out_.last();
@@ -707,6 +782,7 @@ void Stabilizer::flush_acks() {
   if (options_.broadcast_acks) {
     data::AckBatchFrame batch;
     batch.reporter = options_.self;
+    batch.primary_epoch = stream_epoch_[options_.self];
     for (NodeId about = 0; about < dirty_.size(); ++about) {
       for (StabilityTypeId t = 0; t < dirty_[about].size(); ++t) {
         DirtyAck& d = dirty_[about][t];
@@ -743,6 +819,7 @@ void Stabilizer::flush_acks() {
     for (NodeId about = 0; about < dirty_.size(); ++about) {
       data::AckBatchFrame batch;
       batch.reporter = options_.self;
+      batch.primary_epoch = stream_epoch_[options_.self];
       for (StabilityTypeId t = 0; t < dirty_[about].size(); ++t) {
         DirtyAck& d = dirty_[about][t];
         if (d.seq == kNoSeq) continue;
@@ -798,6 +875,8 @@ void Stabilizer::retransmit_check() {
   for (NodeId peer = 0; peer < options_.topology.num_nodes(); ++peer)
     if (resume_pending_[peer] && peer != options_.self && !excluded_[peer])
       send_resume(peer);
+
+  retransmit_adopted_check();
 
   if (out_.empty()) return;
   const AckTable& acks = engines_[options_.self]->acks();
@@ -880,9 +959,19 @@ Bytes Stabilizer::snapshot_control_state() const {
   const_cast<Stabilizer*>(this)->drain_pipeline();
   Writer w(1024);
   w.u32(0x53544142);  // "STAB"
-  w.u32(2);           // snapshot format version
+  w.u32(3);           // snapshot format version
   w.u32(options_.self);
   w.u64(session_epoch_);
+  // v3: per-stream failover state (epoch + current sequencing authority), so
+  // a reborn instance rejects zombie frames from primaries deposed before its
+  // crash instead of re-admitting them. Adopted-stream state (this node
+  // acting as primary for another stream) is deliberately NOT persisted: a
+  // restart drops the adoption and the fleet re-elects.
+  w.u32(static_cast<uint32_t>(stream_epoch_.size()));
+  for (size_t i = 0; i < stream_epoch_.size(); ++i) {
+    w.u32(stream_epoch_[i]);
+    w.u32(stream_primary_[i]);
+  }
   w.i64(sequencer_.last_assigned());
   // Unreclaimed send-buffer slots: messages some peer has not yet
   // acknowledged. Persisting them lets a reborn instance serve the
@@ -926,11 +1015,30 @@ Status Stabilizer::restore_control_state(BytesView snapshot) {
     if (r.u32() != 0x53544142)
       return Status::error("restore: not a Stabilizer snapshot");
     uint32_t version = r.u32();
-    if (version != 1 && version != 2)
+    if (version < 1 || version > 3)
       return Status::error("restore: unknown snapshot version");
     if (r.u32() != options_.self)
       return Status::error("restore: snapshot was taken by another node");
     uint64_t snap_epoch = version >= 2 ? r.u64() : 0;
+    if (version >= 3) {
+      // Merge persisted failover state on higher epoch (live state wins
+      // otherwise — a stale snapshot must never resurrect a deposed
+      // primary's authority).
+      uint32_t nstreams = r.u32();
+      for (uint32_t i = 0; i < nstreams; ++i) {
+        PrimaryEpoch epoch = r.u32();
+        NodeId primary = r.u32();
+        if (i >= stream_epoch_.size()) continue;
+        if (epoch > stream_epoch_[i]) {
+          stream_epoch_[i] = epoch;
+          stream_primary_[i] = primary;
+          node_fenced_[i].store(stream_primary_[i] != static_cast<NodeId>(i),
+                                std::memory_order_relaxed);
+        }
+      }
+      if (stream_primary_[options_.self] != options_.self && !self_fenced_)
+        fence_self();
+    }
     SeqNum last_assigned = r.i64();
     sequencer_.fast_forward(last_assigned);
     if (version >= 2) {
@@ -1075,6 +1183,18 @@ Status Stabilizer::monitor_stability_frontier(const std::string& key,
 
 Status Stabilizer::waitfor(SeqNum seq, const std::string& key, WaiterFn fn,
                            NodeId origin) {
+  {
+    // Fenced fast-fail: once this node is deposed as its own stream's
+    // primary, no waitfor on that stream can ever be satisfied through us —
+    // the new authority re-sequences the suffix. Fire the fencing sentinel
+    // instead of parking a waiter that would hang forever.
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    if (self_fenced_ && resolve_origin(origin) == options_.self) {
+      STAB_OBS(ctr_.waiters_fenced.inc());
+      fn(kFencedSeq);
+      return Status::ok();
+    }
+  }
   if (pipeline_) {
     // Already-stable fast path: wait-free board read; fire immediately with
     // no lock. Not yet stable (or key unpublished) falls through to the
@@ -1094,6 +1214,13 @@ Status Stabilizer::waitfor(SeqNum seq, const std::string& key, WaiterFn fn,
 
 bool Stabilizer::waitfor_blocking(SeqNum seq, const std::string& key,
                                   Duration timeout, NodeId origin) {
+  return waitfor_blocking_status(seq, key, timeout, origin) == WaitStatus::kOk;
+}
+
+Stabilizer::WaitStatus Stabilizer::waitfor_blocking_status(SeqNum seq,
+                                                           const std::string& key,
+                                                           Duration timeout,
+                                                           NodeId origin) {
   // Lifetime: the registered waiter callback co-owns `state` via the
   // shared_ptr, so the engine firing it AFTER this frame returned (a timeout
   // here does not deregister the waiter; neither coverage nor
@@ -1102,16 +1229,17 @@ bool Stabilizer::waitfor_blocking(SeqNum seq, const std::string& key,
   //
   // No lost wakeup: waitfor()'s already-stable check and the waiter
   // registration happen under the API mutex, and every waiter fire
-  // (coverage from a drain/ack, or cancellation via remove_predicate) runs
-  // under that same mutex. A fire that races this thread between
-  // registration and wait_for() lands before wait_for re-checks `done`
-  // under state->m — wait_for's predicate sees done == true and returns
-  // without sleeping.
+  // (coverage from a drain/ack, cancellation via remove_predicate, or a
+  // failover fence via fail_all_waiters) runs under that same mutex. A fire
+  // that races this thread between registration and wait_for() lands before
+  // wait_for re-checks `done` under state->m — wait_for's predicate sees
+  // done == true and returns without sleeping.
   //
   // Cancellation while parked: remove_predicate fails pending waiters with
-  // kNoSeq, so the callback wakes us with frontier == kNoSeq and we report
-  // false immediately instead of burning the whole timeout
-  // (core_mt_test.WaitforBlockingCancelledWhileParked pins this).
+  // kNoSeq and a takeover of the local stream fails them with kFencedSeq, so
+  // the callback wakes us with the sentinel and we report the distinct
+  // status immediately instead of burning the whole timeout
+  // (core_mt_test.WaitforBlockingCancelledWhileParked pins the kNoSeq leg).
   struct State {
     std::mutex m;
     std::condition_variable cv;
@@ -1127,13 +1255,16 @@ bool Stabilizer::waitfor_blocking(SeqNum seq, const std::string& key,
                         state->cv.notify_all();
                       },
                       origin);
-  if (!st.is_ok()) return false;
+  if (!st.is_ok()) return WaitStatus::kNoSeq;
   std::unique_lock<std::mutex> l(state->m);
   if (!state->cv.wait_for(l, timeout, [&] { return state->done; }))
-    return false;
-  // A waiter failed by remove_predicate fires with kNoSeq (never coverage):
-  // report failure rather than pretending the predicate was satisfied.
-  return state->frontier >= seq;
+    return WaitStatus::kTimeout;
+  if (state->frontier >= seq) return WaitStatus::kOk;
+  // A failed waiter fires with a sentinel, never a covering frontier:
+  // kFencedSeq when the local node was deposed as the stream's primary,
+  // kNoSeq when the predicate was removed (or adjusted away, §III-E).
+  return state->frontier == kFencedSeq ? WaitStatus::kFenced
+                                       : WaitStatus::kNoSeq;
 }
 
 Status Stabilizer::report_stability(const std::string& type_name,
@@ -1192,6 +1323,256 @@ bool Stabilizer::peer_excluded(NodeId node) const {
   return node < excluded_.size() && excluded_[node];
 }
 
+// --- primary failover (DESIGN.md §6) -------------------------------------------
+
+PrimaryEpoch Stabilizer::stream_epoch(NodeId origin) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return stream_epoch_[resolve_origin(origin)];
+}
+
+NodeId Stabilizer::stream_primary(NodeId origin) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return stream_primary_[resolve_origin(origin)];
+}
+
+bool Stabilizer::self_fenced() const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return self_fenced_;
+}
+
+bool Stabilizer::is_acting_primary(NodeId origin) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return adopted_.count(origin) > 0;
+}
+
+SeqNum Stabilizer::acting_last_sent(NodeId origin) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  auto it = adopted_.find(origin);
+  return it == adopted_.end() ? kNoSeq : it->second.sequencer.last_assigned();
+}
+
+Status Stabilizer::adopt_stream(NodeId origin, SeqNum start_seq,
+                                PrimaryEpoch epoch) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (origin >= stream_epoch_.size())
+    return Status::error("adopt_stream: bad origin");
+  if (origin == options_.self)
+    return Status::error("adopt_stream: cannot adopt own stream");
+  if (start_seq < 0) return Status::error("adopt_stream: bad start_seq");
+  // Accept the epoch when it is new, or when we already learned our own
+  // committed takeover (observe_takeover from the Paxos commit handler runs
+  // on the winner too) and are now installing the sequencing machinery.
+  if (epoch < stream_epoch_[origin] ||
+      (epoch == stream_epoch_[origin] &&
+       stream_primary_[origin] != options_.self))
+    return Status::error("adopt_stream: stale epoch");
+  if (epoch > stream_epoch_[origin]) {
+    stream_epoch_[origin] = epoch;
+    stream_primary_[origin] = options_.self;
+    STAB_OBS(ctr_.takeovers_observed.inc());
+  }
+  // The deposed origin is now a zombie for every frame kind (whole-node
+  // fence; the pipelined ingest path reads the atomic flag).
+  node_fenced_[origin].store(true, std::memory_order_relaxed);
+
+  adopted_.erase(origin);
+  AdoptedStream& a = adopted_[origin];
+  a.epoch = epoch;
+  a.sequencer.fast_forward(start_seq - 1);
+  a.out.reset_base(start_seq);
+  a.acked_at_probe.assign(options_.topology.num_nodes(), kNoSeq);
+
+  // Position our delivery cursor at the takeover boundary: the reconciled
+  // start may exceed our own delivered prefix (another peer saw more); the
+  // gap seqs were never everywhere-stable and are skipped, counted.
+  apply_takeover_cursor(origin, start_seq);
+  return Status::ok();
+}
+
+SeqNum Stabilizer::send_as(NodeId origin, BytesView payload,
+                           uint64_t virtual_size) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  auto it = adopted_.find(origin);
+  if (it == adopted_.end()) return kFencedSeq;
+  AdoptedStream& a = it->second;
+  SeqNum seq = a.sequencer.next();
+  a.out.push(seq, Bytes(payload.begin(), payload.end()), virtual_size);
+  STAB_OBS(++ctr_.pending_messages_sent);
+  STAB_TRACE(tracer_, env().now(), obs::SpanEvent::kBroadcast, options_.self,
+             origin, seq);
+  transmit_adopted(origin, a, *a.out.get(seq));
+  // Origin rule, failover flavor: the sequencing authority (us) has every
+  // property for the messages it sequenced — credited on our cell of the
+  // adopted stream's engine. Peers credit us symmetrically in handle_data.
+  std::vector<AckUpdate> updates;
+  updates.reserve(types_.count());
+  for (StabilityTypeId t = 0; t < types_.count(); ++t)
+    updates.push_back(AckUpdate{t, options_.self, seq, {}});
+  engines_[origin]->on_ack_batch(updates);
+  reclaim_adopted(origin, a);  // single-peer topologies reclaim immediately
+  return seq;
+}
+
+Status Stabilizer::observe_takeover(NodeId origin, NodeId new_primary,
+                                    PrimaryEpoch epoch, SeqNum start_seq) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (origin >= stream_epoch_.size() ||
+      new_primary >= options_.topology.num_nodes())
+    return Status::error("observe_takeover: bad node id");
+  if (epoch < stream_epoch_[origin])
+    return Status::error("observe_takeover: stale epoch");
+  if (epoch == stream_epoch_[origin]) {
+    if (new_primary != stream_primary_[origin])
+      return Status::error("observe_takeover: conflicting primary for epoch");
+    // Idempotent re-application (the winner rebroadcasts TAKEOVER until the
+    // fleet confirms): only the cursor catch-up can be new information, and
+    // only the forward direction — a re-announcement must never roll back a
+    // cursor that has already progressed under the new authority.
+    if (start_seq != kNoSeq && origin != options_.self &&
+        new_primary != options_.self)
+      apply_takeover_cursor(origin, start_seq, /*allow_rollback=*/false);
+    return Status::ok();
+  }
+
+  stream_epoch_[origin] = epoch;
+  stream_primary_[origin] = new_primary;
+  STAB_OBS(ctr_.takeovers_observed.inc());
+  // Whole-node fence applies when a node loses its OWN stream: the cluster
+  // declared it dead, so everything it emits from here on is zombie output.
+  node_fenced_[origin].store(new_primary != origin, std::memory_order_relaxed);
+
+  if (origin == options_.self) {
+    // We are the one being deposed. Silence ourselves: no new sends, and
+    // every parked own-stream waiter fails with the fencing sentinel now
+    // rather than hanging on a frontier that will never advance through us.
+    if (new_primary != options_.self) fence_self();
+    return Status::ok();
+  }
+
+  // A newer takeover supersedes any adoption we held for this stream (a
+  // cascaded failover deposed us as acting primary; our node identity —
+  // and own stream — are untouched).
+  if (new_primary != options_.self) adopted_.erase(origin);
+
+  if (start_seq != kNoSeq && new_primary != options_.self)
+    apply_takeover_cursor(origin, start_seq);
+  return Status::ok();
+}
+
+void Stabilizer::fence_self() {
+  if (self_fenced_) return;
+  self_fenced_ = true;
+  size_t failed = engines_[options_.self]->fail_all_waiters(kFencedSeq);
+  STAB_OBS(if (failed) ctr_.waiters_fenced.inc(failed));
+  (void)failed;
+}
+
+void Stabilizer::apply_takeover_cursor(NodeId origin, SeqNum start_seq,
+                                       bool allow_rollback) {
+  const SeqNum target = start_seq - 1;  // new authority resumes AT start_seq
+  const SeqNum cur = rx_.received_through(origin);
+  if (target > cur) {
+    // Fast-forward: seqs in (cur, target] are lost to this node (the dead
+    // primary's buffer is gone; nobody can retransmit them). Cumulative
+    // stability reports jump the gap — frontier semantics are "through seq",
+    // so waiters at gap seqs complete once post-takeover traffic stabilizes.
+    rx_.restore(origin, target);
+    STAB_OBS(
+        ctr_.failover_seqs_skipped.inc(static_cast<uint64_t>(target - cur)));
+    FrontierEngine& engine = *engines_[origin];
+    engine.on_ack(StabilityTypeRegistry::kReceived, options_.self, target);
+    mark_dirty(origin, StabilityTypeRegistry::kReceived, target, {});
+    if (options_.auto_report_delivered) {
+      engine.on_ack(StabilityTypeRegistry::kDelivered, options_.self, target);
+      mark_dirty(origin, StabilityTypeRegistry::kDelivered, target, {});
+    }
+  } else if (target < cur && allow_rollback) {
+    // Rollback: we consumed an old-epoch suffix the reconciliation round
+    // never saw (we were partitioned from the winner's quorum). The new
+    // primary re-issues those numbers with its own content; re-deliver them
+    // under the new authority. Our earlier cumulative acks cannot retract —
+    // delivery across the boundary is at-least-once here, by design. Only
+    // the FIRST learn of the epoch may rewind: later re-announcements of
+    // the same takeover see a cursor that has legitimately progressed under
+    // the new authority (observe_takeover passes allow_rollback=false).
+    SeqNum down = rx_.reset(origin, target);
+    STAB_OBS(
+        if (down) ctr_.failover_seqs_rolled_back.inc(
+            static_cast<uint64_t>(down)));
+    (void)down;
+  }
+}
+
+void Stabilizer::transmit_adopted(NodeId origin, AdoptedStream& a,
+                                  const data::OutBuffer::Slot& slot) {
+  // Encode-once, refcounted fan-out — same shape as transmit(), but the
+  // frame's origin field names the adopted stream and carries its epoch, and
+  // the deposed origin node is never a destination.
+  if (!slot.encoded) {
+    slot.encoded = std::make_shared<const Bytes>(data::encode_data(
+        origin, slot.seq, slot.payload, slot.virtual_size, a.epoch));
+    STAB_OBS(++ctr_.pending_data_encodes);
+  }
+  uint64_t wire = slot.encoded->size() + slot.virtual_size;
+  for (NodeId peer = 0; peer < options_.topology.num_nodes(); ++peer) {
+    if (peer == options_.self || peer == origin || excluded_[peer]) continue;
+    transport_.send_shared(peer, slot.encoded, wire);
+    STAB_OBS({
+      ++ctr_.pending_shared_sends;
+      ++ctr_.pending_frames_transmitted;
+    });
+    STAB_TRACE(tracer_, env().now(), obs::SpanEvent::kTransmit, options_.self,
+               origin, slot.seq, peer);
+  }
+}
+
+void Stabilizer::retransmit_adopted_check() {
+  for (auto& [origin, a] : adopted_) {
+    if (a.out.empty()) continue;
+    const AckTable& acks = engines_[origin]->acks();
+    for (NodeId peer = 0; peer < options_.topology.num_nodes(); ++peer) {
+      if (peer == options_.self || peer == origin || excluded_[peer]) continue;
+      SeqNum acked = acks.get(StabilityTypeRegistry::kReceived, peer);
+      if (acked >= a.out.last() || acked > a.acked_at_probe[peer]) {
+        a.acked_at_probe[peer] = acked;  // caught up / progressing: no probe
+        continue;
+      }
+      SeqNum from = std::max(acked + 1, a.out.base());
+      SeqNum to = std::min<SeqNum>(
+          a.out.last(),
+          from + static_cast<SeqNum>(options_.retransmit_window) - 1);
+      for (SeqNum s = from; s <= to; ++s) {
+        const auto* slot = a.out.get(s);
+        if (!slot) continue;
+        if (!slot->encoded) {
+          slot->encoded = std::make_shared<const Bytes>(data::encode_data(
+              origin, slot->seq, slot->payload, slot->virtual_size, a.epoch));
+          STAB_OBS(++ctr_.pending_data_encodes);
+        }
+        transport_.send_shared(peer, slot->encoded,
+                               slot->encoded->size() + slot->virtual_size);
+        STAB_OBS({
+          ++ctr_.pending_shared_sends;
+          ++ctr_.pending_frames_transmitted;
+          ctr_.retransmits_sent.inc();
+        });
+      }
+      a.acked_at_probe[peer] = acked;
+    }
+  }
+}
+
+void Stabilizer::reclaim_adopted(NodeId origin, AdoptedStream& a) {
+  if (a.out.empty()) return;
+  const AckTable& acks = engines_[origin]->acks();
+  SeqNum floor = a.out.last();
+  for (NodeId peer = 0; peer < options_.topology.num_nodes(); ++peer) {
+    if (peer == options_.self || peer == origin || excluded_[peer]) continue;
+    floor = std::min(floor, acks.get(StabilityTypeRegistry::kReceived, peer));
+  }
+  if (floor >= a.out.base()) a.out.reclaim_through(floor);
+}
+
 // --- introspection ------------------------------------------------------------------
 
 SeqNum Stabilizer::last_sent() const {
@@ -1223,6 +1604,12 @@ StabilizerStats Stabilizer::stats() const {
     s.shared_sends = ctr_.shared_sends.value();
     s.frames_coalesced = ctr_.frames_coalesced.value();
     s.fanout_bytes_copied = ctr_.fanout_bytes_copied.value();
+    s.fenced_frames = ctr_.fenced_frames.value();
+    s.epoch_ahead_drops = ctr_.epoch_ahead_drops.value();
+    s.takeovers_observed = ctr_.takeovers_observed.value();
+    s.failover_seqs_skipped = ctr_.failover_seqs_skipped.value();
+    s.failover_seqs_rolled_back = ctr_.failover_seqs_rolled_back.value();
+    s.waiters_fenced = ctr_.waiters_fenced.value();
   });
   for (const auto& engine : engines_) {
     s.predicate_evals += engine->predicate_evals();

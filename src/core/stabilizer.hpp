@@ -44,6 +44,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -196,6 +197,17 @@ struct StabilizerStats {
   uint64_t shared_sends = 0;         // frames handed to Transport::send_shared
   uint64_t frames_coalesced = 0;     // message transmissions inside a batch
   uint64_t fanout_bytes_copied = 0;  // bytes encoded per-peer (legacy path)
+  // Primary failover (epoch fencing; DESIGN.md §6). fenced_frames counts
+  // frames dropped for carrying a *stale* primary epoch (the zombie
+  // ex-primary signature); epoch_ahead_drops counts frames from a *newer*
+  // epoch than this node has learned (healed by retransmission once the
+  // takeover announcement lands).
+  uint64_t fenced_frames = 0;
+  uint64_t epoch_ahead_drops = 0;
+  uint64_t takeovers_observed = 0;   // epoch bumps applied (adopt or observe)
+  uint64_t failover_seqs_skipped = 0;      // cursor fast-forwards at takeover
+  uint64_t failover_seqs_rolled_back = 0;  // cursor rewinds at takeover
+  uint64_t waiters_fenced = 0;       // waitfor callbacks failed with kFencedSeq
 };
 
 class Stabilizer {
@@ -236,8 +248,10 @@ class Stabilizer {
 
   // --- data plane -------------------------------------------------------------
   /// Sequence and stream one message of the local pool to every peer.
-  /// Returns its sequence number. `virtual_size` adds trace-replay padding
-  /// that is charged to (simulated) bandwidth but not materialized.
+  /// Returns its sequence number — or kFencedSeq, without sending, once this
+  /// node has been deposed as its own stream's primary (see self_fenced()).
+  /// `virtual_size` adds trace-replay padding that is charged to (simulated)
+  /// bandwidth but not materialized.
   SeqNum send(BytesView payload, uint64_t virtual_size = 0);
 
   /// Split a large write into <= split_size messages (plus padding spread
@@ -286,6 +300,22 @@ class Stabilizer {
   /// Env thread. Returns false on timeout.
   bool waitfor_blocking(SeqNum seq, const std::string& key, Duration timeout,
                         NodeId origin = kInvalidNode);
+
+  /// Why a blocking wait ended. kOk: frontier covered seq. kTimeout: the
+  /// deadline expired with the waiter still parked (it may fire later; the
+  /// late fire is unheard). kNoSeq: the wait is unsatisfiable — the key is
+  /// unknown, or the predicate was removed/adjusted out from under the
+  /// waiter (the §III-E reaction to a dead mirror). kFenced: this node was
+  /// deposed as the stream's primary, so the old sequence space it was
+  /// waiting on no longer exists (failover fencing).
+  enum class WaitStatus { kOk, kTimeout, kNoSeq, kFenced };
+
+  /// Status-returning flavor of waitfor_blocking: same blocking semantics,
+  /// but timeout / removed-predicate / fenced outcomes are distinguishable
+  /// instead of all collapsing to `false`.
+  WaitStatus waitfor_blocking_status(SeqNum seq, const std::string& key,
+                                     Duration timeout,
+                                     NodeId origin = kInvalidNode);
 
   /// Report that `origin`'s message `seq` reached an application-defined
   /// stability level locally (e.g. "verified"). The report joins the
@@ -346,6 +376,52 @@ class Stabilizer {
   void set_peer_excluded(NodeId node, bool excluded);
   bool peer_excluded(NodeId node) const;
 
+  // --- primary failover mechanism (DESIGN.md §6) -------------------------------
+  // The core provides the *mechanism*: per-stream primary epochs, frame
+  // fencing, adopted-stream sequencing, and waiter fencing. The election
+  // *protocol* (leases, suspicion, the Paxos ballot, reconciliation) lives
+  // in src/failover and drives these three calls.
+
+  /// Epoch of `origin`'s stream as learned by this node (0 = the configured
+  /// origin still holds it). Default origin: own stream.
+  PrimaryEpoch stream_epoch(NodeId origin = kInvalidNode) const;
+  /// Node currently holding sequencing authority for `origin`'s stream.
+  NodeId stream_primary(NodeId origin = kInvalidNode) const;
+  /// True once this node was deposed as primary of its own stream: send()
+  /// returns kFencedSeq, own-stream waiters have been failed with kFencedSeq,
+  /// and every outgoing frame of ours is stamped with the stale epoch (so
+  /// peers fence it — the zombie is silenced even if it keeps running).
+  bool self_fenced() const;
+  /// True when this node holds adopted sequencing authority for `origin`.
+  bool is_acting_primary(NodeId origin) const;
+
+  /// Election winner: become the acting primary of `origin`'s stream under
+  /// `epoch` (must be > the currently learned epoch), issuing from
+  /// `start_seq`. The caller (the failover manager) is responsible for
+  /// having agreed on (epoch, winner) via consensus and for computing
+  /// start_seq = max over live peers' contiguous prefixes + 1. Our own
+  /// delivery cursor fast-forwards to start_seq - 1 if behind (the skipped
+  /// seqs were never stable anywhere — counted in failover_seqs_skipped).
+  Status adopt_stream(NodeId origin, SeqNum start_seq, PrimaryEpoch epoch);
+
+  /// Sequence and stream one message on an adopted stream (the acting
+  /// primary's send()). Returns its sequence number, or kFencedSeq if this
+  /// node no longer holds the stream.
+  SeqNum send_as(NodeId origin, BytesView payload, uint64_t virtual_size = 0);
+
+  /// Learn a committed takeover: `new_primary` holds `origin`'s stream under
+  /// `epoch` from `start_seq` (kNoSeq = not yet known — fence now, cursor
+  /// later). Idempotent; stale epochs are ignored. When origin == self this
+  /// node is being deposed: it self-fences, fails its own-stream waiters
+  /// with kFencedSeq, and refuses further send()s. When we were the acting
+  /// primary of `origin` and someone newer took over, the adoption is
+  /// dropped the same way.
+  Status observe_takeover(NodeId origin, NodeId new_primary, PrimaryEpoch epoch,
+                          SeqNum start_seq);
+
+  /// Last seq issued on an adopted stream (kNoSeq when not acting primary).
+  SeqNum acting_last_sent(NodeId origin) const;
+
   // --- introspection ------------------------------------------------------------
   SeqNum last_sent() const;
   SeqNum delivered_through(NodeId origin) const;
@@ -395,6 +471,36 @@ class Stabilizer {
   /// Coalescing defers send()'s flush to the end of the event-loop turn so a
   /// burst of sends batches; this arms that (single) deferred pump.
   void arm_flush();
+
+  // --- failover fencing / adopted streams (DESIGN.md §6) ---------------------
+  /// Admission check for DATA/DATABATCH: stale epoch or a sender that is not
+  /// the stream's learned authority -> drop (fenced); newer epoch than we
+  /// have learned -> drop (ahead; heals by retransmit after the takeover
+  /// announcement lands). Callers hold mutex_.
+  bool admit_data(NodeId src, NodeId origin, PrimaryEpoch epoch);
+  /// Deposed as primary of our own stream: fail own-stream waiters with
+  /// kFencedSeq and refuse further send()s. Caller holds mutex_.
+  void fence_self();
+  /// Move `origin`'s delivery cursor to exactly start_seq - 1 for an epoch
+  /// boundary, counting skips (fast-forward) or rollbacks (re-delivery of an
+  /// overlapping old-epoch suffix under the new authority).
+  void apply_takeover_cursor(NodeId origin, SeqNum start_seq,
+                             bool allow_rollback = true);
+
+  struct AdoptedStream {
+    PrimaryEpoch epoch = 0;
+    data::Sequencer sequencer;
+    data::OutBuffer out;
+    std::vector<SeqNum> acked_at_probe;  // per peer; go-back-N probe progress
+  };
+  /// Eager fan-out of one adopted-stream slot (encode-once; no coalescing —
+  /// takeover traffic is rare enough that the simple path wins).
+  void transmit_adopted(NodeId origin, AdoptedStream& a,
+                        const data::OutBuffer::Slot& slot);
+  /// Go-back-N probe + reclamation for every adopted stream, driven from the
+  /// same retransmit timer as the own-stream probe.
+  void retransmit_adopted_check();
+  void reclaim_adopted(NodeId origin, AdoptedStream& a);
 
   // --- pipelined control plane (DESIGN.md §4f) -------------------------------
   /// Receive-thread entry in kPipelined mode. Lock-free: folds plain ack
@@ -462,6 +568,23 @@ class Stabilizer {
   std::vector<bool> resume_pending_;
   bool stopped_ = false;
 
+  // Primary-failover state (all under mutex_ except node_fenced_).
+  // stream_epoch_[o] / stream_primary_[o]: the newest sequencing authority
+  // this node has learned for origin o's stream (epoch 0, primary o at
+  // construction). adopted_: streams this node won and now sequences.
+  std::vector<PrimaryEpoch> stream_epoch_;
+  std::vector<NodeId> stream_primary_;
+  std::map<NodeId, AdoptedStream> adopted_;
+  bool self_fenced_ = false;
+  // Lock-free mirror of "node x was deposed from its own stream" for the
+  // pipelined ingest path (which must not take mutex_): a fenced node's
+  // frames are dropped before touching the rings/cells. Set under mutex_,
+  // read relaxed from receive threads — a frame slipping through the brief
+  // publication window still hits the locked epoch checks at drain time;
+  // only the ack-cell fast path can absorb a few stale (but truthful,
+  // monotonic) ack entries, which is harmless.
+  std::unique_ptr<std::atomic<bool>[]> node_fenced_;
+
   // Pipelined control plane (null in kLegacyLocked mode). The drain gate
   // lets posted drain tasks outlive the Stabilizer safely: tasks lock the
   // gate and check `owner` before touching `this`; the destructor nulls
@@ -498,6 +621,12 @@ class Stabilizer {
     obs::Counter& fanout_bytes_copied;
     obs::Counter& ack_batches_sent;
     obs::Counter& ack_entries_applied;
+    obs::Counter& fenced_frames;
+    obs::Counter& epoch_ahead_drops;
+    obs::Counter& takeovers_observed;
+    obs::Counter& failover_seqs_skipped;
+    obs::Counter& failover_seqs_rolled_back;
+    obs::Counter& waiters_fenced;
     obs::Histogram& batch_frames;       // messages per encoded DATABATCH
     obs::Histogram& ack_flush_entries;  // entries per flushed ACKBATCH
 

@@ -39,6 +39,20 @@ class ReceiveTracker {
     if (received_through + 1 > exp) exp = received_through + 1;
   }
 
+  /// Failover epoch boundary: move the cursor to exactly
+  /// `received_through + 1`, downward included. Used when a new primary's
+  /// takeover start overlaps a prefix this node already consumed under the
+  /// old epoch (the reconciliation round missed us): the overlapping seqs
+  /// re-deliver under the new authority rather than being dropped as stale.
+  /// Returns how far the cursor moved down (0 when it was a fast-forward,
+  /// which restore() also covers).
+  SeqNum reset(NodeId origin, SeqNum received_through) {
+    SeqNum& exp = expected_.at(origin);
+    SeqNum down = exp - (received_through + 1);
+    exp = received_through + 1;
+    return down > 0 ? down : 0;
+  }
+
  private:
   std::vector<SeqNum> expected_;
 };

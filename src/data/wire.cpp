@@ -34,19 +34,25 @@ namespace stab::data {
   } while (0)
 #endif
 
-// Frame layouts (all integers little-endian):
-//   DATA      u8 kind | u32 origin | i64 seq | u64 virtual_size | blob payload
-//   DATABATCH u8 kind | u32 origin | i64 first_seq | u32 count
+// Frame layouts (all integers little-endian). Every family carries a u32
+// primary epoch for failover fencing: DATA/DATABATCH stamp the epoch of the
+// authority that sequenced the carried messages; ACKBATCH/RESUME stamp the
+// sender's own-stream epoch (its credential that it has not been deposed).
+//   DATA      u8 kind | u32 origin | u32 epoch | i64 seq | u64 virtual_size
+//             | blob payload
+//   DATABATCH u8 kind | u32 origin | u32 epoch | i64 first_seq | u32 count
 //             | count x { blob payload | u64 virtual_size }
-//   ACKBATCH  u8 kind | u32 reporter | u32 count
+//   ACKBATCH  u8 kind | u32 reporter | u32 epoch | u32 count
 //             | count x { u32 origin | u32 type | i64 seq | blob extra }
-//   RESUME    u8 kind | u32 sender | u64 epoch | i64 receive_through | u8 reply
+//   RESUME    u8 kind | u32 sender | u32 epoch_p | u64 epoch
+//             | i64 receive_through | u8 reply
 
 Bytes encode_data(NodeId origin, SeqNum seq, BytesView payload,
-                  uint64_t virtual_size) {
-  Writer w(1 + 4 + 8 + 8 + 4 + payload.size());
+                  uint64_t virtual_size, PrimaryEpoch primary_epoch) {
+  Writer w(1 + 4 + 4 + 8 + 8 + 4 + payload.size());
   w.u8(static_cast<uint8_t>(FrameKind::kData));
   w.u32(origin);
+  w.u32(primary_epoch);
   w.i64(seq);
   w.u64(virtual_size);
   w.blob(payload);
@@ -57,7 +63,7 @@ Bytes encode_data(NodeId origin, SeqNum seq, BytesView payload,
 
 Bytes encode(const DataFrame& frame) {
   return encode_data(frame.origin, frame.seq, frame.payload,
-                     frame.virtual_size);
+                     frame.virtual_size, frame.primary_epoch);
 }
 
 Bytes encode(const DataBatchFrame& frame) {
@@ -66,9 +72,10 @@ Bytes encode(const DataBatchFrame& frame) {
   size_t body = 0;
   for (const DataBatchFrame::Entry& e : frame.entries)
     body += 4 + e.payload.size() + 8;
-  Writer w(1 + 4 + 8 + 4 + body);
+  Writer w(1 + 4 + 4 + 8 + 4 + body);
   w.u8(static_cast<uint8_t>(FrameKind::kDataBatch));
   w.u32(frame.origin);
+  w.u32(frame.primary_epoch);
   w.i64(frame.first_seq);
   w.u32(static_cast<uint32_t>(frame.entries.size()));
   for (const DataBatchFrame::Entry& e : frame.entries) {
@@ -83,9 +90,10 @@ Bytes encode(const DataBatchFrame& frame) {
 Bytes encode(const AckBatchFrame& frame) {
   size_t body = 0;
   for (const AckEntry& e : frame.entries) body += 4 + 4 + 8 + 4 + e.extra.size();
-  Writer w(1 + 4 + 4 + body);
+  Writer w(1 + 4 + 4 + 4 + body);
   w.u8(static_cast<uint8_t>(FrameKind::kAckBatch));
   w.u32(frame.reporter);
+  w.u32(frame.primary_epoch);
   w.u32(static_cast<uint32_t>(frame.entries.size()));
   for (const AckEntry& e : frame.entries) {
     w.u32(e.about_origin);
@@ -99,9 +107,10 @@ Bytes encode(const AckBatchFrame& frame) {
 }
 
 Bytes encode(const ResumeFrame& frame) {
-  Writer w(1 + 4 + 8 + 8 + 1);
+  Writer w(1 + 4 + 4 + 8 + 8 + 1);
   w.u8(static_cast<uint8_t>(FrameKind::kResume));
   w.u32(frame.sender);
+  w.u32(frame.primary_epoch);
   w.u64(frame.epoch);
   w.i64(frame.receive_through);
   w.u8(frame.reply ? 1 : 0);
@@ -128,6 +137,7 @@ DataFrame decode_data(BytesView frame) {
     throw CodecError("not a DATA frame");
   DataFrame out;
   out.origin = r.u32();
+  out.primary_epoch = r.u32();
   out.seq = r.i64();
   out.virtual_size = r.u64();
   out.payload = r.blob();
@@ -141,6 +151,7 @@ DataView decode_data_view(BytesView frame) {
     throw CodecError("not a DATA frame");
   DataView out;
   out.origin = r.u32();
+  out.primary_epoch = r.u32();
   out.seq = r.i64();
   out.virtual_size = r.u64();
   out.payload = r.blob_view();
@@ -154,6 +165,7 @@ DataBatchFrame decode_data_batch(BytesView frame) {
     throw CodecError("not a DATABATCH frame");
   DataBatchFrame out;
   out.origin = r.u32();
+  out.primary_epoch = r.u32();
   out.first_seq = r.i64();
   uint32_t n = r.u32();
   if (n == 0) throw CodecError("empty DATABATCH");
@@ -174,6 +186,7 @@ AckBatchFrame decode_ack_batch(BytesView frame) {
     throw CodecError("not an ACKBATCH frame");
   AckBatchFrame out;
   out.reporter = r.u32();
+  out.primary_epoch = r.u32();
   uint32_t n = r.u32();
   out.entries.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
@@ -194,6 +207,7 @@ ResumeFrame decode_resume(BytesView frame) {
     throw CodecError("not a RESUME frame");
   ResumeFrame out;
   out.sender = r.u32();
+  out.primary_epoch = r.u32();
   out.epoch = r.u64();
   out.receive_through = r.i64();
   out.reply = r.u8() != 0;

@@ -43,6 +43,10 @@ struct DataFrame {
   /// Bytes of payload that exist only "on the wire" (trace replay padding);
   /// receivers see it via the transport's wire_size.
   uint64_t virtual_size = 0;
+  /// Epoch of the stream's sequencing authority (failover fencing): receivers
+  /// drop frames stamped with an epoch older than the one they have learned
+  /// for `origin`'s stream, which silences a zombie ex-primary.
+  PrimaryEpoch primary_epoch = 0;
 };
 
 /// Zero-copy view of one decoded DATA message: `payload` aliases the frame
@@ -54,6 +58,7 @@ struct DataView {
   SeqNum seq = kNoSeq;
   BytesView payload;
   uint64_t virtual_size = 0;
+  PrimaryEpoch primary_epoch = 0;
 };
 
 /// A run of consecutive messages of one origin's stream: entry i carries
@@ -63,6 +68,9 @@ struct DataView {
 struct DataBatchFrame {
   NodeId origin = kInvalidNode;
   SeqNum first_seq = kNoSeq;
+  /// One epoch for the whole batch: a batch is packed from one sender's
+  /// contiguous send-buffer run, which is always issued under one authority.
+  PrimaryEpoch primary_epoch = 0;
   struct Entry {
     BytesView payload;
     uint64_t virtual_size = 0;
@@ -79,6 +87,12 @@ struct AckEntry {
 
 struct AckBatchFrame {
   NodeId reporter = kInvalidNode;
+  /// The reporter's own-stream primary epoch at send time. A deposed
+  /// ex-primary keeps stamping the epoch it was fenced at, so receivers can
+  /// reject its whole control-plane output (acks from a zombie are truthful
+  /// receipts but must not keep influencing reclamation/flow control once
+  /// the cluster has moved on).
+  PrimaryEpoch primary_epoch = 0;
   std::vector<AckEntry> entries;
 };
 
@@ -99,6 +113,10 @@ struct ResumeFrame {
   /// dampens the exchange to announcement -> reply even when both sides
   /// restarted concurrently.
   bool reply = false;
+  /// The sender's own-stream primary epoch (failover fencing, same rule as
+  /// AckBatchFrame::primary_epoch): a fenced ex-primary's RESUME must not
+  /// rewind anyone's go-back-N cursor.
+  PrimaryEpoch primary_epoch = 0;
 };
 
 Bytes encode(const DataFrame& frame);
@@ -111,7 +129,7 @@ Bytes encode(const DataBatchFrame& frame);
 /// Encode a DATA frame straight from a payload view (the encode-once path:
 /// no intermediate DataFrame copy of the payload).
 Bytes encode_data(NodeId origin, SeqNum seq, BytesView payload,
-                  uint64_t virtual_size);
+                  uint64_t virtual_size, PrimaryEpoch primary_epoch = 0);
 
 /// Peeks the frame kind; nullopt on an empty buffer or an unknown /
 /// application-reserved (>= 0x40) kind byte.

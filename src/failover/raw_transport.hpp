@@ -1,0 +1,52 @@
+// Transport adapter: tunnels a consensus protocol's frames over the
+// Stabilizer's raw-frame channel.
+//
+// PaxosNode expects a Transport it can own the receive handler of; the
+// Stabilizer owns the real transport and exposes exactly one raw-frame sink.
+// This adapter sits between them: sends go out through Stabilizer::send_raw
+// (so they ride the same links, loss model, and chaos schedule as everything
+// else), and the FailoverManager — which holds the Stabilizer's raw handler —
+// routes inbound Paxos frames (kind 0x60-0x67) back in through deliver().
+//
+// Env-thread confined: deliver() is only called from the Stabilizer's frame
+// dispatch, and PaxosNode's own sends happen from within those callbacks or
+// its Env timers, all on the same thread.
+#pragma once
+
+#include "core/stabilizer.hpp"
+#include "net/transport.hpp"
+
+namespace stab::failover {
+
+class RawLinkTransport : public Transport {
+ public:
+  explicit RawLinkTransport(Stabilizer& stab) : stab_(stab) {}
+
+  NodeId self() const override { return stab_.self(); }
+  size_t cluster_size() const override {
+    return stab_.topology().num_nodes();
+  }
+  void set_receive_handler(ReceiveHandler handler) override {
+    handler_ = std::move(handler);
+  }
+  void send(NodeId dst, Bytes frame, uint64_t wire_size) override {
+    (void)wire_size;  // consensus frames are tiny; no virtual padding
+    stab_.send_raw(dst, std::move(frame));
+  }
+  Env& env() override { return stab_.env(); }
+  // All deliveries are serialized through the Stabilizer's dispatch (which
+  // holds its API mutex) on the Env thread.
+  bool single_threaded() const override { return true; }
+
+  /// Feed one inbound frame (already classified by the FailoverManager) to
+  /// the protocol's installed handler.
+  void deliver(NodeId src, BytesView frame, uint64_t wire_size) {
+    if (handler_) handler_(src, frame, wire_size);
+  }
+
+ private:
+  Stabilizer& stab_;
+  ReceiveHandler handler_;
+};
+
+}  // namespace stab::failover

@@ -74,6 +74,14 @@ void add_crash_restart(ChaosScript& script, TimePoint at, Duration down_for,
   script.push_back(restart);
 }
 
+void add_kill(ChaosScript& script, TimePoint at, NodeId node) {
+  ChaosEvent crash;
+  crash.at = at;
+  crash.kind = ChaosEvent::Kind::kCrash;
+  crash.a = node;
+  script.push_back(crash);
+}
+
 void finalize_script(ChaosScript& script) {
   std::stable_sort(script.begin(), script.end(),
                    [](const ChaosEvent& x, const ChaosEvent& y) {

@@ -78,6 +78,11 @@ void add_bandwidth_collapse(ChaosScript& script, TimePoint at, Duration lasts,
 void add_crash_restart(ChaosScript& script, TimePoint at, Duration down_for,
                        NodeId node);
 
+/// Kill node at `at` — crash with NO paired restart: the node is gone for
+/// the remainder of the campaign (fail-stop). The failover and §III-E
+/// predicate-adjust campaigns use this to model a permanently lost site.
+void add_kill(ChaosScript& script, TimePoint at, NodeId node);
+
 /// Stable sort by time (script order breaks ties) — call after building.
 void finalize_script(ChaosScript& script);
 

@@ -708,5 +708,66 @@ TEST(CoreRealtime, RemovePredicateFailsBlockedWaitPromptly) {
   EXPECT_FALSE(node0.waitfor_blocking(seq, "all", seconds(30)));
 }
 
+// waitfor_blocking collapses every failure to `false`; the status-returning
+// overload distinguishes covered / timeout / unsatisfiable / fenced.
+TEST(CoreRealtime, BlockingWaitStatusDistinguishesOutcomes) {
+  using WaitStatus = Stabilizer::WaitStatus;
+  Topology topo = tiny_topology(2, 1);
+  InProcCluster cluster(2, &topo);
+  StabilizerOptions opts;
+  opts.topology = topo;
+  opts.self = 0;
+  opts.ack_interval = millis(1);
+  opts.retransmit_timeout = millis(20);  // heal leg: go-back-N redelivers
+  Stabilizer node0(opts, cluster.transport(0));
+  ASSERT_TRUE(node0.register_predicate("all", "MIN($ALLWNODES-$MYWNODE)"));
+
+  // Peer absent: the frontier cannot advance -> kTimeout (retriable).
+  SeqNum seq = node0.send(to_bytes("x"));
+  EXPECT_EQ(node0.waitfor_blocking_status(seq, "all", millis(100)),
+            WaitStatus::kTimeout);
+  // Unknown key: unsatisfiable, immediately -> kNoSeq.
+  EXPECT_EQ(node0.waitfor_blocking_status(seq, "nokey", seconds(30)),
+            WaitStatus::kNoSeq);
+
+  // Peer appears: the wait completes -> kOk.
+  StabilizerOptions opts1 = opts;
+  opts1.self = 1;
+  Stabilizer node1(opts1, cluster.transport(1));
+  EXPECT_EQ(node0.waitfor_blocking_status(seq, "all", seconds(10)),
+            WaitStatus::kOk);
+
+  // §III-E adjust: the predicate removed under a parked waiter -> kNoSeq.
+  SeqNum far = node0.send(to_bytes("y")) + 1000;  // unreachable target
+  std::atomic<WaitStatus> removed{WaitStatus::kOk};
+  std::thread remove_waiter([&] {
+    removed = node0.waitfor_blocking_status(far, "all", seconds(30));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_TRUE(node0.remove_predicate("all"));
+  remove_waiter.join();
+  EXPECT_EQ(removed.load(), WaitStatus::kNoSeq);
+
+  ASSERT_TRUE(node0.register_predicate("all", "MIN($ALLWNODES-$MYWNODE)"));
+  // Failover fencing: node 0 is deposed as its own stream's primary while a
+  // waiter is parked -> the waiter fails with kFenced (never hangs).
+  std::atomic<WaitStatus> fenced{WaitStatus::kOk};
+  std::thread fence_waiter([&] {
+    fenced = node0.waitfor_blocking_status(far, "all", seconds(30));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(node0.observe_takeover(/*origin=*/0, /*new_primary=*/1,
+                                     /*epoch=*/1, kNoSeq)
+                  .is_ok());
+  fence_waiter.join();
+  EXPECT_EQ(fenced.load(), WaitStatus::kFenced);
+  EXPECT_TRUE(node0.self_fenced());
+  // Post-fence waits on the dead sequence space fail fast with the same
+  // status, and send() refuses outright.
+  EXPECT_EQ(node0.waitfor_blocking_status(far, "all", seconds(30)),
+            WaitStatus::kFenced);
+  EXPECT_EQ(node0.send(to_bytes("z")), kFencedSeq);
+}
+
 }  // namespace
 }  // namespace stab

@@ -66,6 +66,48 @@ TEST(Wire, ResumeRoundTrip) {
   EXPECT_THROW(decode_resume(encode(DataFrame{})), CodecError);
 }
 
+TEST(Wire, PrimaryEpochRoundTripsOnEveryFencedFrameKind) {
+  // Failover fencing rides a PrimaryEpoch stamp on data, ack and RESUME
+  // frames; every codec must carry it faithfully (and default it to 0 for
+  // the pre-failover wire layout).
+  DataFrame d;
+  d.origin = 2;
+  d.seq = 41;
+  d.payload = to_bytes("m");
+  d.primary_epoch = 7;
+  EXPECT_EQ(decode_data(encode(d)).primary_epoch, 7u);
+  DataView v = decode_data_view(encode(d));
+  EXPECT_EQ(v.primary_epoch, 7u);
+  Bytes direct = encode_data(2, 41, to_bytes("m"), 0, 9);
+  EXPECT_EQ(decode_data_view(direct).primary_epoch, 9u);
+  EXPECT_EQ(decode_data(encode_data(2, 41, to_bytes("m"), 0)).primary_epoch,
+            0u);
+
+  DataBatchFrame b;
+  b.origin = 1;
+  b.first_seq = 10;
+  b.primary_epoch = 3;
+  Bytes payload = to_bytes("bb");
+  b.entries.push_back(DataBatchFrame::Entry{BytesView(payload), 0});
+  Bytes benc = encode(b);
+  EXPECT_EQ(decode_data_batch(benc).primary_epoch, 3u);
+
+  AckBatchFrame a;
+  a.reporter = 4;
+  a.primary_epoch = 5;
+  a.entries.push_back(AckEntry{0, 0, 12, {}});
+  EXPECT_EQ(decode_ack_batch(encode(a)).primary_epoch, 5u);
+
+  ResumeFrame r;
+  r.sender = 6;
+  r.epoch = 2;
+  r.receive_through = 100;
+  r.primary_epoch = 8;
+  ResumeFrame rout = decode_resume(encode(r));
+  EXPECT_EQ(rout.primary_epoch, 8u);
+  EXPECT_EQ(rout.epoch, 2u);  // session epoch and primary epoch are distinct
+}
+
 TEST(Wire, PeekRejectsGarbage) {
   EXPECT_FALSE(peek_kind(Bytes{}).has_value());
   EXPECT_FALSE(peek_kind(Bytes{0x77}).has_value());
