@@ -1,0 +1,250 @@
+// trace_timeline — offline join of a Tracer JSONL export into per-message
+// timelines with critical-path attribution (docs/OBSERVABILITY.md §8).
+//
+//   trace_timeline [--timelines N] [--key KEY] [FILE]
+//
+// Reads trace JSONL (from FILE or stdin) and, per (origin, seq), joins the
+// lifecycle spans into one timeline:
+//
+//   broadcast ─ transmit ─ deliver ─ ack_report ─ frontier_fire
+//      t_b    ─   t_x    ─   t_d   ─    t_a     ─     t_f
+//
+// using the *last* record of each span kind (the slowest replica chain is
+// what stability waits on) and the first frontier_fire whose frontier
+// covers the sequence. The send→stable interval then decomposes into four
+// segments, and the segment that dominates is the message's critical path:
+//
+//   transmit = t_x - t_b   sequencing → last frame onto the wire
+//   reorder  = t_d - t_x   wire + in-order wait at the slowest receiver
+//   ack      = t_a - t_d   delivery → stability report flushed
+//   eval     = t_f - t_a   report → frontier advance (aggregation + eval)
+//
+// Output: per-segment mean/p50/p99 over all joined messages, a critical-
+// path attribution table (how many messages each segment dominated), the
+// failover/back-pressure episode event counts, and --timelines N sample
+// timelines. A trailing {"summary":"trace_dropped",...} line (appended by
+// Tracer::export_jsonl when the buffer overflowed) is surfaced as a
+// warning: joins over a truncated trace undercount long spans.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+// The exporter writes flat one-line objects with a fixed field order and no
+// escaping except in "detail"; targeted substring extraction is enough and
+// keeps the tool dependency-free.
+bool find_i64(const std::string& line, const char* field, int64_t* out) {
+  std::string pat = std::string("\"") + field + "\":";
+  size_t p = line.find(pat);
+  if (p == std::string::npos) return false;
+  *out = std::strtoll(line.c_str() + p + pat.size(), nullptr, 10);
+  return true;
+}
+
+bool find_str(const std::string& line, const char* field, std::string* out) {
+  std::string pat = std::string("\"") + field + "\":\"";
+  size_t p = line.find(pat);
+  if (p == std::string::npos) return false;
+  size_t start = p + pat.size();
+  size_t end = line.find('"', start);
+  if (end == std::string::npos) return false;
+  *out = line.substr(start, end - start);
+  return true;
+}
+
+struct Timeline {
+  int64_t broadcast = -1;
+  int64_t last_transmit = -1;
+  int64_t last_deliver = -1;
+  int64_t last_ack = -1;
+  int64_t first_covering_fire = -1;
+};
+
+struct SegStats {
+  std::vector<int64_t> v;
+  void add(int64_t x) { v.push_back(x); }
+  int64_t pct(double p) {
+    if (v.empty()) return 0;
+    std::sort(v.begin(), v.end());
+    size_t idx = std::min(v.size() - 1,
+                          static_cast<size_t>(p / 100.0 * double(v.size())));
+    return v[idx];
+  }
+  double mean() const {
+    if (v.empty()) return 0;
+    long double s = 0;
+    for (int64_t x : v) s += static_cast<long double>(x);
+    return double(s / static_cast<long double>(v.size()));
+  }
+};
+
+const char* const kSegNames[4] = {"transmit", "reorder", "ack", "eval"};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* file = nullptr;
+  std::string key_filter;
+  size_t show_timelines = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--timelines") == 0 && i + 1 < argc) {
+      show_timelines = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--key") == 0 && i + 1 < argc) {
+      key_filter = argv[++i];
+    } else {
+      file = argv[i];
+    }
+  }
+  std::ifstream fin;
+  if (file != nullptr) {
+    fin.open(file);
+    if (!fin) {
+      std::fprintf(stderr, "trace_timeline: cannot open %s\n", file);
+      return 2;
+    }
+  }
+  std::istream& in = file != nullptr ? fin : std::cin;
+
+  // (origin, seq) -> joined timeline. frontier_fire records carry the NEW
+  // frontier in "seq": a fire covers every open span with seq' <= seq, so
+  // they are applied after the full read (fires arrive in time order; the
+  // first covering fire per message wins).
+  std::map<std::pair<int64_t, int64_t>, Timeline> spans;
+  struct Fire {
+    int64_t t, origin, upto;
+  };
+  std::vector<Fire> fires;
+  std::map<std::string, uint64_t> episode_counts;
+  uint64_t records = 0, dropped = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.find("\"summary\":\"trace_dropped\"") != std::string::npos) {
+      int64_t d = 0;
+      find_i64(line, "dropped", &d);
+      dropped += static_cast<uint64_t>(d);
+      continue;
+    }
+    std::string ev;
+    int64_t t = 0, origin = -1, seq = -1;
+    if (!find_str(line, "ev", &ev) || !find_i64(line, "t_ns", &t)) continue;
+    find_i64(line, "origin", &origin);
+    find_i64(line, "seq", &seq);
+    ++records;
+    if (ev == "broadcast") {
+      spans[{origin, seq}].broadcast = t;
+    } else if (ev == "transmit") {
+      Timeline& tl = spans[{origin, seq}];
+      tl.last_transmit = std::max(tl.last_transmit, t);
+    } else if (ev == "deliver") {
+      Timeline& tl = spans[{origin, seq}];
+      tl.last_deliver = std::max(tl.last_deliver, t);
+    } else if (ev == "ack_report") {
+      Timeline& tl = spans[{origin, seq}];
+      tl.last_ack = std::max(tl.last_ack, t);
+    } else if (ev == "frontier_fire") {
+      std::string key;
+      find_str(line, "detail", &key);
+      if (key_filter.empty() || key == key_filter)
+        fires.push_back({t, origin, seq});
+    } else {
+      ++episode_counts[ev];  // failover / back-pressure episode markers
+    }
+  }
+
+  for (const Fire& f : fires) {
+    // First covering fire per message: fires are read in record order,
+    // which the tracer keeps append- (= time-) ordered.
+    for (auto it = spans.lower_bound({f.origin, INT64_MIN});
+         it != spans.end() && it->first.first == f.origin &&
+         it->first.second <= f.upto;
+         ++it)
+      if (it->second.first_covering_fire < 0)
+        it->second.first_covering_fire = f.t;
+  }
+
+  // A message joins when the send→stable *endpoints* exist (broadcast +
+  // covering fire). Intermediate checkpoints depend on the tracer's
+  // EventMask — the chaos campaign records only broadcast/deliver/fire —
+  // so each gap between consecutive PRESENT checkpoints becomes one
+  // segment, labeled with every canonical segment it spans (a trace
+  // without ack_report reports "ack+eval" rather than joining nothing).
+  std::map<std::string, SegStats> seg;
+  std::map<std::string, uint64_t> dominant;
+  SegStats total;
+  uint64_t joined = 0, partial = 0;
+  size_t printed = 0;
+  for (const auto& [id, tl] : spans) {
+    if (tl.broadcast < 0 || tl.first_covering_fire < 0) {
+      ++partial;
+      continue;
+    }
+    ++joined;
+    const int64_t checkpoint[4] = {tl.last_transmit, tl.last_deliver,
+                                   tl.last_ack, tl.first_covering_fire};
+    std::string dom_label;
+    int64_t dom_value = -1;
+    int64_t prev_t = tl.broadcast;
+    std::string pending;  // canonical names spanned since the last present
+    std::string sample_line;
+    for (int i = 0; i < 4; ++i) {
+      if (!pending.empty()) pending += "+";
+      pending += kSegNames[i];
+      if (checkpoint[i] < 0) continue;  // masked out: fold into next gap
+      const int64_t dt = std::max<int64_t>(checkpoint[i] - prev_t, 0);
+      seg[pending].add(dt);
+      if (dt > dom_value) {
+        dom_value = dt;
+        dom_label = pending;
+      }
+      if (printed < show_timelines) {
+        sample_line += " +" + std::to_string(dt) + " " + pending;
+      }
+      prev_t = checkpoint[i];
+      pending.clear();
+    }
+    ++dominant[dom_label];
+    total.add(tl.first_covering_fire - tl.broadcast);
+    if (printed < show_timelines) {
+      ++printed;
+      std::printf("origin=%lld seq=%lld  b=%lld%s  (crit: %s)\n",
+                  static_cast<long long>(id.first),
+                  static_cast<long long>(id.second),
+                  static_cast<long long>(tl.broadcast), sample_line.c_str(),
+                  dom_label.c_str());
+    }
+  }
+
+  std::printf("records=%llu joined=%llu partial=%llu\n",
+              static_cast<unsigned long long>(records),
+              static_cast<unsigned long long>(joined),
+              static_cast<unsigned long long>(partial));
+  if (joined > 0) {
+    std::printf("send_to_stable_ns: mean=%.0f p50=%lld p99=%lld\n",
+                total.mean(), static_cast<long long>(total.pct(50)),
+                static_cast<long long>(total.pct(99)));
+    for (auto& [name, st] : seg)
+      std::printf("  %-20s mean=%.0f p50=%lld p99=%lld dominant=%llu\n",
+                  name.c_str(), st.mean(),
+                  static_cast<long long>(st.pct(50)),
+                  static_cast<long long>(st.pct(99)),
+                  static_cast<unsigned long long>(dominant[name]));
+  }
+  for (const auto& [ev, n] : episode_counts)
+    std::printf("episode %-14s %llu\n", ev.c_str(),
+                static_cast<unsigned long long>(n));
+  if (dropped > 0)
+    std::printf("WARNING: tracer dropped %llu records; long spans are "
+                "undercounted\n",
+                static_cast<unsigned long long>(dropped));
+  return 0;
+}

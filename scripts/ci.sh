@@ -41,6 +41,53 @@ echo "==> control-plane hot path bench (smoke: dispatch + MT producer curve)"
 # (indexed-vs-legacy, pipelined-vs-locked) without enforcing timing floors.
 (cd "$ROOT/build" && bench/bench_control_hotpath --smoke)
 
+echo "==> metrics endpoint smoke (live TCP cluster + 2 scrapes mid-traffic)"
+# Stand up the 3-node loopback demo with a kernel-assigned port, scrape the
+# Prometheus view twice while traffic is flowing (asserting well-formed
+# exposition and monotone counters between scrapes), then require the demo
+# itself to exit 0 — i.e. the scraped cluster still reached "everywhere"
+# stability.
+EXPORT_LOG="$(mktemp)"
+# Randomized cluster base port (the scrape port itself is always
+# kernel-assigned and read back from METRICS_PORT).
+BASE_PORT=$(( 24000 + RANDOM % 20000 ))
+"$ROOT/build/examples/metrics_export" "$BASE_PORT" 6 >"$EXPORT_LOG" 2>&1 &
+EXPORT_PID=$!
+PORT=""
+for _ in $(seq 1 50); do
+  PORT="$(sed -n 's/^METRICS_PORT=//p' "$EXPORT_LOG" | head -n1)"
+  [[ -n "$PORT" ]] && break
+  sleep 0.1
+done
+if [[ -z "$PORT" ]]; then
+  echo "==> metrics_export never printed METRICS_PORT"
+  cat "$EXPORT_LOG"; kill "$EXPORT_PID" 2>/dev/null || true
+  rm -f "$EXPORT_LOG"; exit 1
+fi
+SCRAPE1="$("$ROOT/build/tools/stab_metrics_scrape" --retries 20 "$PORT")"
+sleep 1
+SCRAPE2="$("$ROOT/build/tools/stab_metrics_scrape" --retries 20 "$PORT")"
+"$ROOT/build/tools/stab_metrics_scrape" --retries 20 --jsonl "$PORT" \
+  | grep -q '"type":"windowed_histogram"' \
+  || { echo "==> JSONL scrape missing windowed histograms"; exit 1; }
+for S in "$SCRAPE1" "$SCRAPE2"; do
+  grep -q '^# TYPE stab_' <<<"$S" \
+    || { echo "==> scrape is not Prometheus exposition"; exit 1; }
+  grep -q '^stab_node0_core_messages_sent ' <<<"$S" \
+    || { echo "==> scrape missing node counters"; exit 1; }
+done
+SENT1="$(sed -n 's/^stab_node0_core_messages_sent \([0-9]*\)$/\1/p' <<<"$SCRAPE1")"
+SENT2="$(sed -n 's/^stab_node0_core_messages_sent \([0-9]*\)$/\1/p' <<<"$SCRAPE2")"
+if (( SENT2 < SENT1 )) || (( SENT2 == 0 )); then
+  echo "==> counters not monotone across scrapes ($SENT1 -> $SENT2)"; exit 1
+fi
+if ! wait "$EXPORT_PID"; then
+  echo "==> metrics_export exited nonzero (cluster failed to stabilize)"
+  cat "$EXPORT_LOG"; rm -f "$EXPORT_LOG"; exit 1
+fi
+rm -f "$EXPORT_LOG"
+echo "    scraped mid-traffic: messages_sent $SENT1 -> $SENT2, demo exit 0"
+
 # Compiled-out flavor: the obs macros must vanish cleanly — build the core
 # with -DSTAB_OBS=OFF and run the suites that pin the disabled contract
 # (obs_disabled_test) and the widest consumer of registry-backed stats

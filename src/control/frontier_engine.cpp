@@ -319,6 +319,7 @@ void FrontierEngine::reevaluate(Entry& entry, BytesView extra,
 #endif
   if (next == entry.frontier) return;
   if (next < entry.frontier && !allow_regress) return;  // monotonic guard
+  [[maybe_unused]] const SeqNum prev_frontier = entry.frontier;
   entry.frontier = next;
   // Publish to the wait-free board before user callbacks run, so a reader
   // woken by a monitor observes a frontier at least as new as the wake.
@@ -337,6 +338,24 @@ void FrontierEngine::reevaluate(Entry& entry, BytesView extra,
         obs_.now)
       obs_.tracer->record(obs_.now(), obs::SpanEvent::kFrontierFire, obs_.node,
                           obs_.origin, next, kInvalidNode, entry.key);
+    // Close send→stable spans at the ORIGIN's own engine only: the paper's
+    // send→stable latency is "when does the sender learn its message is
+    // stable", and closing at the first node to fire (under a cluster-shared
+    // probe) would understate it nondeterministically. Skip advances whose
+    // covered range (prev, next] holds no sampled sequence — the probe has
+    // nothing to close, and paying its mutex on every advance would charge
+    // the full probe cost regardless of the sampling rate (the probe's own
+    // frontier-lag view is sampled at the same rate as a result).
+    if (obs_.probe != nullptr && obs_.node == obs_.origin && obs_.now) {
+      const uint64_t every = obs_.probe->sample_every();
+      const bool covers_sample =
+          prev_frontier < 0 ||  // range includes seq 0, always sampled
+          static_cast<uint64_t>(next) / every >
+              static_cast<uint64_t>(prev_frontier) / every;
+      if (covers_sample)
+        obs_.probe->on_stable(obs_.origin, next, high_water_, entry.key,
+                              obs_.now());
+    }
   }
 #endif
   for (const auto& m : entry.monitors) m(next, extra);

@@ -164,6 +164,7 @@ class FrontierEngine {
     obs::Histogram* frontier_lag = nullptr;    // lag sample per frontier fire
     obs::Histogram* eval_ns = nullptr;         // sampled (1/16) eval latency
     obs::Tracer* tracer = nullptr;             // kFrontierFire spans
+    obs::LatencyProbe* probe = nullptr;        // send→stable span closes
     NodeId node = kInvalidNode;                // evaluating node (trace id)
     NodeId origin = kInvalidNode;              // this engine's origin stream
     std::function<TimePoint()> now;

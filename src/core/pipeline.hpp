@@ -39,6 +39,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -130,6 +131,14 @@ class ControlPipeline {
       return;
 #if STAB_OBS_ENABLED
     if (ring_stalls_) ring_stalls_->inc();
+    // Back-pressure episode marker: the source's ring filled and this frame
+    // (and, until the consumer drains, its successors) detours through the
+    // mutexed overflow queue. The tracer's own lock makes the record safe
+    // off this otherwise lock-free path; overflow is already the slow lane.
+    if (STAB_TRACE_WANTS(trace_tracer_, obs::SpanEvent::kRingStall) &&
+        trace_now_)
+      trace_tracer_->record(trace_now_(), obs::SpanEvent::kRingStall,
+                            trace_node_, src, kNoSeq, src);
 #endif
     std::lock_guard<std::mutex> l(overflow_mu_);
     lane.overflow.push_back(std::move(ev));
@@ -207,6 +216,16 @@ class ControlPipeline {
     if (drains_) drains_->inc();
     if (drain_batch_) drain_batch_->record(batch);
   }
+
+  /// Wire the owning node's tracer so ring-overflow episodes emit
+  /// kRingStall spans (node = owner, origin/peer = the stalled source).
+  /// `now` must read the active Env clock. Call before traffic starts.
+  void set_trace(obs::Tracer* tracer, NodeId node,
+                 std::function<TimePoint()> now) {
+    trace_tracer_ = tracer;
+    trace_node_ = node;
+    trace_now_ = std::move(now);
+  }
 #else
   void record_drain(size_t) {}
 #endif
@@ -231,6 +250,9 @@ class ControlPipeline {
   obs::Counter* drains_ = nullptr;
   obs::Counter* cell_acks_ = nullptr;
   obs::Counter* ring_events_ = nullptr;
+  obs::Tracer* trace_tracer_ = nullptr;
+  NodeId trace_node_ = kInvalidNode;
+  std::function<TimePoint()> trace_now_;
 #endif
 };
 

@@ -83,6 +83,7 @@ Stabilizer::Stabilizer(StabilizerOptions options, Transport& transport)
 
 #if STAB_OBS_ENABLED
   tracer_ = options_.tracer.get();
+  probe_ = options_.probe.get();
   // All origin engines share the node-wide lag/eval histograms; per-key lag
   // gauges are engine-created inside metrics_. Timestamps come from the
   // transport's Env clock so sim traces are deterministic.
@@ -94,6 +95,7 @@ Stabilizer::Stabilizer(StabilizerOptions options, Transport& transport)
     sinks.frontier_lag = &frontier_lag;
     sinks.eval_ns = &eval_ns;
     sinks.tracer = tracer_;
+    sinks.probe = probe_;
     sinks.node = options_.self;
     sinks.origin = origin;
     sinks.now = [this] { return transport_.env().now(); };
@@ -107,6 +109,8 @@ Stabilizer::Stabilizer(StabilizerOptions options, Transport& transport)
     pipeline_ = std::make_unique<ControlPipeline>(
         n, std::max<size_t>(options_.pipeline_cell_types, types_.count()),
         options_.pipeline_ring_capacity, reg);
+    STAB_OBS(pipeline_->set_trace(tracer_, options_.self,
+                                  [this] { return transport_.env().now(); }));
     drain_gate_ = std::make_shared<DrainGate>();
     drain_gate_->owner = this;
     inline_drain_ = transport_.single_threaded();
@@ -161,6 +165,11 @@ Stabilizer::~Stabilizer() {
   if (retransmit_timer_ != kInvalidTimer) env().cancel(retransmit_timer_);
   if (stall_timer_ != kInvalidTimer) env().cancel(stall_timer_);
   if (flush_timer_ != kInvalidTimer) env().cancel(flush_timer_);
+  // Shutdown is the quiesce point end-of-run readers care about: fold the
+  // wire codec's thread-batched deltas into the global registry and mirror
+  // any trace drops, so post-mortem exports read exact values.
+  STAB_OBS(data::flush_wire_counters());
+  STAB_OBS(sync_trace_dropped());
 }
 
 // --- data plane ----------------------------------------------------------------
@@ -175,6 +184,9 @@ SeqNum Stabilizer::send(BytesView payload, uint64_t virtual_size) {
   STAB_OBS(++ctr_.pending_messages_sent);
   STAB_TRACE(tracer_, env().now(), obs::SpanEvent::kBroadcast, options_.self,
              options_.self, seq);
+  // Gate on sampled() first so 15-in-16 sends skip the clock read too.
+  if (STAB_PROBE_SAMPLED(probe_, seq))
+    STAB_PROBE(probe_, on_send(options_.self, seq, env().now()));
 
   if (coalescing_enabled())
     arm_flush();  // batch with the rest of this event-loop turn's sends
@@ -383,6 +395,8 @@ void Stabilizer::on_frame(NodeId src, BytesView frame, uint64_t wire_size) {
   // adopted streams is checked per data frame below.
   if (src < stream_primary_.size() && stream_primary_[src] != src) {
     STAB_OBS(ctr_.fenced_frames.inc());
+    STAB_TRACE(tracer_, env().now(), obs::SpanEvent::kFenceDrop, options_.self,
+               src, kNoSeq, src, "node_deposed");
     return;
   }
   auto kind = data::peek_kind(frame);
@@ -424,6 +438,8 @@ bool Stabilizer::admit_data(NodeId src, NodeId origin, PrimaryEpoch epoch) {
     // Stale authority: a zombie ex-primary (or an impostor) extending a
     // sequence space the cluster has moved past. Counted, never delivered.
     STAB_OBS(ctr_.fenced_frames.inc());
+    STAB_TRACE(tracer_, env().now(), obs::SpanEvent::kFenceDrop, options_.self,
+               origin, kNoSeq, src, "stale_epoch");
     return false;
   }
   if (epoch > known) {
@@ -432,6 +448,8 @@ bool Stabilizer::admit_data(NodeId src, NodeId origin, PrimaryEpoch epoch) {
     // arrives (the winner re-broadcasts it) and the go-back-N probe then
     // retransmits everything we refused.
     STAB_OBS(ctr_.epoch_ahead_drops.inc());
+    STAB_TRACE(tracer_, env().now(), obs::SpanEvent::kFenceDrop, options_.self,
+               origin, kNoSeq, src, "epoch_ahead");
     return false;
   }
   return true;
@@ -454,6 +472,10 @@ void Stabilizer::ingest_frame(NodeId src, BytesView frame,
   if (src < options_.topology.num_nodes() &&
       node_fenced_[src].load(std::memory_order_relaxed)) {
     STAB_OBS(ctr_.fenced_frames.inc());
+    // The tracer's own mutex makes this safe off the lock-free path; a
+    // fence drop is a rare fault-episode event, not hot-path traffic.
+    STAB_TRACE(tracer_, env().now(), obs::SpanEvent::kFenceDrop, options_.self,
+               src, kNoSeq, src, "node_deposed");
     return;
   }
 
@@ -615,6 +637,9 @@ void Stabilizer::handle_data(NodeId src, const data::DataView& frame,
   STAB_OBS(++ctr_.pending_messages_delivered);
   STAB_TRACE(tracer_, env().now(), obs::SpanEvent::kDeliver, options_.self,
              frame.origin, frame.seq, src);
+  if (STAB_PROBE_SAMPLED(probe_, frame.seq))
+    STAB_PROBE(probe_, on_deliver(options_.self, frame.origin, frame.seq,
+                                  env().now()));
 
   FrontierEngine& engine = *engines_[frame.origin];
   // Origin rule for the remote stream (the stream's sequencing authority has
@@ -1400,6 +1425,8 @@ SeqNum Stabilizer::send_as(NodeId origin, BytesView payload,
   STAB_OBS(++ctr_.pending_messages_sent);
   STAB_TRACE(tracer_, env().now(), obs::SpanEvent::kBroadcast, options_.self,
              origin, seq);
+  if (STAB_PROBE_SAMPLED(probe_, seq))
+    STAB_PROBE(probe_, on_send(origin, seq, env().now()));
   transmit_adopted(origin, a, *a.out.get(seq));
   // Origin rule, failover flavor: the sequencing authority (us) has every
   // property for the messages it sequenced — credited on our cell of the

@@ -156,6 +156,14 @@ struct StabilizerOptions {
   /// one stream. Null (the default) records nothing and costs one branch
   /// per instrumentation site.
   std::shared_ptr<obs::Tracer> tracer;
+
+  /// Opt-in online stability-latency probe (docs/OBSERVABILITY.md §6):
+  /// sampled send→deliver / per-type send→stable histograms with windowed
+  /// percentiles, joined online instead of from an exported trace. Shared
+  /// across a sim cluster like the tracer (one clock ties the spans
+  /// together); per-node on real transports. Null (the default) records
+  /// nothing and costs one branch per instrumentation site.
+  std::shared_ptr<obs::LatencyProbe> probe;
 #endif
 };
 
@@ -242,8 +250,16 @@ class Stabilizer {
   obs::MetricsRegistry& metrics() const {
     std::lock_guard<std::recursive_mutex> lock(mutex_);
     ctr_.flush_pending();
+    sync_trace_dropped();
     return metrics_;
   }
+
+  /// The lifecycle tracer attached at construction (null when tracing is
+  /// off). The failover manager records its episode spans through this.
+  obs::Tracer* tracer() const { return tracer_; }
+
+  /// The latency probe attached at construction (null when off).
+  obs::LatencyProbe* probe() const { return probe_; }
 #endif
 
   // --- data plane -------------------------------------------------------------
@@ -647,7 +663,22 @@ class Stabilizer {
   };
   mutable obs::MetricsRegistry metrics_;  // declared before ctr_ (init order)
   mutable Counters ctr_{metrics_};
-  obs::Tracer* tracer_ = nullptr;  // cached from options_.tracer
+  obs::Tracer* tracer_ = nullptr;        // cached from options_.tracer
+  obs::LatencyProbe* probe_ = nullptr;   // cached from options_.probe
+
+  /// Mirror Tracer::dropped() into the obs.trace_dropped counter so a
+  /// capacity-clipped trace is visible in any metrics export/scrape, not
+  /// just to whoever holds the Tracer. Counters are monotonic, so the sync
+  /// folds only the delta since the last read. Caller holds mutex_.
+  void sync_trace_dropped() const {
+    if (tracer_ == nullptr) return;
+    const uint64_t d = tracer_->dropped();
+    if (d > trace_dropped_synced_) {
+      metrics_.counter("obs.trace_dropped").inc(d - trace_dropped_synced_);
+      trace_dropped_synced_ = d;
+    }
+  }
+  mutable uint64_t trace_dropped_synced_ = 0;
 #endif
   mutable std::recursive_mutex mutex_;
 };

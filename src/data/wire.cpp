@@ -4,34 +4,158 @@
 
 #include "obs/obs.hpp"
 
+#if STAB_OBS_ENABLED
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <vector>
+#endif
+
 namespace stab::data {
 
 // Codec-level accounting lives in the process-wide registry (obs::global()):
-// the codec is stateless and has no node identity. The function-local
-// statics resolve each counter once; obs::global() is a leaky singleton so
-// the references stay valid through shutdown. Updates batch in thread-local
-// accumulators and fold into the shared counters every 16 ops, keeping the
-// two atomic RMWs off the per-frame path — wire.* volume counters may
-// therefore lag the truth by up to 15 ops per call site per thread.
+// the codec is stateless and has no node identity. Updates batch in a
+// per-thread accumulator (one slot per call site) and fold into the shared
+// counters every 16 ops, keeping the two atomic RMWs off the per-frame path.
+//
+// Flushability: every live thread's accumulator is registered in a global
+// list, so flush_wire_counters() can fold the residue (up to 15 ops per
+// site per thread) on demand — end-of-run exports read exact wire.* values
+// (Stabilizer's destructor and the metrics endpoint both flush). The slots
+// are relaxed atomics: the owning thread is the only writer mid-run (plain
+// load/add/store, uncontended), and a flusher's exchange is only exact once
+// the codec threads have quiesced — a mid-traffic flush can race an owner's
+// read-modify-write and at worst re-home one in-flight batch, so live
+// scrapes remain bounded-stale while quiesced reads are exact. A thread's
+// accumulator also self-flushes when the thread exits.
 #if STAB_OBS_ENABLED
-#define WIRE_COUNT(counter_name, bytes_name, nbytes)                       \
-  do {                                                                     \
-    static obs::Counter& c_ = obs::global().counter(counter_name);         \
-    static obs::Counter& b_ = obs::global().counter(bytes_name);           \
-    thread_local uint64_t pending_count_ = 0, pending_bytes_ = 0;          \
-    ++pending_count_;                                                      \
-    pending_bytes_ += (nbytes);                                            \
-    if (pending_count_ >= 16) {                                            \
-      c_.inc(pending_count_);                                              \
-      b_.inc(pending_bytes_);                                              \
-      pending_count_ = 0;                                                  \
-      pending_bytes_ = 0;                                                  \
-    }                                                                      \
+namespace {
+
+enum WireSite : size_t {
+  kDataEnc,
+  kBatchEnc,
+  kAckEnc,
+  kResumeEnc,
+  kDataDec,
+  kBatchDec,
+  kAckDec,
+  kResumeDec,
+  kNumWireSites,
+};
+
+struct WireSiteCounters {
+  obs::Counter* ops = nullptr;
+  obs::Counter* bytes = nullptr;
+};
+
+std::array<WireSiteCounters, kNumWireSites>& site_counters() {
+  // obs::global() is a leaky singleton, so these pointers stay valid
+  // through shutdown (including the thread-exit self-flush below).
+  static std::array<WireSiteCounters, kNumWireSites> tbl = [] {
+    auto& g = obs::global();
+    std::array<WireSiteCounters, kNumWireSites> t;
+    t[kDataEnc] = {&g.counter("wire.data_encodes"),
+                   &g.counter("wire.data_encode_bytes")};
+    t[kBatchEnc] = {&g.counter("wire.batch_encodes"),
+                    &g.counter("wire.batch_encode_bytes")};
+    t[kAckEnc] = {&g.counter("wire.ack_encodes"),
+                  &g.counter("wire.ack_encode_bytes")};
+    t[kResumeEnc] = {&g.counter("wire.resume_encodes"),
+                     &g.counter("wire.resume_encode_bytes")};
+    t[kDataDec] = {&g.counter("wire.data_decodes"),
+                   &g.counter("wire.data_decode_bytes")};
+    t[kBatchDec] = {&g.counter("wire.batch_decodes"),
+                    &g.counter("wire.batch_decode_bytes")};
+    t[kAckDec] = {&g.counter("wire.ack_decodes"),
+                  &g.counter("wire.ack_decode_bytes")};
+    t[kResumeDec] = {&g.counter("wire.resume_decodes"),
+                     &g.counter("wire.resume_decode_bytes")};
+    return t;
+  }();
+  return tbl;
+}
+
+struct WireAccum {
+  std::array<std::atomic<uint64_t>, kNumWireSites> ops{};
+  std::array<std::atomic<uint64_t>, kNumWireSites> bytes{};
+
+  WireAccum();
+  ~WireAccum();
+
+  void flush_self() {
+    auto& tbl = site_counters();
+    for (size_t s = 0; s < kNumWireSites; ++s) {
+      const uint64_t n = ops[s].exchange(0, std::memory_order_relaxed);
+      const uint64_t b = bytes[s].exchange(0, std::memory_order_relaxed);
+      if (n) tbl[s].ops->inc(n);
+      if (b) tbl[s].bytes->inc(b);
+    }
+  }
+};
+
+struct WireAccumList {
+  std::mutex mu;
+  std::vector<WireAccum*> live;
+};
+
+WireAccumList& accum_list() {
+  static WireAccumList* l = new WireAccumList();  // leaky: thread-exit order
+  return *l;
+}
+
+WireAccum::WireAccum() {
+  std::lock_guard<std::mutex> lock(accum_list().mu);
+  accum_list().live.push_back(this);
+}
+
+WireAccum::~WireAccum() {
+  flush_self();
+  std::lock_guard<std::mutex> lock(accum_list().mu);
+  auto& live = accum_list().live;
+  for (auto it = live.begin(); it != live.end(); ++it) {
+    if (*it == this) {
+      live.erase(it);
+      break;
+    }
+  }
+}
+
+WireAccum& wire_accum() {
+  thread_local WireAccum a;
+  return a;
+}
+
+}  // namespace
+
+#define WIRE_COUNT(site, nbytes)                                        \
+  do {                                                                  \
+    WireAccum& a_ = wire_accum();                                       \
+    const uint64_t n_ =                                                 \
+        a_.ops[site].load(std::memory_order_relaxed) + 1;               \
+    const uint64_t b_ =                                                 \
+        a_.bytes[site].load(std::memory_order_relaxed) + (nbytes);      \
+    if (n_ >= 16) {                                                     \
+      site_counters()[site].ops->inc(n_);                               \
+      site_counters()[site].bytes->inc(b_);                             \
+      a_.ops[site].store(0, std::memory_order_relaxed);                 \
+      a_.bytes[site].store(0, std::memory_order_relaxed);               \
+    } else {                                                            \
+      a_.ops[site].store(n_, std::memory_order_relaxed);                \
+      a_.bytes[site].store(b_, std::memory_order_relaxed);              \
+    }                                                                   \
   } while (0)
+
+void flush_wire_counters() {
+  std::lock_guard<std::mutex> lock(accum_list().mu);
+  for (WireAccum* a : accum_list().live) a->flush_self();
+}
+
 #else
-#define WIRE_COUNT(counter_name, bytes_name, nbytes) \
-  do {                                               \
+#define WIRE_COUNT(site, nbytes) \
+  do {                           \
   } while (0)
+
+void flush_wire_counters() {}
 #endif
 
 // Frame layouts (all integers little-endian). Every family carries a u32
@@ -57,7 +181,7 @@ Bytes encode_data(NodeId origin, SeqNum seq, BytesView payload,
   w.u64(virtual_size);
   w.blob(payload);
   Bytes out = std::move(w).take();
-  WIRE_COUNT("wire.data_encodes", "wire.data_encode_bytes", out.size());
+  WIRE_COUNT(kDataEnc, out.size());
   return out;
 }
 
@@ -83,7 +207,7 @@ Bytes encode(const DataBatchFrame& frame) {
     w.u64(e.virtual_size);
   }
   Bytes out = std::move(w).take();
-  WIRE_COUNT("wire.batch_encodes", "wire.batch_encode_bytes", out.size());
+  WIRE_COUNT(kBatchEnc, out.size());
   return out;
 }
 
@@ -102,7 +226,7 @@ Bytes encode(const AckBatchFrame& frame) {
     w.blob(e.extra);
   }
   Bytes out = std::move(w).take();
-  WIRE_COUNT("wire.ack_encodes", "wire.ack_encode_bytes", out.size());
+  WIRE_COUNT(kAckEnc, out.size());
   return out;
 }
 
@@ -115,7 +239,7 @@ Bytes encode(const ResumeFrame& frame) {
   w.i64(frame.receive_through);
   w.u8(frame.reply ? 1 : 0);
   Bytes out = std::move(w).take();
-  WIRE_COUNT("wire.resume_encodes", "wire.resume_encode_bytes", out.size());
+  WIRE_COUNT(kResumeEnc, out.size());
   return out;
 }
 
@@ -145,7 +269,7 @@ DataFrame decode_data(BytesView frame) {
 }
 
 DataView decode_data_view(BytesView frame) {
-  WIRE_COUNT("wire.data_decodes", "wire.data_decode_bytes", frame.size());
+  WIRE_COUNT(kDataDec, frame.size());
   Reader r(frame);
   if (r.u8() != static_cast<uint8_t>(FrameKind::kData))
     throw CodecError("not a DATA frame");
@@ -159,7 +283,7 @@ DataView decode_data_view(BytesView frame) {
 }
 
 DataBatchFrame decode_data_batch(BytesView frame) {
-  WIRE_COUNT("wire.batch_decodes", "wire.batch_decode_bytes", frame.size());
+  WIRE_COUNT(kBatchDec, frame.size());
   Reader r(frame);
   if (r.u8() != static_cast<uint8_t>(FrameKind::kDataBatch))
     throw CodecError("not a DATABATCH frame");
@@ -180,7 +304,7 @@ DataBatchFrame decode_data_batch(BytesView frame) {
 }
 
 AckBatchFrame decode_ack_batch(BytesView frame) {
-  WIRE_COUNT("wire.ack_decodes", "wire.ack_decode_bytes", frame.size());
+  WIRE_COUNT(kAckDec, frame.size());
   Reader r(frame);
   if (r.u8() != static_cast<uint8_t>(FrameKind::kAckBatch))
     throw CodecError("not an ACKBATCH frame");
@@ -201,7 +325,7 @@ AckBatchFrame decode_ack_batch(BytesView frame) {
 }
 
 ResumeFrame decode_resume(BytesView frame) {
-  WIRE_COUNT("wire.resume_decodes", "wire.resume_decode_bytes", frame.size());
+  WIRE_COUNT(kResumeDec, frame.size());
   Reader r(frame);
   if (r.u8() != static_cast<uint8_t>(FrameKind::kResume))
     throw CodecError("not a RESUME frame");

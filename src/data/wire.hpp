@@ -146,4 +146,12 @@ DataBatchFrame decode_data_batch(BytesView frame);
 AckBatchFrame decode_ack_batch(BytesView frame);
 ResumeFrame decode_resume(BytesView frame);
 
+/// Fold every live thread's batched wire.* accumulator residue into the
+/// process-wide registry (obs::global()), making the codec volume counters
+/// exact at a quiesce point — node shutdown, end-of-run export, a scrape.
+/// Callable from any thread; exact once codec traffic has stopped, bounded
+/// best-effort (one in-flight batch may slide) while it hasn't. No-op in a
+/// -DSTAB_OBS=OFF build.
+void flush_wire_counters();
+
 }  // namespace stab::data

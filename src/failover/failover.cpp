@@ -136,8 +136,14 @@ void FailoverManager::tick() {
       clear_suspicion();
     }
     if (!suspecting_ &&
-        stab_.env().now() - last_alive_ >= options_.lease_timeout)
+        stab_.env().now() - last_alive_ >= options_.lease_timeout) {
+      // The lease window lapsed with no liveness signal of any kind — the
+      // event that opens a failover episode in the trace timeline.
+      STAB_TRACE(stab_.tracer(), stab_.env().now(),
+                 obs::SpanEvent::kLeaseExpire, self, options_.stream, kNoSeq,
+                 authority);
       start_suspicion();
+    }
   }
 
   tick_timer_ = stab_.env().schedule_after(options_.lease_interval, [this] {
@@ -192,6 +198,11 @@ void FailoverManager::start_suspicion() {
   const SeqNum cursor = stab_.delivered_through(options_.stream);
   suspect_cursors_[stab_.self()] =
       std::max(suspect_cursors_[stab_.self()], cursor);
+  // seq carries this mirror's delivered prefix — the cursor it campaigns
+  // with; peer names the primary under suspicion.
+  STAB_TRACE(stab_.tracer(), stab_.env().now(), obs::SpanEvent::kSuspect,
+             stab_.self(), options_.stream, cursor,
+             stab_.stream_primary(options_.stream));
 
   Writer w(17);
   w.u8(kSuspectKind);
@@ -288,6 +299,11 @@ void FailoverManager::apply_takeover(NodeId winner, PrimaryEpoch epoch,
   if (!st.is_ok()) return;  // stale or conflicting: core already decided
   if (fresh) {
     ++stats_.takeovers_applied;
+    // seq is the winner's resume point (kNoSeq when learned from the PROMOTE
+    // commit, before reconciliation has fixed it); peer names the winner.
+    STAB_TRACE(stab_.tracer(), stab_.env().now(),
+               obs::SpanEvent::kTakeoverApply, stab_.self(), options_.stream,
+               start_seq, winner);
     // The deposed node no longer participates in data/ack exchange: stop
     // sending to it and release the send-buffer floor it pinned. (Raw
     // frames — TAKEOVER in particular — still reach it so the zombie
@@ -355,6 +371,10 @@ void FailoverManager::finish_reconciliation() {
   takeover_start_ = highest + 1;
   ++stats_.promotions_won;
   stats_.promoted_at = stab_.env().now();
+  // seq is the adopted start seq — joined against the episode-opening
+  // lease_expire/suspect records this closes the promotion latency span.
+  STAB_TRACE(stab_.tracer(), stats_.promoted_at, obs::SpanEvent::kPromote,
+             stab_.self(), options_.stream, takeover_start_, stab_.self());
   broadcast_takeover();
 }
 

@@ -1,0 +1,161 @@
+#include "obs/latency_probe.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace stab::obs {
+
+namespace {
+constexpr std::string_view kSendToDeliver = "probe.send_to_deliver";
+constexpr std::string_view kSendToStablePrefix = "probe.send_to_stable.";
+constexpr std::string_view kFrontierLag = "probe.frontier_lag";
+}  // namespace
+
+LatencyProbe::LatencyProbe(LatencyProbeOptions opts)
+    : opts_(opts),
+      sample_every_(opts.sample_every == 0 ? 1 : opts.sample_every),
+      sample_pow2_((sample_every_ & (sample_every_ - 1)) == 0),
+      sample_mask_(sample_every_ - 1) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Pre-create the fixed-name histograms so exports are shaped the same
+  // whether or not traffic arrived before the first scrape.
+  send_to_deliver_ = &windowed_hist(kSendToDeliver);
+  frontier_lag_ = &windowed_hist(kFrontierLag);
+}
+
+Histogram& LatencyProbe::windowed_hist(std::string_view name) {
+  Histogram& h = reg_.histogram(name);
+  auto it = windows_.find(name);
+  if (it == windows_.end())
+    windows_.emplace(std::string(name), std::make_unique<WindowedHistogram>(
+                                            h, opts_.window_epochs));
+  return h;
+}
+
+void LatencyProbe::maybe_advance_locked(TimePoint t) {
+  if (!epoch_started_) {
+    epoch_start_ = t;
+    epoch_started_ = true;
+    return;
+  }
+  // Close every epoch boundary the clock has crossed, but never more than
+  // one full ring per call: older epochs would be evicted immediately, so
+  // advancing them individually is pure wasted work on long-idle nodes.
+  const auto epoch = opts_.window_epoch;
+  if (epoch.count() <= 0) return;
+  uint64_t due = 0;
+  while (t - epoch_start_ >= epoch) {
+    epoch_start_ += epoch;
+    ++due;
+  }
+  if (due == 0) return;
+  const uint64_t cap = static_cast<uint64_t>(opts_.window_epochs) + 1;
+  for (uint64_t i = 0; i < std::min(due, cap); ++i)
+    for (auto& [_, w] : windows_) w->advance();
+}
+
+void LatencyProbe::on_send(NodeId origin, SeqNum seq, TimePoint t) {
+  if (!sampled(seq)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  maybe_advance_locked(t);
+  OriginState& st = origins_[origin];
+  st.open[seq] = t;
+  if (st.open.size() > opts_.max_open_spans) {
+    st.open.erase(st.open.begin());
+    reg_.counter("probe.spans_evicted").inc();
+  }
+}
+
+void LatencyProbe::on_deliver(NodeId node, NodeId origin, SeqNum seq,
+                              TimePoint t) {
+  if (node == origin || !sampled(seq)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  maybe_advance_locked(t);
+  auto oit = origins_.find(origin);
+  if (oit == origins_.end()) return;
+  auto sit = oit->second.open.find(seq);
+  if (sit == oit->second.open.end()) return;
+  const uint64_t ns =
+      t >= sit->second ? static_cast<uint64_t>((t - sit->second).count()) : 0;
+  send_to_deliver_->record(ns);
+}
+
+void LatencyProbe::on_stable(NodeId origin, SeqNum stable_upto,
+                             SeqNum high_water, std::string_view type_key,
+                             TimePoint t) {
+  if (stable_upto < 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  maybe_advance_locked(t);
+
+  // Frontier lag: how far the stream's head has run ahead of this type's
+  // stability frontier, in sequences. Gauge = latest value per origin,
+  // histogram = windowed distribution across all origins/types.
+  const int64_t lag =
+      high_water > stable_upto ? (high_water - stable_upto) : 0;
+  OriginState& st = origins_[origin];
+  if (!st.lag_gauge)
+    st.lag_gauge = &reg_.gauge("probe.frontier_lag.o" + std::to_string(origin));
+  st.lag_gauge->set(lag);
+  frontier_lag_->record(static_cast<uint64_t>(lag));
+
+  auto tit = st.types.find(type_key);
+  if (tit == st.types.end()) {
+    tit = st.types.try_emplace(std::string(type_key)).first;
+    tit->second.stable_hist = &windowed_hist(std::string(kSendToStablePrefix) +
+                                             std::string(type_key));
+  }
+  TypeState& ts = tit->second;
+  if (stable_upto <= ts.cursor) return;
+
+  for (auto it = st.open.upper_bound(ts.cursor);
+       it != st.open.end() && it->first <= stable_upto; ++it) {
+    const uint64_t ns =
+        t >= it->second ? static_cast<uint64_t>((t - it->second).count()) : 0;
+    ts.stable_hist->record(ns);
+  }
+  ts.cursor = stable_upto;
+
+  // GC: a span no one can close again — stable under every type key seen so
+  // far on this origin — is dead weight. Erase the prefix below the minimum
+  // cursor (first-type-seen before others register keeps spans alive until
+  // those types catch up, bounded by max_open_spans eviction either way).
+  SeqNum min_cursor = ts.cursor;
+  for (const auto& [_, t2] : st.types) min_cursor = std::min(min_cursor, t2.cursor);
+  if (min_cursor >= 0)
+    st.open.erase(st.open.begin(), st.open.upper_bound(min_cursor));
+}
+
+void LatencyProbe::advance_windows(TimePoint t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  maybe_advance_locked(t);
+}
+
+Histogram::Snapshot LatencyProbe::windowed(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = windows_.find(name);
+  return it == windows_.end() ? Histogram::Snapshot{} : it->second->snapshot();
+}
+
+std::vector<std::string> LatencyProbe::window_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(windows_.size());
+  for (const auto& [name, _] : windows_) out.push_back(name);
+  return out;
+}
+
+void LatencyProbe::export_windows_jsonl(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, w] : windows_) {
+    const Histogram::Snapshot s = w->snapshot();
+    out << "{\"name\":\"" << name
+        << "\",\"type\":\"windowed_histogram\",\"window_epochs\":"
+        << w->window_epochs() << ",\"epochs_closed\":" << w->epochs_closed()
+        << ",\"count\":" << s.count << ",\"sum\":" << s.sum
+        << ",\"min\":" << s.min << ",\"max\":" << s.max << ",\"p50\":" << s.p50
+        << ",\"p95\":" << s.p95 << ",\"p99\":" << s.p99
+        << ",\"p999\":" << s.p999 << "}\n";
+  }
+}
+
+}  // namespace stab::obs

@@ -1,0 +1,156 @@
+// Online stability-latency probe (docs/OBSERVABILITY.md §6).
+//
+// The tracer answers "what happened to message (origin, seq)" *offline*:
+// export the JSONL, join the spans, read the timeline. Operators need the
+// same join *online* — p50/p99/p999 of send→deliver and send→stable, per
+// stability type, scrapable from a running node. A LatencyProbe does that
+// join incrementally:
+//
+//   * send()      — the origin records the sampled sequence's send time;
+//   * deliver     — each *remote* delivery closes a send→deliver leg
+//                   (`probe.send_to_deliver`, the per-receiver replication
+//                   latency distribution);
+//   * frontier advance — each stability type's frontier crossing seq closes
+//                   the send→stable leg for every sampled sequence it newly
+//                   covers (`probe.send_to_stable.<key>`), and feeds the
+//                   per-origin frontier-lag gauge + histogram.
+//
+// Sampling: only sequences with seq % sample_every == 0 open a span, so the
+// non-sampled hot path pays one modulo + branch and the probe stays inside
+// the obs layer's ~2.5% budget (bench_obs_overhead pins 1/16 and 1/256).
+// Sampling by sequence — not by coin flip — keeps a seeded simulation's
+// probe output byte-identical across replays.
+//
+// Sharing model mirrors the Tracer: StabilizerOptions::probe is a
+// shared_ptr; a sim cluster hands all nodes one probe so origin send stamps
+// meet remote deliver stamps under the one sim clock. On real transports a
+// per-node probe still measures the metric that matters at the origin:
+// send→stable uses only the local clock (stability is learned locally from
+// the ack frontier).
+//
+// Windowing: every histogram the probe owns gets a WindowedHistogram view,
+// advanced lazily off the caller-supplied timestamps (window_epoch per
+// epoch) — no internal clock reads, so windowed exports replay
+// byte-identically per seed.
+//
+// Thread safety: all record paths take one internal mutex (like the
+// Tracer); the sampled(seq) pre-check is lock-free, so 15 of 16 sequences
+// never touch it at the default rate.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/metrics.hpp"
+
+namespace stab::obs {
+
+struct LatencyProbeOptions {
+  /// Open a span for 1 in every `sample_every` sequences (>= 1; 1 = all).
+  uint32_t sample_every = 16;
+  /// Bound on outstanding sampled sends per origin; the oldest span is
+  /// evicted (and probe.spans_evicted bumped) past this.
+  size_t max_open_spans = 1 << 12;
+  /// Windowed-percentile epoch length (measured on the caller's clock).
+  Duration window_epoch = std::chrono::milliseconds(250);
+  /// Ring depth: exported windowed percentiles cover the last
+  /// window_epochs closed epochs.
+  size_t window_epochs = 8;
+};
+
+class LatencyProbe {
+ public:
+  explicit LatencyProbe(LatencyProbeOptions opts = {});
+
+  /// Lock-free sampling decision — call before paying for on_send. This
+  /// sits on every send/deliver regardless of the sampling rate, so the
+  /// power-of-two rates (the common case: 16, 256) take a mask test
+  /// instead of a 64-bit division.
+  bool sampled(SeqNum seq) const {
+    if (seq < 0) return false;
+    const uint64_t s = static_cast<uint64_t>(seq);
+    return sample_pow2_ ? (s & sample_mask_) == 0 : s % sample_every_ == 0;
+  }
+
+  /// Origin sequenced (origin, seq) at time t. No-op unless sampled(seq).
+  void on_send(NodeId origin, SeqNum seq, TimePoint t);
+
+  /// Node `node` delivered (origin, seq) at time t. Self-deliveries are
+  /// ignored (the origin's own upcall measures no replication).
+  void on_deliver(NodeId node, NodeId origin, SeqNum seq, TimePoint t);
+
+  /// The stability frontier of `type_key` on stream `origin` advanced to
+  /// `stable_upto` while the stream's high-water sequence was `high_water`.
+  /// Closes send→stable for every sampled open span the advance newly
+  /// covers and records frontier lag (high_water - stable_upto).
+  void on_stable(NodeId origin, SeqNum stable_upto, SeqNum high_water,
+                 std::string_view type_key, TimePoint t);
+
+  /// Close every epoch the clock has passed (normally driven internally by
+  /// the record hooks; exporters call it before reading windows so a idle
+  /// node's stale epochs age out).
+  void advance_windows(TimePoint t);
+
+  /// Probe-owned metrics (histograms probe.send_to_deliver,
+  /// probe.send_to_stable.<key>, probe.frontier_lag; gauges
+  /// probe.frontier_lag.o<origin>; counter probe.spans_evicted).
+  MetricsRegistry& registry() { return reg_; }
+  const MetricsRegistry& registry() const { return reg_; }
+
+  /// Windowed snapshot of a probe histogram by name ({} when unknown).
+  Histogram::Snapshot windowed(std::string_view name) const;
+
+  /// Names of all windowed histograms, sorted.
+  std::vector<std::string> window_names() const;
+
+  /// JSONL export of the windowed views, one line per histogram, sorted by
+  /// name: {"name":..,"type":"windowed_histogram","window_epochs":..,
+  /// "epochs_closed":..,"count":..,"sum":..,"min":..,"max":..,"p50":..,
+  /// "p95":..,"p99":..,"p999":..}. Deterministic per seed.
+  void export_windows_jsonl(std::ostream& out) const;
+
+  uint32_t sample_every() const { return sample_every_; }
+
+ private:
+  struct TypeState {
+    // Highest seq already folded into send_to_stable — each (type, seq)
+    // pair is recorded exactly once however often frontiers re-fire.
+    SeqNum cursor = kNoSeq;
+    Histogram* stable_hist = nullptr;  // probe.send_to_stable.<key>, cached
+  };
+  struct OriginState {
+    std::map<SeqNum, TimePoint> open;  // sampled sends awaiting stability
+    std::map<std::string, TypeState, std::less<>> types;
+    Gauge* lag_gauge = nullptr;  // probe.frontier_lag.o<origin>, cached
+  };
+
+  // Get-or-create a probe histogram plus its windowed view. mu_ held.
+  Histogram& windowed_hist(std::string_view name);
+  void maybe_advance_locked(TimePoint t);
+
+  const LatencyProbeOptions opts_;
+  const uint32_t sample_every_;
+  const bool sample_pow2_;      // sample_every is a power of two
+  const uint64_t sample_mask_;  // sample_every-1 (meaningful when pow2)
+  MetricsRegistry reg_;
+  // Fixed-name histograms resolved once at construction: on_stable runs on
+  // every frontier advance (not just sampled sequences), so its record path
+  // must not build names or take registry lookups.
+  Histogram* send_to_deliver_ = nullptr;
+  Histogram* frontier_lag_ = nullptr;
+  mutable std::mutex mu_;
+  std::map<NodeId, OriginState> origins_;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>, std::less<>>
+      windows_;
+  TimePoint epoch_start_ = kTimeZero;
+  bool epoch_started_ = false;
+};
+
+}  // namespace stab::obs

@@ -73,19 +73,31 @@ uint64_t Histogram::min() const {
 
 uint64_t Histogram::max() const { return max_.load(std::memory_order_relaxed); }
 
-uint64_t Histogram::percentile(double p) const {
-  const uint64_t n = count();
+namespace {
+// Nearest-rank percentile over a plain bucket-count array: shared by the
+// cumulative histogram (which loads its atomics into the caller's rank
+// walk) and the windowed view (which owns plain delta arrays).
+uint64_t percentile_over(const uint64_t* buckets, uint64_t n, double p,
+                         uint64_t max_clamp) {
   if (n == 0) return 0;
   if (p < 0) p = 0;
   if (p > 100) p = 100;
   uint64_t rank = static_cast<uint64_t>(std::ceil(p / 100.0 * n));
   if (rank == 0) rank = 1;
   uint64_t cum = 0;
-  for (size_t b = 0; b < kNumBuckets; ++b) {
-    cum += buckets_[b].load(std::memory_order_relaxed);
-    if (cum >= rank) return std::min(bucket_hi(b), max());
+  for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    cum += buckets[b];
+    if (cum >= rank) return std::min(Histogram::bucket_hi(b), max_clamp);
   }
-  return max();
+  return max_clamp;
+}
+}  // namespace
+
+uint64_t Histogram::percentile(double p) const {
+  std::array<uint64_t, kNumBuckets> snap;
+  for (size_t b = 0; b < kNumBuckets; ++b)
+    snap[b] = buckets_[b].load(std::memory_order_relaxed);
+  return percentile_over(snap.data(), count(), p, max());
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
@@ -94,9 +106,13 @@ Histogram::Snapshot Histogram::snapshot() const {
   s.sum = sum();
   s.min = min();
   s.max = max();
-  s.p50 = percentile(50);
-  s.p95 = percentile(95);
-  s.p99 = percentile(99);
+  std::array<uint64_t, kNumBuckets> snap;
+  for (size_t b = 0; b < kNumBuckets; ++b)
+    snap[b] = buckets_[b].load(std::memory_order_relaxed);
+  s.p50 = percentile_over(snap.data(), s.count, 50, s.max);
+  s.p95 = percentile_over(snap.data(), s.count, 95, s.max);
+  s.p99 = percentile_over(snap.data(), s.count, 99, s.max);
+  s.p999 = percentile_over(snap.data(), s.count, 99.9, s.max);
   return s;
 }
 
@@ -107,6 +123,79 @@ std::vector<std::pair<uint64_t, uint64_t>> Histogram::nonzero_buckets() const {
     if (n) out.emplace_back(bucket_hi(b), n);
   }
   return out;
+}
+
+// --- WindowedHistogram ---------------------------------------------------------
+
+WindowedHistogram::WindowedHistogram(const Histogram& source,
+                                     size_t window_epochs)
+    : src_(source), window_(window_epochs == 0 ? 1 : window_epochs) {
+  ring_.resize(window_);
+}
+
+void WindowedHistogram::advance() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Delta& slot = ring_[static_cast<size_t>(epochs_ % window_)];
+  uint64_t epoch_count = 0;
+  for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    const uint64_t now = src_.bucket_count(b);
+    slot.buckets[b] = now - cum_.buckets[b];
+    cum_.buckets[b] = now;
+    epoch_count += slot.buckets[b];
+  }
+  // count/sum read after the buckets: a sample racing this advance may have
+  // bumped its bucket but not yet count_/sum_ (or vice versa). Derive the
+  // epoch count from the bucket deltas themselves so count == sum(buckets)
+  // always holds for a closed epoch; sum is delta'd directly (monotone, so
+  // at worst one in-flight sample's value slides into the next epoch).
+  const uint64_t src_count = src_.count();
+  const uint64_t src_sum = src_.sum();
+  slot.count = epoch_count;
+  slot.sum = src_sum - cum_.sum;
+  cum_.count = src_count;
+  cum_.sum = src_sum;
+  ++epochs_;
+}
+
+uint64_t WindowedHistogram::epochs_closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epochs_;
+}
+
+Histogram::Snapshot WindowedHistogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::array<uint64_t, Histogram::kNumBuckets> merged{};
+  uint64_t count = 0, sum = 0;
+  const size_t live = static_cast<size_t>(
+      epochs_ < static_cast<uint64_t>(window_) ? epochs_ : window_);
+  for (size_t i = 0; i < live; ++i) {
+    const Delta& d = ring_[i];
+    for (size_t b = 0; b < Histogram::kNumBuckets; ++b)
+      merged[b] += d.buckets[b];
+    count += d.count;
+    sum += d.sum;
+  }
+  Histogram::Snapshot s;
+  s.count = count;
+  s.sum = sum;
+  if (count == 0) return s;
+  size_t first = 0, last = 0;
+  bool seen = false;
+  for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    if (!merged[b]) continue;
+    if (!seen) first = b;
+    last = b;
+    seen = true;
+  }
+  // Bucket-bound window extremes: exact per-sample min/max of a sub-range
+  // cannot be reconstructed from bucket deltas.
+  s.min = Histogram::bucket_lo(first);
+  s.max = Histogram::bucket_hi(last);
+  s.p50 = percentile_over(merged.data(), count, 50, s.max);
+  s.p95 = percentile_over(merged.data(), count, 95, s.max);
+  s.p99 = percentile_over(merged.data(), count, 99, s.max);
+  s.p999 = percentile_over(merged.data(), count, 99.9, s.max);
+  return s;
 }
 
 // --- MetricsRegistry -----------------------------------------------------------
@@ -193,7 +282,7 @@ void MetricsRegistry::dump_jsonl(std::ostream& out,
         << "\",\"type\":\"histogram\",\"count\":" << s.count
         << ",\"sum\":" << s.sum << ",\"min\":" << s.min << ",\"max\":" << s.max
         << ",\"p50\":" << s.p50 << ",\"p95\":" << s.p95 << ",\"p99\":" << s.p99
-        << ",\"buckets\":[";
+        << ",\"p999\":" << s.p999 << ",\"buckets\":[";
     bool first = true;
     for (auto [hi, n] : h->nonzero_buckets()) {
       if (!first) out << ",";
@@ -224,7 +313,7 @@ void MetricsRegistry::dump_table(std::ostream& out,
     out << "  " << std::left << std::setw(static_cast<int>(width)) << name
         << "  n=" << s.count << " sum=" << s.sum << " min=" << s.min
         << " p50=" << s.p50 << " p95=" << s.p95 << " p99=" << s.p99
-        << " max=" << s.max << "\n";
+        << " p999=" << s.p999 << " max=" << s.max << "\n";
   }
 }
 

@@ -93,9 +93,14 @@ class Histogram {
 
   struct Snapshot {
     uint64_t count = 0, sum = 0, min = 0, max = 0;
-    uint64_t p50 = 0, p95 = 0, p99 = 0;
+    uint64_t p50 = 0, p95 = 0, p99 = 0, p999 = 0;
   };
   Snapshot snapshot() const;
+
+  /// Raw count of bucket `b` (relaxed load; windowed views delta these).
+  uint64_t bucket_count(size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
 
   /// Non-empty buckets as (upper_bound, count) pairs, ascending.
   std::vector<std::pair<uint64_t, uint64_t>> nonzero_buckets() const;
@@ -106,6 +111,61 @@ class Histogram {
   std::atomic<uint64_t> sum_{0};
   std::atomic<uint64_t> min_{UINT64_MAX};
   std::atomic<uint64_t> max_{0};
+};
+
+/// Time-windowed view over a cumulative Histogram.
+///
+/// A Histogram only accumulates since construction, so its percentiles go
+/// stale on long-running nodes: one latency spike an hour ago pins p999
+/// forever. A WindowedHistogram watches a source histogram and keeps a ring
+/// of the last `window_epochs` *epoch deltas* (bucket-count differences
+/// between consecutive advance() calls). snapshot() merges the ring, so the
+/// reported p50/p99/p999 reflect only samples recorded during the last
+/// N closed epochs — what a scrape wants — while the source histogram keeps
+/// its exact since-boot totals.
+///
+/// advance() is driven by the owner (the LatencyProbe advances lazily off
+/// the caller's clock; tests advance explicitly), never by wall time read
+/// inside this class — that keeps windowed exports byte-identical across
+/// replays of a seeded simulation.
+///
+/// The window's min/max are bucket-bound estimates (lo of the first /
+/// hi of the last non-empty window bucket): deltas cannot recover the exact
+/// extremes of a sub-range. Percentiles carry the same <= 25% one-bucket
+/// over-estimate bound as Histogram (tests pin both against an oracle).
+///
+/// Thread safety: advance()/snapshot() take an internal mutex; the source
+/// histogram may keep recording concurrently (its bucket loads are relaxed
+/// and monotone, so a racing record lands in either the closing or the next
+/// epoch — never lost, never double-counted).
+class WindowedHistogram {
+ public:
+  explicit WindowedHistogram(const Histogram& source, size_t window_epochs = 8);
+
+  /// Close the current epoch: fold (source - cumulative-at-last-advance)
+  /// into the ring, evicting the oldest epoch once the ring is full.
+  void advance();
+
+  size_t window_epochs() const { return window_; }
+  /// Total advance() calls so far (epochs closed since construction).
+  uint64_t epochs_closed() const;
+
+  /// Merged view of the last window_epochs closed epochs. Samples recorded
+  /// after the latest advance() are not included.
+  Histogram::Snapshot snapshot() const;
+
+ private:
+  struct Delta {
+    std::array<uint64_t, Histogram::kNumBuckets> buckets{};
+    uint64_t count = 0, sum = 0;
+  };
+
+  const Histogram& src_;
+  const size_t window_;
+  mutable std::mutex mu_;
+  Delta cum_;                 // cumulative source state at last advance()
+  std::vector<Delta> ring_;   // closed epochs, ring_[epochs_ % window_] next
+  uint64_t epochs_ = 0;
 };
 
 /// Owns named metrics. counter()/gauge()/histogram() get-or-create under a

@@ -22,6 +22,7 @@
 
 #if STAB_OBS_ENABLED
 
+#include "obs/latency_probe.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -46,6 +47,19 @@
 #define STAB_TRACE_WANTS(tracer, ev) \
   ((tracer) != nullptr && (tracer)->wants(ev))
 
+/// Invoke one LatencyProbe hook iff `probe` (a stab::obs::LatencyProbe*)
+/// is attached: STAB_PROBE(p, on_send(origin, seq, now)). Compiles to
+/// nothing — arguments unevaluated — when observability is disabled.
+#define STAB_PROBE(probe, call)                \
+  do {                                         \
+    if ((probe) != nullptr) (probe)->call;     \
+  } while (0)
+
+/// True iff `probe` is attached and samples `seq` — gate work that only
+/// matters for sampled sequences.
+#define STAB_PROBE_SAMPLED(probe, seq) \
+  ((probe) != nullptr && (probe)->sampled(seq))
+
 #else  // STAB_OBS_ENABLED == 0: everything vanishes, arguments unevaluated.
 
 #define STAB_OBS(...) \
@@ -55,5 +69,9 @@
   do {                          \
   } while (0)
 #define STAB_TRACE_WANTS(tracer, ev) false
+#define STAB_PROBE(probe, call) \
+  do {                          \
+  } while (0)
+#define STAB_PROBE_SAMPLED(probe, seq) false
 
 #endif  // STAB_OBS_ENABLED

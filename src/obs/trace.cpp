@@ -11,6 +11,12 @@ const char* span_event_name(SpanEvent ev) {
     case SpanEvent::kDeliver: return "deliver";
     case SpanEvent::kAckReport: return "ack_report";
     case SpanEvent::kFrontierFire: return "frontier_fire";
+    case SpanEvent::kLeaseExpire: return "lease_expire";
+    case SpanEvent::kSuspect: return "suspect";
+    case SpanEvent::kPromote: return "promote";
+    case SpanEvent::kTakeoverApply: return "takeover_apply";
+    case SpanEvent::kFenceDrop: return "fence_drop";
+    case SpanEvent::kRingStall: return "ring_stall";
   }
   return "unknown";
 }
@@ -70,6 +76,13 @@ void Tracer::export_jsonl(std::ostream& out) const {
     if (!r.detail.empty()) out << ",\"detail\":\"" << r.detail << "\"";
     out << "}\n";
   }
+  // A truncated trace must say so in-band: offline joins (bench/
+  // trace_timeline) would otherwise read a capacity-clipped history as a
+  // complete one. Omitted entirely when nothing was dropped, so exports of
+  // complete traces are unchanged.
+  if (dropped_ > 0)
+    out << "{\"summary\":\"trace_dropped\",\"dropped\":" << dropped_
+        << ",\"kept\":" << records_.size() << "}\n";
 }
 
 }  // namespace stab::obs

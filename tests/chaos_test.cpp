@@ -466,9 +466,11 @@ TEST(ChaosCampaign, CoalescedCampaignHoldsInvariantsAcrossDispatchModes) {
 struct ObsArtifacts {
   std::string metrics;
   std::string trace;
+  std::string probe;          // probe registry + windowed percentile views
   uint64_t lag_samples = 0;   // merged control.frontier_lag count
   uint64_t trace_records = 0;
   uint64_t trace_dropped = 0;
+  uint64_t stable_spans = 0;  // probe send->stable closes, all type keys
 };
 
 ObsArtifacts run_observed_campaign(uint64_t seed) {
@@ -479,8 +481,15 @@ ObsArtifacts run_observed_campaign(uint64_t seed) {
       size_t{1} << 18, obs::event_bit(obs::SpanEvent::kBroadcast) |
                            obs::event_bit(obs::SpanEvent::kDeliver) |
                            obs::event_bit(obs::SpanEvent::kFrontierFire));
+  // Cluster-shared latency probe (every node's stamps come from the one sim
+  // clock): sample every sequence so the short campaign still closes spans
+  // across the crash/partition schedule.
+  obs::LatencyProbeOptions popt;
+  popt.sample_every = 1;
+  auto probe = std::make_shared<obs::LatencyProbe>(popt);
   StabilizerOptions base = chaos_base_options();
   base.tracer = tracer;
+  base.probe = probe;
   auto c = run_scripted(seed, DispatchMode::kIndexed, std::move(base));
 
   ObsArtifacts out;
@@ -502,6 +511,20 @@ ObsArtifacts run_observed_campaign(uint64_t seed) {
   out.trace = ts.str();
   out.trace_records = tracer->size();
   out.trace_dropped = tracer->dropped();
+
+  // Probe export: close every epoch the campaign's end time has passed,
+  // then dump since-boot histograms + windowed views. Advancing off the
+  // final sim clock keeps the windowed snapshot a pure function of the
+  // seed.
+  probe->advance_windows(c->sim.now() + seconds(60));
+  std::ostringstream ps;
+  probe->registry().dump_jsonl(ps, "cluster.");
+  probe->export_windows_jsonl(ps);
+  out.probe = ps.str();
+  for (const std::string& name : probe->registry().names())
+    if (name.rfind("probe.send_to_stable.", 0) == 0)
+      if (const obs::Histogram* h = probe->registry().find_histogram(name))
+        out.stable_spans += h->count();
   return out;
 }
 
@@ -518,9 +541,12 @@ TEST(ChaosObs, CampaignEmitsFrontierLagAndByteIdenticalTracePerSeed) {
   ObsArtifacts b = run_observed_campaign(0xC0FFEE);
 
   // The determinism guarantee extends to the observability artifacts
-  // themselves: same seed => byte-identical metrics and trace exports.
+  // themselves: same seed => byte-identical metrics, trace, and probe
+  // exports (the windowed percentiles included — the probe advances its
+  // epochs off the sim clock only).
   EXPECT_EQ(a.metrics, b.metrics);
   EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.probe, b.probe);
 
   // The campaign populated the frontier-lag histogram (crash + partition
   // force real lag) and produced a non-trivial lifecycle trace with no
@@ -531,12 +557,20 @@ TEST(ChaosObs, CampaignEmitsFrontierLagAndByteIdenticalTracePerSeed) {
   EXPECT_NE(a.metrics.find("cluster.control.frontier_lag"), std::string::npos);
   EXPECT_NE(a.trace.find("\"ev\":\"frontier_fire\""), std::string::npos);
 
+  // The probe joined real spans across the fault schedule: per-type
+  // send->stable percentiles exist both since-boot and windowed.
+  EXPECT_GT(a.stable_spans, 0u);
+  EXPECT_NE(a.probe.find("probe.send_to_stable."), std::string::npos);
+  EXPECT_NE(a.probe.find("\"type\":\"windowed_histogram\""),
+            std::string::npos);
+
   // A different seed follows a different schedule — the artifacts diverge.
   ObsArtifacts other = run_observed_campaign(0xBADF00D);
   EXPECT_NE(a.trace, other.trace);
 
   write_artifact("chaos_obs_metrics.jsonl", a.metrics);
   write_artifact("chaos_obs_trace.jsonl", a.trace);
+  write_artifact("chaos_obs_probe.jsonl", a.probe);
 }
 
 #endif  // STAB_OBS_ENABLED

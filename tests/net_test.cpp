@@ -8,8 +8,14 @@
 #include <mutex>
 #include <thread>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "config/topology.hpp"
 #include "net/inproc_transport.hpp"
+#include "net/metrics_endpoint.hpp"
 #include "net/sim_transport.hpp"
 #include "net/tcp_transport.hpp"
 
@@ -404,6 +410,113 @@ TEST(Tcp, SendSharedScatterGathersPrefixAndBody) {
   EXPECT_EQ(got[1], "copied");
   EXPECT_EQ(got[2], "shared body");
 }
+
+#if STAB_OBS_ENABLED
+
+// --- MetricsEndpoint --------------------------------------------------------
+
+// Minimal scrape client mirroring tools/stab_metrics_scrape: connect, send
+// one GET, return the response body (empty on any failure).
+std::string http_get(uint16_t port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return {};
+  }
+  std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)!::send(fd, req.data(), req.size(), 0);
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) resp.append(buf, n);
+  ::close(fd);
+  size_t body = resp.find("\r\n\r\n");
+  if (resp.rfind("HTTP/1.0 200", 0) != 0 || body == std::string::npos)
+    return {};
+  return resp.substr(body + 4);
+}
+
+TEST(MetricsEndpoint, ServesPrometheusAndJsonlWithMonotoneCounters) {
+  obs::MetricsRegistry reg;
+  reg.counter("core.messages_sent").inc(3);
+  reg.gauge("pipeline.depth").set(-2);
+  reg.histogram("data.frame_bytes").record(100);
+
+  obs::LatencyProbeOptions popt;
+  popt.sample_every = 1;
+  obs::LatencyProbe probe(popt);
+  probe.on_send(0, 0, TimePoint{millis(1)});
+  probe.on_deliver(1, 0, 0, TimePoint{millis(2)});
+  TimePoint scrape_clock = TimePoint{seconds(10)};
+
+  MetricsEndpoint ep;
+  ep.add_registry("node0.", &reg);
+  ep.add_probe("", &probe, [&] { return scrape_clock; });
+  int pre_scrapes = 0;
+  ep.set_pre_scrape([&] { ++pre_scrapes; });
+  ASSERT_TRUE(ep.start().is_ok());
+  ASSERT_NE(ep.port(), 0);
+
+  std::string prom = http_get(ep.port(), "/metrics");
+  ASSERT_FALSE(prom.empty());
+  EXPECT_EQ(pre_scrapes, 1);
+  // Names sanitized '.' -> '_', "stab_" prefixed; types declared.
+  EXPECT_NE(prom.find("# TYPE stab_node0_core_messages_sent counter\n"
+                      "stab_node0_core_messages_sent 3"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("stab_node0_pipeline_depth -2"), std::string::npos);
+  EXPECT_NE(prom.find("stab_node0_data_frame_bytes{quantile=\"0.999\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("stab_node0_data_frame_bytes_count 1"),
+            std::string::npos);
+  // Probe histograms and their windowed views (epoch aged in by the scrape
+  // clock the endpoint was handed).
+  EXPECT_NE(prom.find("stab_probe_send_to_deliver_count 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("stab_probe_send_to_deliver_window{quantile=\"0.5\"}"),
+            std::string::npos);
+
+  // Counters must be monotone across scrapes.
+  reg.counter("core.messages_sent").inc(2);
+  std::string prom2 = http_get(ep.port(), "/metrics");
+  EXPECT_NE(prom2.find("stab_node0_core_messages_sent 5"),
+            std::string::npos);
+  EXPECT_EQ(pre_scrapes, 2);
+
+  std::string jsonl = http_get(ep.port(), "/jsonl");
+  EXPECT_NE(jsonl.find("{\"name\":\"node0.core.messages_sent\","
+                       "\"type\":\"counter\",\"value\":5}"),
+            std::string::npos)
+      << jsonl;
+  EXPECT_NE(jsonl.find("\"type\":\"windowed_histogram\""),
+            std::string::npos);
+
+  // Unknown paths 404 (http_get returns empty on non-200).
+  EXPECT_TRUE(http_get(ep.port(), "/nope").empty());
+  ep.stop();
+  // Stopped endpoint refuses connections.
+  EXPECT_TRUE(http_get(ep.port(), "/metrics").empty());
+}
+
+TEST(MetricsEndpoint, RendersDeterministicallyWithoutServing) {
+  obs::MetricsRegistry reg;
+  reg.counter("a.b-c d").inc(1);  // hostile name: sanitized in prometheus
+  MetricsEndpoint ep;
+  ep.add_registry("", &reg);
+  std::string p1 = ep.render_prometheus();
+  std::string p2 = ep.render_prometheus();
+  EXPECT_EQ(p1, p2);
+  EXPECT_NE(p1.find("stab_a_b_c_d 1"), std::string::npos) << p1;
+  EXPECT_EQ(ep.render_jsonl(), ep.render_jsonl());
+}
+
+#endif  // STAB_OBS_ENABLED
 
 }  // namespace
 }  // namespace stab

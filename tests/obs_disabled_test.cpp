@@ -56,6 +56,23 @@ TEST(ObsDisabled, StabTraceWantsIsConstantFalse) {
   EXPECT_EQ(side_effects, 0);
 }
 
+TEST(ObsDisabled, StabProbeDiscardsArgumentsUnevaluated) {
+  MustNotExist* probe = nullptr;
+  (void)probe;  // only ever named inside the discarding macros
+  STAB_PROBE(probe, on_send(bump(), bump(), no_such_clock()));
+  STAB_PROBE(probe, totally_not_a_member());
+  EXPECT_EQ(side_effects, 0);
+}
+
+TEST(ObsDisabled, StabProbeSampledIsConstantFalse) {
+  MustNotExist* probe = nullptr;
+  (void)probe;
+  bool sampled = STAB_PROBE_SAMPLED(probe, bump());
+  EXPECT_FALSE(sampled);
+  if (STAB_PROBE_SAMPLED(probe, anything_goes_here)) bump();
+  EXPECT_EQ(side_effects, 0);
+}
+
 }  // namespace
 }  // namespace stab
 

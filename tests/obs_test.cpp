@@ -120,6 +120,124 @@ TEST(Histogram, MergeFoldsCountsAndExtremes) {
   EXPECT_EQ(a.min(), 1u);
 }
 
+TEST(Histogram, MergePercentilesMatchUnionOracle) {
+  // Merged percentiles must equal those of a histogram fed the union — the
+  // cluster-wide aggregation the chaos campaign relies on.
+  Rng rng(0x5eedULL);
+  std::vector<uint64_t> sa, sb;
+  for (int i = 0; i < 3000; ++i) sa.push_back(rng.next_below(1'000'000));
+  for (int i = 0; i < 2000; ++i)
+    sb.push_back(static_cast<uint64_t>(rng.next_pareto(50.0, 1.3)));
+  obs::Histogram a, b, u;
+  for (uint64_t v : sa) {
+    a.record(v);
+    u.record(v);
+  }
+  for (uint64_t v : sb) {
+    b.record(v);
+    u.record(v);
+  }
+  a.merge(b);
+  for (double p : {50.0, 95.0, 99.0, 99.9})
+    EXPECT_EQ(a.percentile(p), u.percentile(p)) << "p" << p;
+  EXPECT_EQ(a.snapshot().p999, u.snapshot().p999);
+}
+
+TEST(Histogram, SnapshotReportsP999AgainstOracle) {
+  Rng rng(0xabcdULL);
+  std::vector<uint64_t> s;
+  for (int i = 0; i < 20'000; ++i)
+    s.push_back(static_cast<uint64_t>(rng.next_pareto(100.0, 1.1)));
+  obs::Histogram h;
+  for (uint64_t v : s) h.record(v);
+  std::sort(s.begin(), s.end());
+  const uint64_t exact = oracle_percentile(s, 99.9);
+  const obs::Histogram::Snapshot snap = h.snapshot();
+  EXPECT_GE(snap.p999, exact);
+  EXPECT_LE(snap.p999, exact + exact / 4);
+  EXPECT_GE(snap.p999, snap.p99);
+  EXPECT_LE(snap.p999, snap.max);
+}
+
+// --- WindowedHistogram ----------------------------------------------------------
+
+TEST(WindowedHistogram, SnapshotCoversOnlyTheLastWindowEpochs) {
+  obs::Histogram src;
+  obs::WindowedHistogram w(src, /*window_epochs=*/2);
+  // Epoch A: two samples, then closed.
+  src.record(10);
+  src.record(20);
+  w.advance();
+  // Epoch B: one sample, then closed.
+  src.record(1000);
+  w.advance();
+  obs::Histogram::Snapshot s = w.snapshot();
+  EXPECT_EQ(s.count, 3u);  // both epochs in the window
+  EXPECT_EQ(s.sum, 1030u);
+  // Two more empty epochs push A and B out of the 2-deep ring.
+  w.advance();
+  w.advance();
+  s = w.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_EQ(s.p999, 0u);
+  // The cumulative source is untouched by windowing.
+  EXPECT_EQ(src.count(), 3u);
+  // Samples recorded after the last advance() are not yet visible.
+  src.record(7);
+  EXPECT_EQ(w.snapshot().count, 0u);
+  w.advance();
+  EXPECT_EQ(w.snapshot().count, 1u);
+  EXPECT_EQ(w.epochs_closed(), 5u);
+}
+
+// Property test: windowed percentiles over any epoch pattern match a
+// sorted-vector oracle of exactly the samples in the last N epochs, within
+// the histogram's one-bucket (<= 25%) bound; window min/max are bucket-
+// bound estimates bracketing the true extremes.
+TEST(WindowedHistogram, PercentilesMatchWindowOracleWithinBucketBound) {
+  Rng rng(0x91d0ULL + 7);
+  obs::Histogram src;
+  obs::WindowedHistogram w(src, /*window_epochs=*/4);
+  std::vector<std::vector<uint64_t>> epochs;
+  for (int e = 0; e < 12; ++e) {
+    std::vector<uint64_t> batch;
+    const size_t n = 50 + rng.next_below(200);
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t v = rng.next_below(2) == 0
+                       ? rng.next_below(100)
+                       : static_cast<uint64_t>(rng.next_pareto(500.0, 1.2));
+      batch.push_back(v);
+      src.record(v);
+    }
+    w.advance();
+    epochs.push_back(std::move(batch));
+
+    // Oracle: union of the last <= 4 closed epochs.
+    std::vector<uint64_t> window_samples;
+    for (size_t k = epochs.size() >= 4 ? epochs.size() - 4 : 0;
+         k < epochs.size(); ++k)
+      window_samples.insert(window_samples.end(), epochs[k].begin(),
+                            epochs[k].end());
+    std::sort(window_samples.begin(), window_samples.end());
+
+    const obs::Histogram::Snapshot s = w.snapshot();
+    ASSERT_EQ(s.count, window_samples.size()) << "epoch " << e;
+    uint64_t sum = 0;
+    for (uint64_t v : window_samples) sum += v;
+    EXPECT_EQ(s.sum, sum) << "epoch " << e;
+    for (double p : {50.0, 99.0, 99.9}) {
+      const uint64_t exact = oracle_percentile(window_samples, p);
+      const uint64_t est = p == 50.0 ? s.p50 : (p == 99.0 ? s.p99 : s.p999);
+      EXPECT_GE(est, exact) << "epoch " << e << " p" << p;
+      EXPECT_LE(est, exact + exact / 4) << "epoch " << e << " p" << p;
+    }
+    // Bucket-bound extremes bracket the truth.
+    EXPECT_LE(s.min, window_samples.front()) << "epoch " << e;
+    EXPECT_GE(s.max, window_samples.back()) << "epoch " << e;
+  }
+}
+
 // --- MetricsRegistry ------------------------------------------------------------
 
 TEST(Registry, GetOrCreateReturnsStableReferences) {
@@ -337,6 +455,202 @@ TEST(FrontierLag, HistogramAndPerKeyGaugePopulated) {
   // Quiesced cluster: the predicate caught up with the stream.
   EXPECT_EQ(per_key->value(), 0);
   EXPECT_EQ(nodes[0]->get_stability_frontier("all"), 7);
+}
+
+// --- LatencyProbe ---------------------------------------------------------------
+
+TEST(LatencyProbe, JoinsSendDeliverAndStableSpansAtSampledSeqs) {
+  obs::LatencyProbeOptions popt;
+  popt.sample_every = 2;
+  obs::LatencyProbe probe(popt);
+  EXPECT_TRUE(probe.sampled(0));
+  EXPECT_FALSE(probe.sampled(1));
+  EXPECT_TRUE(probe.sampled(2));
+  EXPECT_FALSE(probe.sampled(kNoSeq));
+
+  // seqs 0..3 sent at t = 100 + 10*seq; sampled: 0 and 2.
+  for (SeqNum s = 0; s < 4; ++s)
+    probe.on_send(/*origin=*/0, s, TimePoint{Duration{100 + 10 * s}});
+  // Remote node 1 delivers seq 0 at 150 (+50) and seq 2 at 180 (+60);
+  // the origin's self-delivery must not record.
+  probe.on_deliver(1, 0, 0, TimePoint{Duration{150}});
+  probe.on_deliver(0, 0, 0, TimePoint{Duration{151}});  // self: ignored
+  probe.on_deliver(1, 0, 2, TimePoint{Duration{180}});
+  probe.on_deliver(1, 0, 1, TimePoint{Duration{160}});  // unsampled: ignored
+  const obs::Histogram* dlv =
+      probe.registry().find_histogram("probe.send_to_deliver");
+  ASSERT_NE(dlv, nullptr);
+  EXPECT_EQ(dlv->count(), 2u);
+  EXPECT_EQ(dlv->min(), 50u);
+  EXPECT_EQ(dlv->max(), 60u);
+
+  // The "all" frontier reaches seq 1 (covers sampled 0), then seq 3
+  // (covers sampled 2); a repeat fire at 3 must not double-record.
+  probe.on_stable(0, 1, 3, "all", TimePoint{Duration{200}});
+  probe.on_stable(0, 3, 3, "all", TimePoint{Duration{300}});
+  probe.on_stable(0, 3, 3, "all", TimePoint{Duration{400}});
+  const obs::Histogram* stb =
+      probe.registry().find_histogram("probe.send_to_stable.all");
+  ASSERT_NE(stb, nullptr);
+  EXPECT_EQ(stb->count(), 2u);
+  EXPECT_EQ(stb->min(), 100u);   // seq 0: 200 - 100
+  EXPECT_EQ(stb->max(), 180u);   // seq 2: 300 - 120
+  // Frontier lag fed per fire: 3-1=2, 3-3=0, 3-3=0.
+  const obs::Histogram* lag =
+      probe.registry().find_histogram("probe.frontier_lag");
+  ASSERT_NE(lag, nullptr);
+  EXPECT_EQ(lag->count(), 3u);
+  EXPECT_EQ(lag->max(), 2u);
+  const obs::Gauge* lag_gauge =
+      probe.registry().find_gauge("probe.frontier_lag.o0");
+  ASSERT_NE(lag_gauge, nullptr);
+  EXPECT_EQ(lag_gauge->value(), 0);
+}
+
+TEST(LatencyProbe, WindowedExportAdvancesOffCallerClockOnly) {
+  obs::LatencyProbeOptions popt;
+  popt.sample_every = 1;
+  popt.window_epoch = millis(10);
+  popt.window_epochs = 2;
+  obs::LatencyProbe probe(popt);
+  probe.on_send(0, 0, TimePoint{millis(0)});
+  probe.on_deliver(1, 0, 0, TimePoint{millis(1)});
+  // Nothing advanced yet: the windowed view is empty until an epoch closes.
+  EXPECT_EQ(probe.windowed("probe.send_to_deliver").count, 0u);
+  probe.advance_windows(TimePoint{millis(25)});  // closes >= 1 epoch
+  EXPECT_EQ(probe.windowed("probe.send_to_deliver").count, 1u);
+  // Far-future advance ages everything out of the 2-epoch ring.
+  probe.advance_windows(TimePoint{millis(1000)});
+  EXPECT_EQ(probe.windowed("probe.send_to_deliver").count, 0u);
+
+  std::ostringstream out;
+  probe.export_windows_jsonl(out);
+  EXPECT_NE(out.str().find("\"type\":\"windowed_histogram\""),
+            std::string::npos);
+  EXPECT_NE(out.str().find("probe.send_to_deliver"), std::string::npos);
+}
+
+TEST(LatencyProbe, EvictsOldestSpanPastMaxOpenAndCounts) {
+  obs::LatencyProbeOptions popt;
+  popt.sample_every = 1;
+  popt.max_open_spans = 4;
+  obs::LatencyProbe probe(popt);
+  for (SeqNum s = 0; s < 6; ++s)
+    probe.on_send(0, s, TimePoint{Duration{s}});
+  EXPECT_EQ(probe.registry().find_counter("probe.spans_evicted")->value(),
+            2u);
+  // Evicted seqs 0 and 1 no longer close; surviving 2..5 do.
+  probe.on_stable(0, 5, 5, "all", TimePoint{Duration{100}});
+  EXPECT_EQ(
+      probe.registry().find_histogram("probe.send_to_stable.all")->count(),
+      4u);
+}
+
+/// Shared-probe sim campaign; returns the full probe export (registry +
+/// windowed views) for determinism comparison.
+std::string run_probed_workload() {
+  sim::Simulator sim;
+  Topology topo = mesh_topology(3);
+  SimCluster cluster(topo, sim);
+  obs::LatencyProbeOptions popt;
+  popt.sample_every = 2;
+  auto probe = std::make_shared<obs::LatencyProbe>(popt);
+  std::vector<std::unique_ptr<Stabilizer>> nodes;
+  for (NodeId n = 0; n < 3; ++n) {
+    StabilizerOptions opts;
+    opts.topology = topo;
+    opts.self = n;
+    opts.probe = probe;
+    nodes.push_back(std::make_unique<Stabilizer>(opts, cluster.transport(n)));
+  }
+  nodes[0]->register_predicate("all", "MIN($ALLWNODES)");
+  for (int i = 0; i < 32; ++i)
+    nodes[0]->send(to_bytes("m" + std::to_string(i)));
+  sim.run();
+  probe->advance_windows(sim.now() + seconds(10));
+  std::ostringstream out;
+  probe->registry().dump_jsonl(out, "probe.");
+  probe->export_windows_jsonl(out);
+  return out.str();
+}
+
+TEST(LatencyProbe, SimCampaignClosesSpansAndExportsByteIdenticallyPerSeed) {
+  std::string a = run_probed_workload();
+  std::string b = run_probed_workload();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("probe.send_to_deliver"), std::string::npos);
+  EXPECT_NE(a.find("probe.send_to_stable.all"), std::string::npos);
+  EXPECT_NE(a.find("windowed_histogram"), std::string::npos);
+  // 32 messages at 1-in-2 sampling: 16 sampled spans, each delivered on 2
+  // remote nodes -> 32 deliver legs; 16 stable closes.
+  EXPECT_NE(a.find("\"name\":\"probe.probe.send_to_stable.all\","
+                   "\"type\":\"histogram\",\"count\":16"),
+            std::string::npos)
+      << a;
+}
+
+// --- Trace drop accounting ------------------------------------------------------
+
+TEST(TraceDrop, ExportAppendsSummaryLineOnlyWhenDropsOccurred) {
+  obs::Tracer t(/*capacity=*/2);
+  t.record(TimePoint{}, obs::SpanEvent::kBroadcast, 0, 0, 0);
+  std::ostringstream clean;
+  t.export_jsonl(clean);
+  EXPECT_EQ(clean.str().find("trace_dropped"), std::string::npos);
+  for (SeqNum s = 1; s < 5; ++s)
+    t.record(TimePoint{}, obs::SpanEvent::kBroadcast, 0, 0, s);
+  std::ostringstream out;
+  t.export_jsonl(out);
+  EXPECT_NE(out.str().find("{\"summary\":\"trace_dropped\",\"dropped\":3,"
+                           "\"kept\":2}"),
+            std::string::npos)
+      << out.str();
+}
+
+TEST(TraceDrop, StabilizerExportsDroppedCountAsRegistryCounter) {
+  sim::Simulator sim;
+  Topology topo = mesh_topology(3);
+  SimCluster cluster(topo, sim);
+  // Tiny capacity: the workload overflows it deterministically.
+  auto tracer = std::make_shared<obs::Tracer>(/*capacity=*/4);
+  std::vector<std::unique_ptr<Stabilizer>> nodes;
+  for (NodeId n = 0; n < 3; ++n) {
+    StabilizerOptions opts;
+    opts.topology = topo;
+    opts.self = n;
+    opts.tracer = tracer;
+    nodes.push_back(std::make_unique<Stabilizer>(opts, cluster.transport(n)));
+  }
+  nodes[0]->register_predicate("all", "MIN($ALLWNODES)");
+  for (int i = 0; i < 16; ++i) nodes[0]->send(to_bytes("x"));
+  sim.run();
+  ASSERT_GT(tracer->dropped(), 0u);
+  // metrics() folds the tracer's drop count into obs.trace_dropped. The
+  // shared tracer's drops appear at whichever node's metrics are read.
+  const obs::Counter* c =
+      nodes[0]->metrics().find_counter("obs.trace_dropped");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), tracer->dropped());
+}
+
+// --- New span coverage ----------------------------------------------------------
+
+TEST(SpanNames, FailoverAndPipelineEventsAreNamed) {
+  EXPECT_STREQ(obs::span_event_name(obs::SpanEvent::kLeaseExpire),
+               "lease_expire");
+  EXPECT_STREQ(obs::span_event_name(obs::SpanEvent::kSuspect), "suspect");
+  EXPECT_STREQ(obs::span_event_name(obs::SpanEvent::kPromote), "promote");
+  EXPECT_STREQ(obs::span_event_name(obs::SpanEvent::kTakeoverApply),
+               "takeover_apply");
+  EXPECT_STREQ(obs::span_event_name(obs::SpanEvent::kFenceDrop),
+               "fence_drop");
+  EXPECT_STREQ(obs::span_event_name(obs::SpanEvent::kRingStall),
+               "ring_stall");
+  // Mask partition: lifecycle + episode = all, disjoint.
+  EXPECT_EQ(obs::kLifecycleEvents | obs::kEpisodeEvents, obs::kAllEvents);
+  EXPECT_EQ(obs::kLifecycleEvents & obs::kEpisodeEvents, 0u);
+  EXPECT_TRUE((obs::kEpisodeEvents &
+               obs::event_bit(obs::SpanEvent::kRingStall)) != 0);
 }
 
 }  // namespace

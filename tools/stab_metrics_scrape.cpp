@@ -1,0 +1,111 @@
+// stab_metrics_scrape — minimal scrape client for the MetricsEndpoint.
+//
+//   stab_metrics_scrape [--host H] [--retries N] [--jsonl] PORT
+//
+// Connects to the endpoint, issues GET /metrics (or /jsonl), prints the
+// response body to stdout, and exits 0 on a 200 response. With --retries,
+// connection refusals are retried with a short sleep — ci.sh starts the
+// demo node in the background and scrapes as soon as the port is up.
+//
+// Deliberately dependency-free (raw sockets, no HTTP library): the tool is
+// the reference consumer of the endpoint's line protocol and doubles as a
+// smoke test that a stock HTTP client (curl) would see the same bytes.
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+namespace {
+
+int dial(const char* host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host, &addr.sin_addr) != 1) {
+    hostent* he = ::gethostbyname(host);
+    if (he == nullptr || he->h_addrtype != AF_INET) {
+      ::close(fd);
+      return -1;
+    }
+    std::memcpy(&addr.sin_addr, he->h_addr, sizeof(addr.sin_addr));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool scrape(const char* host, uint16_t port, const char* path,
+            std::string* out) {
+  int fd = dial(host, port);
+  if (fd < 0) return false;
+  timeval tv{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  std::string req = std::string("GET ") + path + " HTTP/1.0\r\n\r\n";
+  if (::send(fd, req.data(), req.size(), 0) != ssize_t(req.size())) {
+    ::close(fd);
+    return false;
+  }
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+    resp.append(buf, size_t(n));
+  ::close(fd);
+  if (resp.rfind("HTTP/1.0 200", 0) != 0 &&
+      resp.rfind("HTTP/1.1 200", 0) != 0)
+    return false;
+  size_t body = resp.find("\r\n\r\n");
+  if (body == std::string::npos) return false;
+  *out = resp.substr(body + 4);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* host = "127.0.0.1";
+  const char* path = "/metrics";
+  int retries = 0;
+  long port = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
+      host = argv[++i];
+    } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+      retries = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--jsonl") == 0) {
+      path = "/jsonl";
+    } else {
+      port = std::strtol(argv[i], nullptr, 10);
+    }
+  }
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr,
+                 "usage: stab_metrics_scrape [--host H] [--retries N] "
+                 "[--jsonl] PORT\n");
+    return 2;
+  }
+  std::string body;
+  for (int attempt = 0;; ++attempt) {
+    if (scrape(host, uint16_t(port), path, &body)) break;
+    if (attempt >= retries) {
+      std::fprintf(stderr, "stab_metrics_scrape: no response from %s:%ld%s\n",
+                   host, port, path);
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fwrite(body.data(), 1, body.size(), stdout);
+  return 0;
+}
