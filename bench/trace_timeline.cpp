@@ -1,7 +1,7 @@
 // trace_timeline — offline join of a Tracer JSONL export into per-message
 // timelines with critical-path attribution (docs/OBSERVABILITY.md §8).
 //
-//   trace_timeline [--timelines N] [--key KEY] [FILE]
+//   trace_timeline [--timelines N] [--key KEY] [--shard N] [FILE]
 //
 // Reads trace JSONL (from FILE or stdin) and, per (origin, seq), joins the
 // lifecycle spans into one timeline:
@@ -11,7 +11,9 @@
 //
 // using the *last* record of each span kind (the slowest replica chain is
 // what stability waits on) and the first frontier_fire whose frontier
-// covers the sequence. The send→stable interval then decomposes into four
+// covers the sequence. Sharded traces (records carrying a "shard" field;
+// DESIGN.md §9) join per (shard, origin, seq) — each shard is its own
+// sequence space — and --shard N restricts the analysis to one shard. The send→stable interval then decomposes into four
 // segments, and the segment that dominates is the message's critical path:
 //
 //   transmit = t_x - t_b   sequencing → last frame onto the wire
@@ -34,6 +36,7 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
 namespace {
@@ -94,11 +97,14 @@ int main(int argc, char** argv) {
   const char* file = nullptr;
   std::string key_filter;
   size_t show_timelines = 0;
+  int64_t shard_filter = INT64_MIN;  // INT64_MIN = all shards
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--timelines") == 0 && i + 1 < argc) {
       show_timelines = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--key") == 0 && i + 1 < argc) {
       key_filter = argv[++i];
+    } else if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) {
+      shard_filter = std::atoll(argv[++i]);
     } else {
       file = argv[i];
     }
@@ -113,13 +119,16 @@ int main(int argc, char** argv) {
   }
   std::istream& in = file != nullptr ? fin : std::cin;
 
-  // (origin, seq) -> joined timeline. frontier_fire records carry the NEW
+  // (shard, origin, seq) -> joined timeline (shard -1 for unsharded
+  // records — each shard is an independent sequence space, so the shard is
+  // part of the message identity). frontier_fire records carry the NEW
   // frontier in "seq": a fire covers every open span with seq' <= seq, so
   // they are applied after the full read (fires arrive in time order; the
   // first covering fire per message wins).
-  std::map<std::pair<int64_t, int64_t>, Timeline> spans;
+  using SpanKey = std::tuple<int64_t, int64_t, int64_t>;
+  std::map<SpanKey, Timeline> spans;
   struct Fire {
-    int64_t t, origin, upto;
+    int64_t t, shard, origin, upto;
   };
   std::vector<Fire> fires;
   std::map<std::string, uint64_t> episode_counts;
@@ -135,27 +144,29 @@ int main(int argc, char** argv) {
       continue;
     }
     std::string ev;
-    int64_t t = 0, origin = -1, seq = -1;
+    int64_t t = 0, origin = -1, seq = -1, shard = -1;
     if (!find_str(line, "ev", &ev) || !find_i64(line, "t_ns", &t)) continue;
     find_i64(line, "origin", &origin);
     find_i64(line, "seq", &seq);
+    find_i64(line, "shard", &shard);
+    if (shard_filter != INT64_MIN && shard != shard_filter) continue;
     ++records;
     if (ev == "broadcast") {
-      spans[{origin, seq}].broadcast = t;
+      spans[{shard, origin, seq}].broadcast = t;
     } else if (ev == "transmit") {
-      Timeline& tl = spans[{origin, seq}];
+      Timeline& tl = spans[{shard, origin, seq}];
       tl.last_transmit = std::max(tl.last_transmit, t);
     } else if (ev == "deliver") {
-      Timeline& tl = spans[{origin, seq}];
+      Timeline& tl = spans[{shard, origin, seq}];
       tl.last_deliver = std::max(tl.last_deliver, t);
     } else if (ev == "ack_report") {
-      Timeline& tl = spans[{origin, seq}];
+      Timeline& tl = spans[{shard, origin, seq}];
       tl.last_ack = std::max(tl.last_ack, t);
     } else if (ev == "frontier_fire") {
       std::string key;
       find_str(line, "detail", &key);
       if (key_filter.empty() || key == key_filter)
-        fires.push_back({t, origin, seq});
+        fires.push_back({t, shard, origin, seq});
     } else {
       ++episode_counts[ev];  // failover / back-pressure episode markers
     }
@@ -163,10 +174,11 @@ int main(int argc, char** argv) {
 
   for (const Fire& f : fires) {
     // First covering fire per message: fires are read in record order,
-    // which the tracer keeps append- (= time-) ordered.
-    for (auto it = spans.lower_bound({f.origin, INT64_MIN});
-         it != spans.end() && it->first.first == f.origin &&
-         it->first.second <= f.upto;
+    // which the tracer keeps append- (= time-) ordered. A fire only covers
+    // spans of its own (shard, origin) stream.
+    for (auto it = spans.lower_bound({f.shard, f.origin, INT64_MIN});
+         it != spans.end() && std::get<0>(it->first) == f.shard &&
+         std::get<1>(it->first) == f.origin && std::get<2>(it->first) <= f.upto;
          ++it)
       if (it->second.first_covering_fire < 0)
         it->second.first_covering_fire = f.t;
@@ -216,9 +228,12 @@ int main(int argc, char** argv) {
     total.add(tl.first_covering_fire - tl.broadcast);
     if (printed < show_timelines) {
       ++printed;
-      std::printf("origin=%lld seq=%lld  b=%lld%s  (crit: %s)\n",
-                  static_cast<long long>(id.first),
-                  static_cast<long long>(id.second),
+      std::string shard_col;
+      if (std::get<0>(id) >= 0)
+        shard_col = "shard=" + std::to_string(std::get<0>(id)) + " ";
+      std::printf("%sorigin=%lld seq=%lld  b=%lld%s  (crit: %s)\n",
+                  shard_col.c_str(), static_cast<long long>(std::get<1>(id)),
+                  static_cast<long long>(std::get<2>(id)),
                   static_cast<long long>(tl.broadcast), sample_line.c_str(),
                   dom_label.c_str());
     }

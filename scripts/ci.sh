@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 CI: plain build + full ctest, bench smokes (data-plane fan-out and
-# the control-plane dispatch + MT producer curve), a chaos property sweep
+# Tier-1 CI: plain build + full ctest, bench smokes (data-plane fan-out,
+# the control-plane dispatch + MT producer curve, and the sharded scale-out
+# throughput floor), a chaos property sweep
 # under fresh random seeds, then sanitizer passes: one configurable pass over
 # the control-plane/core suites (the indexed dispatch / batched ack hot path,
 # its re-entrant callback surface, and the lock-free pipeline's MT suite)
@@ -40,6 +41,12 @@ echo "==> control-plane hot path bench (smoke: dispatch + MT producer curve)"
 # full-mode only; the smoke pass exercises the digest-equality assertions
 # (indexed-vs-legacy, pipelined-vs-locked) without enforcing timing floors.
 (cd "$ROOT/build" && bench/bench_control_hotpath --smoke)
+
+echo "==> shard scale-out bench (smoke: 1 vs 2 shards, >=1.5x floor)"
+# The committed BENCH_shard_scaling.json at the repo root is full-mode only
+# (1/2/4/8 shards, >=3x floor at 4); the smoke pass runs the same end-to-end
+# coalesced-path workload at 1 and 2 shards and exits nonzero below 1.5x.
+(cd "$ROOT/build" && bench/bench_shard_scaling --smoke)
 
 echo "==> metrics endpoint smoke (live TCP cluster + 2 scrapes mid-traffic)"
 # Stand up the 3-node loopback demo with a kernel-assigned port, scrape the
@@ -153,13 +160,16 @@ fi
 SAN_DIR="$ROOT/build-$SAN"
 echo "==> $SAN sanitizer: configure + build (build-$SAN/)"
 cmake -B "$SAN_DIR" -S "$ROOT" -DSTAB_SANITIZE="$SAN" "$@"
-cmake --build "$SAN_DIR" -j --target control_test core_test core_mt_test obs_test
+cmake --build "$SAN_DIR" -j \
+  --target control_test core_test core_mt_test obs_test shard_test
 
-echo "==> $SAN sanitizer: control_test + core_test + core_mt_test + obs_test"
+echo "==> $SAN sanitizer: control_test + core_test + core_mt_test" \
+     "+ obs_test + shard_test"
 "$SAN_DIR/tests/control_test"
 "$SAN_DIR/tests/core_test"
 "$SAN_DIR/tests/core_mt_test"
 "$SAN_DIR/tests/obs_test"
+"$SAN_DIR/tests/shard_test"
 
 # Fault-handling suites under the full sanitizer matrix — ASan, TSan, and
 # UBSan as real legs: the crash-restart path destroys and rebuilds
@@ -186,7 +196,9 @@ for FSAN in address thread undefined; do
     # facade use — it runs here unconditionally even when STAB_CI_SANITIZER
     # selects a different flavor for the configurable pass above. The
     # pipeline-enabled chaos campaign (ChaosCampaign.PipelinedAgreesWith-
-    # LockedPostHeal + the odd sweep seeds) already ran as part of
+    # LockedPostHeal + the odd sweep seeds) and the sharded campaigns
+    # (ShardedChaos.*: per-shard failover domains + per-shard pipelined-vs-
+    # locked digest equality, DESIGN.md §9) already ran as part of
     # chaos_test just above.
     echo "==> $FSAN sanitizer: net_test (shared fan-out) + obs_test" \
          "+ core_mt_test (pipeline)"

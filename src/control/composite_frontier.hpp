@@ -1,0 +1,86 @@
+// Composite cross-shard stability predicates (DESIGN.md §9).
+//
+// A keyspace-sharded deployment runs one FrontierEngine per shard, each
+// publishing its per-key frontiers through its own epoch-snapshot
+// FrontierBoard. A cross-shard predicate ("is key k stable at cut C?") is
+// answered by *min-combining* the member shards' frontiers: the composite
+// frontier of key k is min over shards s of frontier_s(k), so it can never
+// exceed any member shard and advances only when every shard advances —
+// exactly the semantics of a conjunction of per-shard waitfors.
+//
+// The combine runs entirely on board reads: wait-free, no shard lock is
+// touched, and each element of the returned vector is individually a
+// consistent published snapshot (the vector as a whole is a fuzzy cut, which
+// is sound for stability because frontiers are monotone: every element is a
+// *lower bound* on that shard's current frontier, so min-combine under-
+// approximates and never reports unstable data as stable).
+#pragma once
+
+#include <algorithm>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "control/frontier_board.hpp"
+
+namespace stab::control {
+
+/// A cross-shard cut: entry s is a sequence number in shard s's stream
+/// space (kNoSeq = "no requirement on this shard").
+using ShardCut = std::vector<SeqNum>;
+
+/// Read-side view over the per-shard FrontierBoards of one predicate key.
+/// Holds non-owning pointers: the boards must outlive the composite (they
+/// live inside the per-shard engines, which the sharded facade owns).
+class CompositeFrontier {
+ public:
+  explicit CompositeFrontier(std::vector<const FrontierBoard*> boards)
+      : boards_(std::move(boards)) {}
+
+  size_t num_shards() const { return boards_.size(); }
+
+  /// Per-shard frontier vector of `key`, one wait-free board read per shard.
+  /// A shard that has not published the key reads as kNoSeq (its frontier
+  /// for the key is "nothing", which correctly dominates the min).
+  ShardCut snapshot(std::string_view key) const {
+    ShardCut cut;
+    cut.reserve(boards_.size());
+    for (const FrontierBoard* b : boards_) {
+      auto f = b->read(key);
+      cut.push_back(f ? *f : kNoSeq);
+    }
+    return cut;
+  }
+
+  /// Min-combined composite frontier of `key`: never exceeds any member
+  /// shard's frontier, monotone under per-shard advances.
+  SeqNum combined(std::string_view key) const {
+    SeqNum m = kNoSeq;
+    bool first = true;
+    for (const FrontierBoard* b : boards_) {
+      auto f = b->read(key);
+      const SeqNum v = f ? *f : kNoSeq;
+      m = first ? v : std::min(m, v);
+      first = false;
+    }
+    return m;
+  }
+
+  /// True iff the frontier vector covers the cut shard-wise: for every
+  /// shard s with cut[s] != kNoSeq, frontiers[s] >= cut[s]. A cut entry of
+  /// kNoSeq is vacuously covered (no requirement). Vectors shorter than the
+  /// other are treated as kNoSeq-padded.
+  static bool covers(const ShardCut& frontiers, const ShardCut& cut) {
+    for (size_t s = 0; s < cut.size(); ++s) {
+      if (cut[s] == kNoSeq) continue;
+      const SeqNum f = s < frontiers.size() ? frontiers[s] : kNoSeq;
+      if (f < cut[s]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<const FrontierBoard*> boards_;
+};
+
+}  // namespace stab::control

@@ -82,6 +82,7 @@ Stabilizer::Stabilizer(StabilizerOptions options, Transport& transport)
         options_.topology, options_.self, types_, options_.eval_mode));
 
 #if STAB_OBS_ENABLED
+  metrics_.set_shard(options_.shard_label);
   tracer_ = options_.tracer.get();
   probe_ = options_.probe.get();
   // All origin engines share the node-wide lag/eval histograms; per-key lag

@@ -149,6 +149,12 @@ struct StabilizerOptions {
   /// upcall returns.
   bool auto_report_delivered = true;
 
+  /// Shard attribution (DESIGN.md §9): set by the sharded facade to the
+  /// instance's shard id so this node's metrics registry (and through it
+  /// the /metrics exposition and JSONL exports) labels every series with
+  /// the shard. -1 = unsharded (the default; exports unchanged).
+  int shard_label = -1;
+
 #if STAB_OBS_ENABLED
   /// Opt-in message-lifecycle tracer (docs/OBSERVABILITY.md). Usually one
   /// Tracer is shared by every node of a cluster so a message's broadcast,

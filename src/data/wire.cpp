@@ -243,6 +243,33 @@ Bytes encode(const ResumeFrame& frame) {
   return out;
 }
 
+// SHARD envelope: u8 kind (0x50) | u16 shard | inner frame bytes. The inner
+// frame is appended raw (no length prefix) — the envelope always wraps one
+// whole transport frame, so the inner extent is "the rest of the buffer".
+// Not WIRE_COUNTed: the wrapped inner frame is counted by its own codec, and
+// the mux keeps its own demux counters.
+Bytes encode_shard_frame(uint32_t shard, BytesView inner) {
+  if (shard > 0xFFFF) throw CodecError("shard id exceeds u16 envelope range");
+  Writer w(kShardEnvelopeBytes + inner.size());
+  w.u8(kShardEnvelopeKind);
+  w.u16(static_cast<uint16_t>(shard));
+  w.raw(inner.data(), inner.size());
+  return std::move(w).take();
+}
+
+bool is_shard_frame(BytesView frame) {
+  return !frame.empty() && frame[0] == kShardEnvelopeKind;
+}
+
+ShardFrameView decode_shard_view(BytesView frame) {
+  Reader r(frame);
+  if (r.u8() != kShardEnvelopeKind) throw CodecError("not a SHARD envelope");
+  ShardFrameView out;
+  out.shard = r.u16();
+  out.inner = frame.subspan(kShardEnvelopeBytes);
+  return out;
+}
+
 std::optional<FrameKind> peek_kind(BytesView frame) {
   if (frame.empty()) return std::nullopt;
   uint8_t k = frame[0];

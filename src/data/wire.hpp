@@ -119,6 +119,31 @@ struct ResumeFrame {
   PrimaryEpoch primary_epoch = 0;
 };
 
+/// Shard-tagged link envelope (DESIGN.md §9). A keyspace-sharded node runs
+/// one Stabilizer instance per shard; when several shards multiplex one
+/// transport link, every frame of shard s travels wrapped in
+///   SHARD  u8 kind (0x50) | u16 shard | inner frame bytes
+/// so the receiving ShardMux can demultiplex straight into shard s's
+/// delivery path without touching any other shard's locks. The envelope is
+/// a *transport-layer* construct: it claims one kind byte (0x50) of the
+/// application range, and the wrapped inner frame — DATA, ACKBATCH, or any
+/// raw application frame — is what the shard's Stabilizer sees.
+inline constexpr uint8_t kShardEnvelopeKind = 0x50;
+inline constexpr size_t kShardEnvelopeBytes = 1 + 2;  // kind + u16 shard
+
+/// Zero-copy view of a decoded shard envelope: `inner` aliases `frame`.
+struct ShardFrameView {
+  uint32_t shard = 0;
+  BytesView inner;
+};
+
+Bytes encode_shard_frame(uint32_t shard, BytesView inner);
+/// True iff the leading kind byte is the shard envelope.
+bool is_shard_frame(BytesView frame);
+/// Throws CodecError on malformed input (including shard > u16 range at
+/// encode time — a mux never has 65k shards).
+ShardFrameView decode_shard_view(BytesView frame);
+
 Bytes encode(const DataFrame& frame);
 Bytes encode(const AckBatchFrame& frame);
 Bytes encode(const ResumeFrame& frame);

@@ -1,0 +1,75 @@
+// Sharded stability suffix for predicate keys (DESIGN.md §9).
+//
+// A keyspace-sharded deployment registers the same predicate program under
+// the same key on every shard's FrontierEngine; a *reference* to the key
+// then carries an optional shard scope suffix:
+//
+//   "checkout"        composite — min-combine the frontier across all shards
+//   "checkout@all"    explicit spelling of the composite form
+//   "checkout@3"      the frontier of shard 3 alone
+//
+// The suffix scopes *reads and waits* (which shard's frontier answers), not
+// registration — registration always fans out, so every shard can answer
+// both scoped and composite references. '@' cannot appear in a plain
+// predicate key: registration rejects it (parse_shard_ref on the bare key),
+// so suffixed references are unambiguous.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace stab::dsl {
+
+struct ShardKeyRef {
+  enum class Scope : uint8_t {
+    kCombined,  // plain key or "@all": min-combine across every shard
+    kOne,       // "@<n>": shard n only
+  };
+
+  std::string_view base;  // key without the suffix; aliases the input
+  Scope scope = Scope::kCombined;
+  uint32_t shard = 0;  // meaningful only when scope == kOne
+};
+
+/// Parses a predicate-key reference with an optional "@all" / "@<n>" shard
+/// suffix. Returns nullopt on a malformed suffix ("k@", "k@x", "k@1x",
+/// "k@@2") or an empty base ("@3") — callers surface that as a bad-key
+/// error rather than silently treating the whole string as a key.
+inline std::optional<ShardKeyRef> parse_shard_ref(std::string_view ref) {
+  ShardKeyRef out;
+  const size_t at = ref.rfind('@');
+  if (at == std::string_view::npos) {
+    if (ref.empty()) return std::nullopt;
+    out.base = ref;
+    return out;
+  }
+  out.base = ref.substr(0, at);
+  if (out.base.empty() || out.base.find('@') != std::string_view::npos)
+    return std::nullopt;
+  const std::string_view suffix = ref.substr(at + 1);
+  if (suffix == "all") return out;
+  if (suffix.empty()) return std::nullopt;
+  uint64_t n = 0;
+  for (char c : suffix) {
+    if (c < '0' || c > '9') return std::nullopt;
+    n = n * 10 + static_cast<uint64_t>(c - '0');
+    if (n > 0xFFFF) return std::nullopt;  // matches the wire envelope range
+  }
+  out.scope = ShardKeyRef::Scope::kOne;
+  out.shard = static_cast<uint32_t>(n);
+  return out;
+}
+
+/// Canonical printed form: base for kCombined, "base@<n>" for kOne.
+inline std::string shard_ref_string(const ShardKeyRef& ref) {
+  std::string s(ref.base);
+  if (ref.scope == ShardKeyRef::Scope::kOne) {
+    s += '@';
+    s += std::to_string(ref.shard);
+  }
+  return s;
+}
+
+}  // namespace stab::dsl

@@ -1,6 +1,7 @@
 #include "kv/wan_kv.hpp"
 
 #include "common/logging.hpp"
+#include "shard/shard_router.hpp"
 
 namespace stab::kv {
 
@@ -13,15 +14,6 @@ constexpr uint8_t kErase = 4;
 // Conservative per-chunk header allowance inside the split budget.
 constexpr uint64_t kChunkOverhead = 16;
 
-NodeId hash_owner(const std::string& key, size_t n) {
-  uint64_t h = 1469598103934665603ULL;
-  for (char c : key) {
-    h ^= static_cast<uint8_t>(c);
-    h *= 1099511628211ULL;
-  }
-  return static_cast<NodeId>(h % n);
-}
-
 }  // namespace
 
 WanKV::WanKV(Stabilizer& stabilizer, store::LocalStore& local, OwnerFn owner)
@@ -30,8 +22,15 @@ WanKV::WanKV(Stabilizer& stabilizer, store::LocalStore& local, OwnerFn owner)
       owner_(std::move(owner)),
       applied_through_(stabilizer.topology().num_nodes(), kNoSeq) {
   if (!owner_) {
-    size_t n = stabilizer_.topology().num_nodes();
-    owner_ = [n](const std::string& key) { return hash_owner(key, n); };
+    // Key routing is unified on ShardRouter (DESIGN.md §9): kHash mode is
+    // the same FNV-1a-mod-n placement this default has always used, and a
+    // sharded deployment that routes the same keys across shard instances
+    // agrees with the KV owner placement by construction.
+    const shard::ShardRouter router(
+        static_cast<uint32_t>(stabilizer_.topology().num_nodes()));
+    owner_ = [router](const std::string& key) {
+      return static_cast<NodeId>(router.shard_of(std::string_view(key)));
+    };
   }
   stabilizer_.set_delivery_handler(
       [this](NodeId origin, SeqNum seq, BytesView payload, uint64_t wire) {

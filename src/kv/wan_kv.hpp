@@ -21,8 +21,10 @@
 namespace stab::kv {
 
 /// Maps a key to its owning WAN node. The default owner function hashes the
-/// key over the cluster; deployments with explicit pools (e.g. "siteX/...")
-/// install their own.
+/// key over the cluster with shard::ShardRouter's kHash placement (so a
+/// sharded deployment routing the same keys across shard instances agrees
+/// with the owner placement by construction — DESIGN.md §9); deployments
+/// with explicit pools (e.g. "siteX/...") install their own.
 using OwnerFn = std::function<NodeId(const std::string&)>;
 
 struct PutResult {

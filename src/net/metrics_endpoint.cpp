@@ -31,29 +31,46 @@ std::string prom_name(std::string_view name) {
   return out;
 }
 
+// Label set from a registry's shard dimension (DESIGN.md §9): a sharded
+// node's per-shard registries render with {shard="N"} so the per-shard
+// series stay separable; an unsharded registry (-1) renders label-free,
+// byte-identical to the pre-shard exposition.
+std::string shard_labels(const obs::MetricsRegistry& reg) {
+  const int s = reg.shard();
+  if (s < 0) return {};
+  return "shard=\"" + std::to_string(s) + "\"";
+}
+
 void render_summary(std::ostream& out, const std::string& name,
-                    const obs::Histogram::Snapshot& s) {
+                    const obs::Histogram::Snapshot& s,
+                    const std::string& labels = {}) {
+  // Quantile samples merge the shard label with the quantile label; the
+  // _sum/_count samples carry the shard label alone.
+  const std::string qpfx = labels.empty() ? "{" : "{" + labels + ",";
+  const std::string plain = labels.empty() ? "" : "{" + labels + "}";
   out << "# TYPE " << name << " summary\n";
-  out << name << "{quantile=\"0.5\"} " << s.p50 << "\n";
-  out << name << "{quantile=\"0.95\"} " << s.p95 << "\n";
-  out << name << "{quantile=\"0.99\"} " << s.p99 << "\n";
-  out << name << "{quantile=\"0.999\"} " << s.p999 << "\n";
-  out << name << "_sum " << s.sum << "\n";
-  out << name << "_count " << s.count << "\n";
+  out << name << qpfx << "quantile=\"0.5\"} " << s.p50 << "\n";
+  out << name << qpfx << "quantile=\"0.95\"} " << s.p95 << "\n";
+  out << name << qpfx << "quantile=\"0.99\"} " << s.p99 << "\n";
+  out << name << qpfx << "quantile=\"0.999\"} " << s.p999 << "\n";
+  out << name << "_sum" << plain << " " << s.sum << "\n";
+  out << name << "_count" << plain << " " << s.count << "\n";
 }
 
 void render_registry(std::ostream& out, std::string_view prefix,
                      const obs::MetricsRegistry& reg) {
+  const std::string labels = shard_labels(reg);
+  const std::string plain = labels.empty() ? "" : "{" + labels + "}";
   for (const std::string& raw : reg.names()) {
     const std::string name = prom_name(std::string(prefix) + raw);
     if (const obs::Counter* c = reg.find_counter(raw)) {
       out << "# TYPE " << name << " counter\n";
-      out << name << " " << c->value() << "\n";
+      out << name << plain << " " << c->value() << "\n";
     } else if (const obs::Gauge* g = reg.find_gauge(raw)) {
       out << "# TYPE " << name << " gauge\n";
-      out << name << " " << g->value() << "\n";
+      out << name << plain << " " << g->value() << "\n";
     } else if (const obs::Histogram* h = reg.find_histogram(raw)) {
-      render_summary(out, name, h->snapshot());
+      render_summary(out, name, h->snapshot(), labels);
     }
   }
 }
@@ -157,7 +174,7 @@ std::string MetricsEndpoint::render_prometheus() const {
     // dashboard can plot recent percentiles next to since-boot ones.
     for (const std::string& w : p.probe->window_names())
       render_summary(out, prom_name(p.prefix + w + ".window"),
-                     p.probe->windowed(w));
+                     p.probe->windowed(w), shard_labels(p.probe->registry()));
   }
   return out.str();
 }

@@ -270,16 +270,25 @@ void MetricsRegistry::dump_jsonl(std::ostream& out,
                                  std::string_view prefix) const {
   std::lock_guard<std::mutex> lock(mu_);
   const std::string pfx(prefix);
+  // Shard dimension as a dedicated field, not folded into the name: readers
+  // group by (name, shard). Omitted when unsharded so pre-shard consumers
+  // see an unchanged format.
+  std::string shard_field;
+  if (const int s = shard(); s >= 0)
+    shard_field = ",\"shard\":" + std::to_string(s);
   for (const auto& [name, c] : counters_)
     out << "{\"name\":\"" << json_escape(pfx + name)
-        << "\",\"type\":\"counter\",\"value\":" << c->value() << "}\n";
+        << "\",\"type\":\"counter\"" << shard_field
+        << ",\"value\":" << c->value() << "}\n";
   for (const auto& [name, g] : gauges_)
     out << "{\"name\":\"" << json_escape(pfx + name)
-        << "\",\"type\":\"gauge\",\"value\":" << g->value() << "}\n";
+        << "\",\"type\":\"gauge\"" << shard_field
+        << ",\"value\":" << g->value() << "}\n";
   for (const auto& [name, h] : histograms_) {
     auto s = h->snapshot();
     out << "{\"name\":\"" << json_escape(pfx + name)
-        << "\",\"type\":\"histogram\",\"count\":" << s.count
+        << "\",\"type\":\"histogram\"" << shard_field
+        << ",\"count\":" << s.count
         << ",\"sum\":" << s.sum << ",\"min\":" << s.min << ",\"max\":" << s.max
         << ",\"p50\":" << s.p50 << ",\"p95\":" << s.p95 << ",\"p99\":" << s.p99
         << ",\"p999\":" << s.p999 << ",\"buckets\":[";

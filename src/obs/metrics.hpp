@@ -181,6 +181,15 @@ class MetricsRegistry {
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
 
+  /// Optional shard dimension (DESIGN.md §9): a sharded node runs one
+  /// registry per shard instance, and the shard id set here rides along in
+  /// every export — dump_jsonl emits a "shard" field and the Prometheus
+  /// endpoint a {shard="N"} label — so per-shard series stay separable
+  /// instead of aggregating silently. -1 (the default) = unsharded: exports
+  /// are byte-identical to the pre-shard format.
+  void set_shard(int shard) { shard_.store(shard, std::memory_order_relaxed); }
+  int shard() const { return shard_.load(std::memory_order_relaxed); }
+
   /// Lookup without creation (exporters, tests); nullptr when absent.
   const Counter* find_counter(std::string_view name) const;
   const Gauge* find_gauge(std::string_view name) const;
@@ -200,6 +209,7 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mu_;  // guards the maps, not the metrics
+  std::atomic<int> shard_{-1};
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;

@@ -41,8 +41,19 @@ void Tracer::record(TimePoint t, SpanEvent ev, NodeId node, NodeId origin,
   r.origin = origin;
   r.seq = seq;
   r.peer = peer;
+  r.shard = shard_;
   r.detail.assign(detail.data(), detail.size());
   records_.push_back(std::move(r));
+}
+
+void Tracer::set_shard(int32_t shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  shard_ = shard;
+}
+
+int32_t Tracer::shard() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shard_;
 }
 
 size_t Tracer::size() const {
@@ -73,6 +84,7 @@ void Tracer::export_jsonl(std::ostream& out) const {
         << "\",\"node\":" << r.node << ",\"origin\":" << r.origin
         << ",\"seq\":" << r.seq;
     if (r.peer != kInvalidNode) out << ",\"peer\":" << r.peer;
+    if (r.shard >= 0) out << ",\"shard\":" << r.shard;
     if (!r.detail.empty()) out << ",\"detail\":\"" << r.detail << "\"";
     out << "}\n";
   }

@@ -75,6 +75,7 @@ class Tracer {
     NodeId origin = kInvalidNode;      // stream the sequence belongs to
     SeqNum seq = kNoSeq;
     NodeId peer = kInvalidNode;        // transmit dst / deliver src / report subject
+    int32_t shard = -1;                // recording instance's shard (-1 = unsharded)
     std::string detail;                // predicate key / stability type name
   };
 
@@ -89,6 +90,16 @@ class Tracer {
               SeqNum seq, NodeId peer = kInvalidNode,
               std::string_view detail = {});
 
+  /// Shard dimension (DESIGN.md §9): every record appended after this call
+  /// is stamped with `shard`, and export_jsonl emits it as a "shard" field —
+  /// so a sharded node's per-shard tracers merge into one timeline without
+  /// losing attribution. -1 (the default) leaves records unstamped and the
+  /// export format unchanged. Call before traffic starts (a sharded facade
+  /// stamps its per-shard tracers at construction); not synchronized against
+  /// in-flight record() calls beyond the record mutex.
+  void set_shard(int32_t shard);
+  int32_t shard() const;
+
   size_t size() const;
   uint64_t dropped() const;
   void clear();
@@ -98,8 +109,9 @@ class Tracer {
 
   /// JSON-lines export, one record per line in append order:
   ///   {"t_ns":..,"ev":"deliver","node":1,"origin":0,"seq":7,"peer":0}
-  /// "peer" and "detail" are omitted when unset; no other optional fields —
-  /// byte-identical across runs whenever the recorded history is identical.
+  /// "peer", "shard", and "detail" are omitted when unset; no other
+  /// optional fields — byte-identical across runs whenever the recorded
+  /// history is identical.
   void export_jsonl(std::ostream& out) const;
 
  private:
@@ -108,6 +120,7 @@ class Tracer {
   mutable std::mutex mu_;
   std::vector<Record> records_;
   uint64_t dropped_ = 0;
+  int32_t shard_ = -1;  // stamped into every record; under mu_
 };
 
 }  // namespace stab::obs

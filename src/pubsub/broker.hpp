@@ -23,6 +23,7 @@
 #include <set>
 
 #include "core/stabilizer.hpp"
+#include "shard/shard_router.hpp"
 #include "store/local_store.hpp"
 
 namespace stab::pubsub {
@@ -99,6 +100,18 @@ class Broker {
 
   std::string predicate_key(const std::string& topic) const {
     return options_.predicate_key_prefix + "/" + topic;
+  }
+
+  /// Sharded deployments (DESIGN.md §9) run one Broker per shard instance
+  /// and route each topic to one shard with the same ShardRouter the data
+  /// path uses — a topic's whole stream then lives in a single shard's
+  /// sequence space, so per-topic FIFO delivery order is preserved across
+  /// the scale-out. Publishers and subscribers pick the broker via this
+  /// helper and need no further coordination (the routing is a pure
+  /// function of the topic name).
+  static uint32_t shard_of_topic(const std::string& topic,
+                                 const shard::ShardRouter& router) {
+    return router.shard_of(std::string_view(topic));
   }
 
   Stabilizer& stabilizer() { return stabilizer_; }

@@ -1,0 +1,70 @@
+// Keyspace partitioning for the sharded facade (DESIGN.md §9).
+//
+// A ShardRouter maps a routing key (a KV key, a pub/sub topic, any
+// application byte string) onto one of N shards. Both parties of a stream —
+// the sending facade and every mirror's demux — route with the same
+// (mode, num_shards) configuration, so a key's shard is a pure function of
+// the key and the placement never has to be communicated.
+//
+//   kHash  — FNV-1a over the key bytes, mod N. The default: spreads any key
+//            population uniformly, no tuning.
+//   kRange — the key's first 8 bytes as a big-endian integer, scaled onto
+//            [0, N). Preserves key order across shards (lexicographically
+//            adjacent keys land in the same or adjacent shards), for
+//            workloads that scan ranges and want locality over uniformity.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace stab::shard {
+
+class ShardRouter {
+ public:
+  enum class Mode : uint8_t { kHash, kRange };
+
+  explicit ShardRouter(uint32_t num_shards, Mode mode = Mode::kHash)
+      : num_shards_(num_shards == 0 ? 1 : num_shards), mode_(mode) {}
+
+  uint32_t num_shards() const { return num_shards_; }
+  Mode mode() const { return mode_; }
+
+  uint32_t shard_of(BytesView key) const {
+    if (num_shards_ == 1) return 0;
+    return mode_ == Mode::kHash ? hash_shard(key) : range_shard(key);
+  }
+  uint32_t shard_of(std::string_view key) const {
+    return shard_of(BytesView(reinterpret_cast<const uint8_t*>(key.data()),
+                              key.size()));
+  }
+
+ private:
+  uint32_t hash_shard(BytesView key) const {
+    // FNV-1a, 64-bit — same family as the chaos digests; cheap and uniform.
+    uint64_t h = 1469598103934665603ull;
+    for (uint8_t b : key) {
+      h ^= b;
+      h *= 1099511628211ull;
+    }
+    return static_cast<uint32_t>(h % num_shards_);
+  }
+
+  uint32_t range_shard(BytesView key) const {
+    // Big-endian prefix -> the integer order matches lexicographic key
+    // order, so contiguous key ranges map to contiguous shard ranges.
+    uint64_t prefix = 0;
+    for (size_t i = 0; i < 8; ++i) {
+      prefix <<= 8;
+      if (i < key.size()) prefix |= key[i];
+    }
+    // Scale via the high 32 bits to avoid u64 overflow in prefix * N.
+    return static_cast<uint32_t>((prefix >> 32) * num_shards_ >> 32);
+  }
+
+  uint32_t num_shards_;
+  Mode mode_;
+};
+
+}  // namespace stab::shard

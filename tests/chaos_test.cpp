@@ -28,8 +28,10 @@
 #include <vector>
 
 #include "core/stabilizer.hpp"
+#include "failover/failover.hpp"
 #include "net/sim_transport.hpp"
 #include "obs/obs.hpp"
+#include "shard/sharded_stabilizer.hpp"
 #include "sim/chaos.hpp"
 
 namespace stab {
@@ -727,6 +729,248 @@ TEST(ChaosStats, LossCampaignSurfacesRetransmitPair) {
       << "plain loss must not look like a crash";
 }
 #endif  // STAB_OBS_ENABLED
+
+// --- sharded campaigns (DESIGN.md §9) -----------------------------------------
+//
+// A sharded node is N full Stabilizer instances over N independent networks
+// (the scale-out shape), each with its own primary epoch. These campaigns
+// pin the two §9 guarantees chaos can threaten:
+//   * per-shard failover domains — deposing one shard's primary fences
+//     exactly that shard's waiters while the other shard's frontier keeps
+//     advancing through the fault window, and
+//   * per-shard digest stability — the pipelined control plane lands every
+//     shard on the same post-heal state as the locked baseline, per seed.
+
+/// 3 nodes x 2 shards in scale-out shape. Shard 1's network carries the
+/// chaos schedule; shard 0's stays clean unless a second schedule is armed.
+struct ShardedChaosCluster {
+  ShardedChaosCluster(uint64_t seed, StabilizerOptions base,
+                      bool with_failover) {
+    topo_ = chaos_mesh(3, {"r0", "r1", "r2"});
+    const size_t n = topo_.num_nodes();
+    for (uint32_t s = 0; s < kShards; ++s) {
+      clusters.push_back(std::make_unique<SimCluster>(topo_, sim));
+      clusters.back()->network().set_drop_rng_seed(seed ^ s);
+      schedules.push_back(std::make_unique<sim::ChaosSchedule>(
+          sim, clusters.back()->network()));
+    }
+    logs.assign(n, std::vector<std::vector<std::vector<SeqNum>>>(
+                       kShards, std::vector<std::vector<SeqNum>>(n)));
+    for (NodeId id = 0; id < n; ++id) {
+      shard::ShardedOptions opts;
+      opts.base = base;
+      opts.base.topology = topo_;
+      opts.base.self = id;
+      opts.num_shards = kShards;
+      std::vector<Transport*> transports;
+      for (auto& c : clusters) transports.push_back(&c->transport(id));
+      nodes.push_back(std::make_unique<shard::ShardedStabilizer>(
+          std::move(opts), transports));
+      nodes.back()->set_delivery_handler(
+          [this, id](shard::ShardId shard, NodeId origin, SeqNum seq,
+                     BytesView, uint64_t) {
+            logs[id][shard][origin].push_back(seq);
+          });
+      EXPECT_TRUE(
+          nodes.back()->register_predicate("all", "MIN($ALLWNODES)").is_ok());
+    }
+    if (with_failover) {
+      failover::FailoverOptions guard;
+      guard.stream = 0;
+      guard.lease_interval = millis(100);
+      guard.lease_timeout = millis(500);
+      guard.suspect_gather = millis(50);
+      guard.reconcile_timeout = millis(200);
+      guard.paxos_retry = millis(100);
+      managers.resize(n);
+      for (NodeId id = 0; id < n; ++id)
+        for (uint32_t s = 0; s < kShards; ++s) {
+          managers[id].push_back(std::make_unique<failover::FailoverManager>(
+              guard, nodes[id]->shard(s)));
+          managers[id].back()->start();
+        }
+    }
+  }
+
+  ~ShardedChaosCluster() {
+    for (auto& per_node : managers)
+      for (auto& m : per_node) m.reset();
+  }
+
+  shard::ShardedStabilizer& node(NodeId id) { return *nodes.at(id); }
+
+  /// Node 0 drives both shards' streams every `interval` until `until`
+  /// (sends into faults included; fenced sends return kFencedSeq and are
+  /// intentionally ignored — the zombie keeps trying).
+  void start_traffic(Duration interval, TimePoint until) {
+    sim.schedule_after(interval, [this, interval, until] {
+      if (sim.now() > until) return;
+      for (uint32_t s = 0; s < kShards; ++s)
+        nodes[0]->send_to_shard(s, to_bytes("m"));
+      start_traffic(interval, until);
+    });
+  }
+
+  /// Mode-independent post-heal state of one shard across the cluster.
+  std::string shard_digest(uint32_t s) const {
+    std::ostringstream os;
+    const size_t n = topo_.num_nodes();
+    for (NodeId o = 0; o < n; ++o) {
+      os << "n" << o << " last=" << nodes[o]->shard(s).last_sent();
+      for (NodeId g = 0; g < n; ++g) {
+        os << " [" << g << " d=" << nodes[o]->shard(s).delivered_through(g)
+           << " all=" << nodes[o]->shard(s).get_stability_frontier("all", g);
+        uint64_t h = 1469598103934665603ULL;  // FNV-1a over the delivery log
+        for (SeqNum q : logs[o][s][g])
+          h = (h ^ static_cast<uint64_t>(q)) * 1099511628211ULL;
+        os << " log=" << logs[o][s][g].size() << ":" << h << "]";
+      }
+      os << "\n";
+    }
+    return os.str();
+  }
+
+  static constexpr uint32_t kShards = 2;
+  Topology topo_;
+  sim::Simulator sim;
+  std::vector<std::unique_ptr<SimCluster>> clusters;            // [shard]
+  std::vector<std::unique_ptr<sim::ChaosSchedule>> schedules;   // [shard]
+  // [node][shard][origin] -> delivered seqs, in order.
+  std::vector<std::vector<std::vector<std::vector<SeqNum>>>> logs;
+  std::vector<std::vector<std::unique_ptr<failover::FailoverManager>>>
+      managers;  // [node][shard]
+  std::vector<std::unique_ptr<shard::ShardedStabilizer>> nodes;
+};
+
+// Kill one shard's primary (partition node 0 away on shard 1's network long
+// enough for the lease to lapse and the mirrors to elect): ONLY shard 1's
+// waiters fail with kFenced; shard 0's stream, waiters, and frontier sail
+// through the whole fault window untouched.
+TEST(ShardedChaos, DeposedShardPrimaryFencesOnlyThatShard) {
+  StabilizerOptions base = chaos_base_options();
+  base.retransmit_timeout = millis(150);
+  ShardedChaosCluster c(/*seed=*/0x51AD, base, /*with_failover=*/true);
+
+  ChaosScript script;
+  sim::add_partition(script, seconds(2), seconds(2), {{0}, {1, 2}});
+  sim::finalize_script(script);
+  c.schedules[1]->arm(script);  // shard 1's network only
+
+  c.start_traffic(millis(10), seconds(7));
+
+  // Parked at t=1.5s, before the fault: a cross-shard cut whose shard-1
+  // member is unreachable, and a shard-0-only cut that must stay healthy.
+  bool mixed_fired = false, clean_fired = false;
+  auto mixed = Stabilizer::WaitStatus::kTimeout;
+  auto clean = Stabilizer::WaitStatus::kTimeout;
+  SeqNum frontier0_at_fault = kNoSeq;
+  c.sim.schedule_at(from_sec(1.5), [&] {
+    const SeqNum reachable0 = c.node(0).shard(0).last_sent() + 10;
+    const SeqNum unreachable1 = c.node(0).shard(1).last_sent() + 100000;
+    ASSERT_TRUE(c.node(0)
+                    .waitfor_cut({reachable0, unreachable1}, "all",
+                                 [&](Stabilizer::WaitStatus s) {
+                                   mixed_fired = true;
+                                   mixed = s;
+                                 })
+                    .is_ok());
+    ASSERT_TRUE(c.node(0)
+                    .waitfor_cut({reachable0, kNoSeq}, "all",
+                                 [&](Stabilizer::WaitStatus s) {
+                                   clean_fired = true;
+                                   clean = s;
+                                 })
+                    .is_ok());
+  });
+  c.sim.schedule_at(from_sec(2.0), [&] {
+    frontier0_at_fault = c.node(0).get_stability_frontier("all@0");
+  });
+
+  c.sim.run_until(seconds(16));
+
+  // Exactly one mirror won shard 1's election; nobody touched shard 0.
+  NodeId winner = kInvalidNode;
+  for (NodeId id = 1; id < 3; ++id) {
+    if (c.managers[id][1]->promoted()) {
+      EXPECT_EQ(winner, kInvalidNode);
+      winner = id;
+    }
+    EXPECT_FALSE(c.managers[id][0]->promoted()) << "node " << id;
+  }
+  ASSERT_NE(winner, kInvalidNode);
+
+  // The healed zombie self-fenced on shard 1 alone: shard 1 refuses sends,
+  // shard 0 still sequences.
+  EXPECT_TRUE(c.node(0).shard(1).self_fenced());
+  EXPECT_FALSE(c.node(0).shard(0).self_fenced());
+  EXPECT_EQ(c.node(0).send_to_shard(1, to_bytes("zombie")).seq, kFencedSeq);
+  EXPECT_GE(c.node(0).send_to_shard(0, to_bytes("alive")).seq, 0);
+
+  // Waiter isolation: the cut spanning the deposed shard failed with
+  // kFenced; the shard-0-only cut resolved kOk.
+  EXPECT_TRUE(mixed_fired);
+  EXPECT_EQ(mixed, Stabilizer::WaitStatus::kFenced);
+  EXPECT_TRUE(clean_fired);
+  EXPECT_EQ(clean, Stabilizer::WaitStatus::kOk);
+
+  // Shard 0's frontier kept advancing through the fault window and
+  // converged on everything node 0 sent before the post-run probe above.
+  const SeqNum frontier0_final = c.node(0).get_stability_frontier("all@0");
+  EXPECT_GT(frontier0_final, frontier0_at_fault);
+  EXPECT_EQ(frontier0_final, c.node(0).shard(0).last_sent() - 1);
+
+  // Shard 0's delivery logs are the complete FIFO prefix at every mirror.
+  for (NodeId id = 1; id < 3; ++id) {
+    const auto& log = c.logs[id][0][0];
+    ASSERT_FALSE(log.empty());
+    for (size_t i = 0; i < log.size(); ++i)
+      ASSERT_EQ(log[i], static_cast<SeqNum>(i)) << "node " << id;
+  }
+}
+
+// Per-shard digest stability: the same seeded loss + partition campaign,
+// run with the pipelined control plane and with the locked baseline, lands
+// every shard on byte-identical post-heal state — and replays of the
+// pipelined run are deterministic per seed.
+TEST(ShardedChaos, PipelinedMatchesLockedPerShardDigest) {
+  auto run = [](uint64_t seed, StabilizerOptions base) {
+    auto c = std::make_unique<ShardedChaosCluster>(seed, std::move(base),
+                                                   /*with_failover=*/false);
+    for (uint32_t s = 0; s < ShardedChaosCluster::kShards; ++s) {
+      ChaosScript script;
+      ChaosEvent loss;
+      loss.at = kTimeZero;
+      loss.kind = ChaosEvent::Kind::kLossSet;
+      loss.a = kInvalidNode;
+      loss.value = 0.05;
+      script.push_back(loss);
+      // Stagger the shards' partitions so the fault windows differ.
+      sim::add_partition(script, seconds(1 + s), seconds(2), {{0}, {1, 2}});
+      sim::finalize_script(script);
+      c->schedules[s]->arm(script);
+    }
+    c->start_traffic(millis(25), seconds(6));
+    c->sim.run_until(seconds(30));
+    return c;
+  };
+
+  StabilizerOptions piped = chaos_base_options();
+  piped.pipeline_mode = StabilizerOptions::PipelineMode::kPipelined;
+  auto pipelined = run(0xD15C, piped);
+  auto locked = run(0xD15C, chaos_base_options());
+  for (uint32_t s = 0; s < ShardedChaosCluster::kShards; ++s) {
+    SCOPED_TRACE("shard " + std::to_string(s));
+    const std::string digest = pipelined->shard_digest(s);
+    EXPECT_EQ(digest, locked->shard_digest(s));
+    // The campaign converged on real state, not on empty logs.
+    EXPECT_GT(pipelined->logs[1][s][0].size(), 0u);
+  }
+
+  auto again = run(0xD15C, piped);
+  for (uint32_t s = 0; s < ShardedChaosCluster::kShards; ++s)
+    EXPECT_EQ(pipelined->shard_digest(s), again->shard_digest(s))
+        << "shard " << s;
+}
 
 }  // namespace
 }  // namespace stab

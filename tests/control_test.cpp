@@ -3,13 +3,16 @@
 // predicate-gap semantics), and property tests on monotonicity.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "config/topology.hpp"
 #include "control/ack_cells.hpp"
+#include "control/composite_frontier.hpp"
 #include "control/frontier_board.hpp"
 #include "control/frontier_engine.hpp"
 
@@ -636,6 +639,99 @@ TEST_F(FrontierTest, BoardTracksFrontierAndUnpublishesOnRemove) {
 
   ASSERT_TRUE(engine_.remove_predicate("all"));
   EXPECT_FALSE(engine_.board().read("all").has_value());
+}
+
+// --- CompositeFrontier (cross-shard min-combine, DESIGN.md §9) ----------------
+
+TEST(CompositeFrontier, SnapshotReadsEveryBoardAndPadsMissingKeys) {
+  FrontierBoard b0, b1, b2;
+  b0.publish("k", 7);
+  b2.publish("k", 3);  // b1 never publishes "k"
+  control::CompositeFrontier cf({&b0, &b1, &b2});
+  EXPECT_EQ(cf.num_shards(), 3u);
+  EXPECT_EQ(cf.snapshot("k"), (control::ShardCut{7, kNoSeq, 3}));
+  EXPECT_EQ(cf.combined("k"), kNoSeq);  // the unpublished shard dominates
+  b1.publish("k", 5);
+  EXPECT_EQ(cf.combined("k"), 3);
+}
+
+TEST(CompositeFrontier, CoversIsShardwiseWithVacuousSentinels) {
+  using control::CompositeFrontier;
+  using control::ShardCut;
+  EXPECT_TRUE(CompositeFrontier::covers({5, 5}, {3, 5}));
+  EXPECT_FALSE(CompositeFrontier::covers({5, 4}, {3, 5}));
+  // kNoSeq cut entries impose nothing; kNoSeq frontiers satisfy nothing.
+  EXPECT_TRUE(CompositeFrontier::covers({kNoSeq, 5}, {kNoSeq, 5}));
+  EXPECT_FALSE(CompositeFrontier::covers({kNoSeq, 5}, {0, 5}));
+  // Short vectors are kNoSeq-padded on both sides.
+  EXPECT_TRUE(CompositeFrontier::covers({5}, {5, kNoSeq}));
+  EXPECT_FALSE(CompositeFrontier::covers({5}, {5, 0}));
+  EXPECT_TRUE(CompositeFrontier::covers({}, {}));
+}
+
+// Property: the combined frontier never exceeds any member shard's
+// frontier, whatever the per-shard advance pattern.
+TEST(CompositeFrontierProperty, CombinedNeverExceedsAnyMember) {
+  Rng rng(0x5A4D);
+  constexpr size_t kShards = 4;
+  std::vector<std::unique_ptr<FrontierBoard>> boards;
+  std::vector<const FrontierBoard*> views;
+  std::vector<FrontierBoard::Slot*> slots;
+  for (size_t s = 0; s < kShards; ++s) {
+    boards.push_back(std::make_unique<FrontierBoard>());
+    views.push_back(boards.back().get());
+    slots.push_back(boards.back()->publish("k", kNoSeq));
+  }
+  control::CompositeFrontier cf(views);
+  std::vector<SeqNum> truth(kShards, kNoSeq);
+  for (int step = 0; step < 5000; ++step) {
+    const size_t s = rng.next_below(kShards);
+    truth[s] += static_cast<SeqNum>(1 + rng.next_below(3));
+    slots[s]->frontier.store(truth[s], std::memory_order_release);
+    const SeqNum combined = cf.combined("k");
+    for (size_t m = 0; m < kShards; ++m)
+      ASSERT_LE(combined, truth[m]) << "step " << step << " member " << m;
+    ASSERT_EQ(combined, *std::min_element(truth.begin(), truth.end()));
+  }
+}
+
+// Property: under concurrent per-shard advances the combined read is
+// monotone — each board read is an atomic published lower bound, so the min
+// over boards can only move forward. A reader thread min-combines while a
+// writer advances shards in random order.
+TEST(CompositeFrontierProperty, MonotoneUnderConcurrentAdvances) {
+  constexpr size_t kShards = 3;
+  std::vector<std::unique_ptr<FrontierBoard>> boards;
+  std::vector<const FrontierBoard*> views;
+  std::vector<FrontierBoard::Slot*> slots;
+  for (size_t s = 0; s < kShards; ++s) {
+    boards.push_back(std::make_unique<FrontierBoard>());
+    views.push_back(boards.back().get());
+    slots.push_back(boards.back()->publish("k", 0));
+  }
+  control::CompositeFrontier cf(views);
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    SeqNum prev = kNoSeq;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const SeqNum now = cf.combined("k");
+      ASSERT_GE(now, prev) << "composite frontier regressed";
+      prev = now;
+    }
+  });
+
+  Rng rng(0xC0DE);
+  std::vector<SeqNum> truth(kShards, 0);
+  for (int step = 0; step < 20000; ++step) {
+    const size_t s = rng.next_below(kShards);
+    truth[s] += 1;
+    slots[s]->frontier.store(truth[s], std::memory_order_release);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(cf.combined("k"),
+            *std::min_element(truth.begin(), truth.end()));
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include "config/topology.hpp"
 #include "dsl/parser.hpp"
 #include "dsl/predicate.hpp"
+#include "dsl/shard_ref.hpp"
 #include "dsl/token.hpp"
 
 namespace stab::dsl {
@@ -588,6 +589,48 @@ TEST(LexerRobustness, RandomBytesNeverCrash) {
     auto toks = lex(src);  // ok or error, never UB
     if (toks.is_ok()) EXPECT_EQ(toks.value().back().kind, TokKind::kEnd);
   }
+}
+
+// --- sharded stability suffix (shard_ref.hpp, DESIGN.md §9) -------------------
+
+TEST(ShardRef, PlainKeyIsCombinedScope) {
+  auto r = parse_shard_ref("checkout");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->base, "checkout");
+  EXPECT_EQ(r->scope, ShardKeyRef::Scope::kCombined);
+  EXPECT_EQ(shard_ref_string(*r), "checkout");
+}
+
+TEST(ShardRef, AtAllIsExplicitCombinedSpelling) {
+  auto r = parse_shard_ref("checkout@all");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->base, "checkout");
+  EXPECT_EQ(r->scope, ShardKeyRef::Scope::kCombined);
+}
+
+TEST(ShardRef, NumericSuffixScopesOneShard) {
+  auto r = parse_shard_ref("checkout@3");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->base, "checkout");
+  EXPECT_EQ(r->scope, ShardKeyRef::Scope::kOne);
+  EXPECT_EQ(r->shard, 3u);
+  EXPECT_EQ(shard_ref_string(*r), "checkout@3");
+
+  auto max = parse_shard_ref("k@65535");  // the wire envelope's u16 ceiling
+  ASSERT_TRUE(max.has_value());
+  EXPECT_EQ(max->shard, 65535u);
+}
+
+TEST(ShardRef, MalformedReferencesAreRejected) {
+  EXPECT_FALSE(parse_shard_ref("").has_value());
+  EXPECT_FALSE(parse_shard_ref("k@").has_value());
+  EXPECT_FALSE(parse_shard_ref("@3").has_value());
+  EXPECT_FALSE(parse_shard_ref("k@x").has_value());
+  EXPECT_FALSE(parse_shard_ref("k@1x").has_value());
+  EXPECT_FALSE(parse_shard_ref("k@@2").has_value());
+  EXPECT_FALSE(parse_shard_ref("a@1@2").has_value());
+  EXPECT_FALSE(parse_shard_ref("k@65536").has_value());  // beyond u16
+  EXPECT_FALSE(parse_shard_ref("k@ALL").has_value());    // case-sensitive
 }
 
 TEST(CompileMeta, TracksCompileTimeAndSource) {
