@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Metric-name doc check: every metric registered under a complete string
+# literal anywhere in src/ — counter("..."), gauge("..."), histogram("...")
+# — must appear by name in docs/OBSERVABILITY.md. Dynamically composed
+# names (prefix + origin / type-key concatenations) are intentionally out
+# of scope: they never form a complete literal call, and the catalog
+# documents their patterns (`probe.send_to_stable.<key>`, …) instead.
+# Exits nonzero listing undocumented metrics.
+#
+# Usage: scripts/check_metrics_docs.sh
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$ROOT"
+
+DOC="docs/OBSERVABILITY.md"
+[[ -f "$DOC" ]] || { echo "MISSING: $DOC"; exit 1; }
+
+FAIL=0
+COUNT=0
+while IFS= read -r name; do
+  COUNT=$((COUNT + 1))
+  if ! grep -qF "$name" "$DOC"; then
+    echo "UNDOCUMENTED METRIC: $name (registered in src/, absent from $DOC)"
+    FAIL=1
+  fi
+done < <(grep -rhoE '(counter|gauge|histogram)\("[^"]+"\)' src/ \
+           | sed -E 's/^(counter|gauge|histogram)\("//; s/"\)$//' \
+           | sort -u)
+
+if [[ "$COUNT" == 0 ]]; then
+  echo "metric extraction found nothing — check the pattern"
+  exit 1
+fi
+if [[ "$FAIL" != 0 ]]; then
+  echo "metrics doc check FAILED"
+  exit 1
+fi
+echo "metrics doc check OK ($COUNT metric names)"

@@ -24,6 +24,11 @@ SAN="${STAB_CI_SANITIZER:-address}"
 echo "==> docs link check"
 "$ROOT/scripts/check_docs_links.sh"
 
+echo "==> metric-name docs check"
+# Every complete-literal counter/gauge/histogram name registered in src/
+# must appear in docs/OBSERVABILITY.md's catalog.
+"$ROOT/scripts/check_metrics_docs.sh"
+
 echo "==> tier-1: configure + build (build/)"
 cmake -B "$ROOT/build" -S "$ROOT" "$@"
 cmake --build "$ROOT/build" -j
@@ -47,6 +52,13 @@ echo "==> shard scale-out bench (smoke: 1 vs 2 shards, >=1.5x floor)"
 # (1/2/4/8 shards, >=3x floor at 4); the smoke pass runs the same end-to-end
 # coalesced-path workload at 1 and 2 shards and exits nonzero below 1.5x.
 (cd "$ROOT/build" && bench/bench_shard_scaling --smoke)
+
+echo "==> stability propagation bench (smoke: 16-node fleet, >=5x bytes floor)"
+# The committed BENCH_stability_propagation.json at the repo root is
+# full-mode only (64 nodes, >=10x floor); the smoke pass runs the same
+# immediate/deferred/deferred+agg comparison on a 4x4 fleet and exits
+# nonzero below 5x bytes reduction or above the p99 frontier-lag bound.
+(cd "$ROOT/build" && bench/bench_stability_propagation --smoke)
 
 echo "==> metrics endpoint smoke (live TCP cluster + 2 scrapes mid-traffic)"
 # Stand up the 3-node loopback demo with a kernel-assigned port, scrape the

@@ -80,6 +80,33 @@ std::vector<NodeId> Topology::all_nodes() const {
   return out;
 }
 
+void Topology::set_az_aggregator(const std::string& az, NodeId node) {
+  if (!has_az(az))
+    throw std::invalid_argument("Topology: unknown az: " + az);
+  if (node >= num_nodes())
+    throw std::out_of_range("Topology: node id out of range");
+  if (az_of(node) != az)
+    throw std::invalid_argument("Topology: aggregator " + nodes_[node].name +
+                                " is not a member of az " + az);
+  for (auto& [a, n] : aggregators_) {
+    if (a == az) {
+      n = node;
+      return;
+    }
+  }
+  aggregators_.emplace_back(az, node);
+}
+
+std::optional<NodeId> Topology::az_aggregator(const std::string& az) const {
+  for (const auto& [a, n] : aggregators_)
+    if (a == az) return n;
+  return std::nullopt;
+}
+
+std::optional<NodeId> Topology::aggregator_for(NodeId node) const {
+  return az_aggregator(az_of(node));
+}
+
 const LinkSpec* Topology::link(NodeId a, NodeId b) const {
   if (a >= num_nodes() || b >= num_nodes())
     throw std::out_of_range("Topology: node id out of range");
@@ -94,6 +121,8 @@ std::string Topology::describe() const {
   for (const auto& az : az_names()) {
     oss << "  az " << az << ":";
     for (NodeId id : nodes_in_az(az)) oss << " " << node(id).name;
+    if (auto agg = az_aggregator(az))
+      oss << "  (aggregator " << node(*agg).name << ")";
     oss << "\n";
   }
   for (NodeId a = 0; a < num_nodes(); ++a) {
@@ -131,6 +160,12 @@ Result<Topology> parse_topology(const std::string& text) {
     int lineno;
   };
   std::vector<PendingLink> pending;
+  // Aggregator lines may also reference nodes declared later.
+  struct PendingAgg {
+    std::string az, node;
+    int lineno;
+  };
+  std::vector<PendingAgg> pending_aggs;
 
   while (std::getline(in, line)) {
     ++lineno;
@@ -167,6 +202,12 @@ Result<Topology> parse_topology(const std::string& text) {
       pl.spec.latency = from_ms(lat_ms);
       pl.spec.bandwidth_bps = mbps(bw_mbps);
       pending.push_back(std::move(pl));
+    } else if (kw == "aggregator") {
+      PendingAgg pa;
+      pa.lineno = lineno;
+      if (!(ls >> pa.az >> pa.node))
+        return fail("expected: aggregator <az-name> <node-name>");
+      pending_aggs.push_back(std::move(pa));
     } else {
       return fail("unknown keyword: " + kw);
     }
@@ -183,6 +224,16 @@ Result<Topology> parse_topology(const std::string& text) {
       topo.set_link_bidir(*a, *b, pl.spec);
     else
       topo.set_link(*a, *b, pl.spec);
+  }
+  for (const auto& pa : pending_aggs) {
+    lineno = pa.lineno;
+    auto n = topo.find_node(pa.node);
+    if (!n) return fail("unknown aggregator node: " + pa.node);
+    try {
+      topo.set_az_aggregator(pa.az, *n);
+    } catch (const std::exception& e) {
+      return fail(e.what());
+    }
   }
   return topo;
 }
@@ -303,6 +354,30 @@ Topology cloudlab_topology() {
   biset(wi, clem, 28.0, 400);
   biset(wi, ma, 25.0, 420);
   biset(clem, ma, 20.0, 450);
+  return t;
+}
+
+Topology fleet_topology(size_t num_azs, size_t nodes_per_az, double intra_ms,
+                        double inter_ms, double bw_mbps) {
+  if (num_azs == 0 || nodes_per_az == 0)
+    throw std::invalid_argument("fleet_topology: counts must be positive");
+  Topology t;
+  for (size_t z = 0; z < num_azs; ++z) {
+    const std::string az = "az" + std::to_string(z);
+    for (size_t i = 0; i < nodes_per_az; ++i)
+      t.add_node(az + "_n" + std::to_string(i), az);
+    t.set_az_aggregator(az, static_cast<NodeId>(z * nodes_per_az));
+  }
+  const size_t n = t.num_nodes();
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      LinkSpec s;
+      const bool same_az = a / nodes_per_az == b / nodes_per_az;
+      s.latency = from_ms(same_az ? intra_ms : inter_ms);
+      s.bandwidth_bps = mbps(bw_mbps);
+      t.set_link_bidir(a, b, s);
+    }
+  }
   return t;
 }
 

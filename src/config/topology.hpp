@@ -50,6 +50,16 @@ class Topology {
   const std::string& az_of(NodeId id) const;
   std::vector<NodeId> all_nodes() const;
 
+  /// Designates `node` as the stability-report aggregator of `az` (deferred
+  /// propagation, DESIGN.md §10). Throws std::invalid_argument when the AZ
+  /// does not exist or `node` is not one of its members — an aggregator
+  /// outside its AZ would put the intra-AZ merge hop on a WAN link.
+  void set_az_aggregator(const std::string& az, NodeId node);
+  /// The aggregator designated for `az`, if any.
+  std::optional<NodeId> az_aggregator(const std::string& az) const;
+  /// The aggregator of `node`'s own AZ, if one was designated.
+  std::optional<NodeId> aggregator_for(NodeId node) const;
+
   /// Link a -> b, or nullptr if unset.
   const LinkSpec* link(NodeId a, NodeId b) const;
 
@@ -59,6 +69,7 @@ class Topology {
  private:
   std::vector<WanNodeInfo> nodes_;
   std::vector<std::optional<LinkSpec>> links_;  // row-major [a][b]
+  std::vector<std::pair<std::string, NodeId>> aggregators_;  // az -> node
   void grow_links();
 };
 
@@ -68,9 +79,12 @@ class Topology {
 ///   node <name> az <az-name>
 ///   link <a> <b> lat_ms <rtt/2 one-way ms> bw_mbps <x> [pipe <group>]
 ///   bilink <a> <b> lat_ms <x> bw_mbps <y> [pipe <group>]
+///   aggregator <az-name> <node-name>
 ///
-/// Node references are by name. Returns an error with line number on any
-/// syntax problem.
+/// Node references are by name; `aggregator` (like links) may reference a
+/// node declared later in the file. Returns an error with line number on
+/// any syntax problem, including an aggregator whose node is unknown or not
+/// a member of the named AZ.
 Result<Topology> parse_topology(const std::string& text);
 
 // ---------------------------------------------------------------------------
@@ -98,6 +112,15 @@ Topology ec2_topology();
 /// Table II: the CloudLab deployment — UT1 (sender), UT2, WI, CLEM, MA.
 /// Latency one-way = Table II RTT / 2; bandwidths as measured.
 Topology cloudlab_topology();
+
+/// Synthetic fleet for propagation-at-scale experiments: `num_azs` zones
+/// ("az0".."azK") of `nodes_per_az` nodes each ("az3_n1", ...), full-mesh
+/// bidirectional links (intra-AZ `intra_ms`, inter-AZ `inter_ms` one-way;
+/// 0 bandwidth = infinite), and the first node of every AZ designated as
+/// its aggregator. Throws std::invalid_argument when either count is zero.
+Topology fleet_topology(size_t num_azs, size_t nodes_per_az,
+                        double intra_ms = 1.0, double inter_ms = 10.0,
+                        double bw_mbps = 0.0);
 
 /// Node ids the experiments use in the CloudLab topology.
 namespace cloudlab {

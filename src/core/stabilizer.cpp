@@ -23,7 +23,16 @@ Stabilizer::Counters::Counters(obs::MetricsRegistry& r)
       frames_coalesced(r.counter("data.frames_coalesced")),
       fanout_bytes_copied(r.counter("data.fanout_bytes_copied")),
       ack_batches_sent(r.counter("control.ack_batches_sent")),
+      ack_bytes_sent(r.counter("control.ack_bytes_sent")),
       ack_entries_applied(r.counter("control.ack_entries_applied")),
+      report_batches_sent(r.counter("control.report_batches_sent")),
+      report_bytes_sent(r.counter("control.report_bytes_sent")),
+      report_entries_applied(r.counter("control.report_entries_applied")),
+      deferred_flushes(r.counter("control.deferred_flushes")),
+      deferred_delta_flushes(r.counter("control.deferred_delta_flushes")),
+      agg_blocks_absorbed(r.counter("control.agg_blocks_absorbed")),
+      agg_fallback_direct(r.counter("control.agg_fallback_direct")),
+      report_blocks_fenced(r.counter("control.report_blocks_fenced")),
       fenced_frames(r.counter("failover.fenced_frames")),
       epoch_ahead_drops(r.counter("failover.epoch_ahead_drops")),
       takeovers_observed(r.counter("failover.takeovers_observed")),
@@ -31,7 +40,8 @@ Stabilizer::Counters::Counters(obs::MetricsRegistry& r)
       failover_seqs_rolled_back(r.counter("failover.seqs_rolled_back")),
       waiters_fenced(r.counter("failover.waiters_fenced")),
       batch_frames(r.histogram("data.batch_frames")),
-      ack_flush_entries(r.histogram("control.ack_flush_entries")) {}
+      ack_flush_entries(r.histogram("control.ack_flush_entries")),
+      report_flush_entries(r.histogram("control.report_flush_entries")) {}
 
 void Stabilizer::Counters::flush_pending() {
   if (pending_messages_sent) {
@@ -140,6 +150,21 @@ Stabilizer::Stabilizer(StabilizerOptions options, Transport& transport)
   node_fenced_ = std::make_unique<std::atomic<bool>[]>(n);
   for (NodeId o = 0; o < n; ++o)
     node_fenced_[o].store(false, std::memory_order_relaxed);
+  if (deferred_mode()) {
+    deferred_ = std::make_unique<control::DeferredReporter>(n);
+    same_az_.assign(n, false);
+    const std::string& az = options_.topology.az_of(options_.self);
+    for (NodeId m : options_.topology.nodes_in_az(az)) same_az_[m] = true;
+    if (options_.report_path ==
+        StabilizerOptions::ReportPath::kDeferredAggregated) {
+      // Aggregator roles come from the topology; an AZ with no designated
+      // aggregator simply runs kDeferred semantics (direct fan-out).
+      if (auto agg = options_.topology.az_aggregator(az)) {
+        my_aggregator_ = *agg;
+        agg_self_ = (*agg == options_.self);
+      }
+    }
+  }
   if (options_.retransmit_timeout > Duration::zero())
     schedule_retransmit_timer();
   if (options_.peer_stall_timeout > Duration::zero()) schedule_stall_timer();
@@ -163,6 +188,7 @@ Stabilizer::~Stabilizer() {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   stopped_ = true;
   if (ack_timer_ != kInvalidTimer) env().cancel(ack_timer_);
+  if (deferred_timer_ != kInvalidTimer) env().cancel(deferred_timer_);
   if (retransmit_timer_ != kInvalidTimer) env().cancel(retransmit_timer_);
   if (stall_timer_ != kInvalidTimer) env().cancel(stall_timer_);
   if (flush_timer_ != kInvalidTimer) env().cancel(flush_timer_);
@@ -425,6 +451,9 @@ void Stabilizer::on_frame(NodeId src, BytesView frame, uint64_t wire_size) {
     }
     case data::FrameKind::kAckBatch:
       handle_ack_batch(data::decode_ack_batch(frame));
+      break;
+    case data::FrameKind::kReportBatch:
+      handle_report_batch(src, data::decode_report_batch(frame));
       break;
     case data::FrameKind::kResume:
       handle_resume(src, data::decode_resume(frame));
@@ -694,6 +723,52 @@ void Stabilizer::handle_ack_batch(const data::AckBatchFrame& frame) {
   maybe_reclaim();
 }
 
+void Stabilizer::handle_report_batch(NodeId src,
+                                     const data::ReportBatchFrame& frame) {
+  // The whole-node fence in on_frame already judged `src` (the forwarder).
+  // Each block still carries its own reporter's credential: an aggregator
+  // may innocently relay the vector of a member that was deposed after
+  // flushing, and those receipts must stop influencing reclamation / flow
+  // control exactly like a zombie's own ACKBATCH would.
+  const bool absorbing = deferred_ && agg_self_ && src != options_.self &&
+                         src < same_az_.size() && same_az_[src];
+  std::vector<std::vector<AckUpdate>> per_origin(engines_.size());
+  uint64_t applied = 0;
+  bool absorbed_any = false;
+  for (const data::ReportBlock& b : frame.blocks) {
+    // Our own vector echoed back (an aggregator broadcasts merged state to
+    // everyone, including the mirrors it came from) carries nothing new.
+    if (b.reporter >= engines_.size() || b.reporter == options_.self) continue;
+    if (stream_primary_[b.reporter] != b.reporter) {
+      STAB_OBS(ctr_.report_blocks_fenced.inc());
+      continue;
+    }
+    for (const data::ReportEntry& e : b.entries) {
+      if (e.about_origin >= engines_.size()) continue;
+      per_origin[e.about_origin].push_back(
+          AckUpdate{e.type, b.reporter, e.seq, {}});
+      ++applied;
+    }
+    // Aggregator merge: blocks arriving from our own AZ's members fold into
+    // the accumulator for the next long-haul flush. Blocks from outside the
+    // AZ (another aggregator's forward, or a fallback mirror) are consumed
+    // locally but never re-forwarded — one merge level, no loops.
+    if (absorbing) {
+      deferred_->absorb(b);
+      absorbed_any = true;
+      STAB_OBS(ctr_.agg_blocks_absorbed.inc());
+    }
+  }
+  STAB_OBS(if (applied) ctr_.report_entries_applied.inc(applied));
+  (void)applied;
+  for (NodeId origin = 0; origin < per_origin.size(); ++origin)
+    if (!per_origin[origin].empty())
+      engines_[origin]->on_ack_batch(per_origin[origin]);
+  if (absorbed_any) schedule_deferred_timer();
+  if (options_.send_window > 0) pump_windows();  // reports free window space
+  maybe_reclaim();
+}
+
 // --- crash-restart rejoin (RESUME handshake) -----------------------------------
 
 void Stabilizer::send_resume(NodeId peer, bool reply) {
@@ -773,11 +848,20 @@ void Stabilizer::maybe_reclaim() {
 
 void Stabilizer::mark_dirty(NodeId about, StabilityTypeId type, SeqNum seq,
                             Bytes extra) {
-  auto& per_type = dirty_[about];
-  if (per_type.size() <= type) per_type.resize(type + 1);
   auto& reported = reported_[about];
   if (reported.size() <= type) reported.resize(type + 1, kNoSeq);
   reported[type] = std::max(reported[type], seq);
+  // Deferred propagation: plain reports park in the accumulator and ride a
+  // REPORTBATCH flush. Reports with extra bytes stay on the immediate
+  // ACKBATCH path in every mode — extras are per-report payloads that a
+  // max-merge would drop. reported_ was updated above either way, so the
+  // heartbeat re-issue and RESUME re-announce cover deferred reports too.
+  if (deferred_ && extra.empty()) {
+    note_deferred(about, type, seq);
+    return;
+  }
+  auto& per_type = dirty_[about];
+  if (per_type.size() <= type) per_type.resize(type + 1);
   DirtyAck& d = per_type[type];
   if (seq <= d.seq) return;  // monotonic coalescing
   d.seq = seq;
@@ -838,6 +922,7 @@ void Stabilizer::flush_acks() {
       STAB_OBS({
         ++ctr_.pending_shared_sends;
         ctr_.ack_batches_sent.inc();
+        ctr_.ack_bytes_sent.inc(encoded->size());
       });
     }
   } else {
@@ -865,13 +950,148 @@ void Stabilizer::flush_acks() {
                           types_.name(e.type));
       }
 #endif
-      transport_.send(about, data::encode(batch));
-      STAB_OBS(ctr_.ack_batches_sent.inc());
+      Bytes enc = data::encode(batch);
+      STAB_OBS({
+        ctr_.ack_batches_sent.inc();
+        ctr_.ack_bytes_sent.inc(enc.size());
+      });
+      transport_.send(about, std::move(enc));
     }
   }
   // The periodic control flush doubles as the fold point for the batched
   // data-plane deltas, so receive-side counters stay at most one
   // ack_interval stale (stats()/metrics() fold on read anyway).
+  STAB_OBS(ctr_.flush_pending());
+}
+
+// --- deferred propagation (DESIGN.md §10) ----------------------------------------
+
+void Stabilizer::note_deferred(NodeId about, StabilityTypeId type,
+                               SeqNum seq) {
+  deferred_->note(options_.self, stream_epoch_[options_.self], about, type,
+                  seq);
+  if (options_.deferred_delta_threshold > 0 &&
+      deferred_->pending_delta() >= options_.deferred_delta_threshold) {
+    // Burst: enough has accumulated that waiting out the timer only adds
+    // lag without saving frames. Flush now; the armed timer (if any) finds
+    // an empty accumulator and no-ops.
+    STAB_OBS(ctr_.deferred_delta_flushes.inc());
+    flush_deferred();
+    return;
+  }
+  schedule_deferred_timer();
+}
+
+void Stabilizer::schedule_deferred_timer() {
+  if (deferred_timer_armed_ || stopped_) return;
+  if (options_.deferred_flush_interval <= Duration::zero()) {
+    flush_deferred();
+    return;
+  }
+  deferred_timer_armed_ = true;
+  deferred_timer_ =
+      env().schedule_after(options_.deferred_flush_interval, [this] {
+        std::lock_guard<std::recursive_mutex> lock(mutex_);
+        deferred_timer_armed_ = false;
+        deferred_timer_ = kInvalidTimer;
+        if (!stopped_) flush_deferred();
+      });
+}
+
+NodeId Stabilizer::usable_aggregator() const {
+  const NodeId g = my_aggregator_;
+  if (g == kInvalidNode || g == options_.self) return kInvalidNode;
+  // A dead or deposed aggregator must not become a control-plane black
+  // hole: excluded (crash reaction), stalled (no ack progress), or fenced
+  // (lost its own stream — everything it forwards would be dropped as
+  // zombie output) all mean "bypass and fan out directly". The stall /
+  // RESUME machinery flips these back when the aggregator heals.
+  if (excluded_[g] || stalled_[g]) return kInvalidNode;
+  if (stream_primary_[g] != g) return kInvalidNode;
+  return g;
+}
+
+void Stabilizer::flush_deferred() {
+  if (!deferred_ || deferred_->empty()) return;
+  data::ReportBatchFrame frame;
+  frame.forwarder = options_.self;
+  frame.blocks = deferred_->take_flush();
+  STAB_OBS({
+    ctr_.deferred_flushes.inc();
+    size_t entries = 0;
+    for (const data::ReportBlock& b : frame.blocks) entries += b.entries.size();
+    ctr_.report_flush_entries.record(entries);
+  });
+#if STAB_OBS_ENABLED
+  if (STAB_TRACE_WANTS(tracer_, obs::SpanEvent::kAckReport)) {
+    TimePoint now = env().now();
+    for (const data::ReportBlock& b : frame.blocks) {
+      if (b.reporter != options_.self) continue;  // relays traced at source
+      for (const data::ReportEntry& e : b.entries)
+        tracer_->record(now, obs::SpanEvent::kAckReport, options_.self,
+                        e.about_origin, e.seq, kInvalidNode,
+                        types_.name(e.type));
+    }
+  }
+#endif
+
+  // Routing. A mirror in aggregated mode hands its vector to the AZ
+  // aggregator (one intra-AZ frame; the aggregator merges and forwards
+  // long-haul). Everything else — kDeferred mode, the aggregator's own
+  // merged flush, or a mirror whose aggregator is currently unusable —
+  // fans out directly.
+  NodeId agg = kInvalidNode;
+  if (options_.report_path ==
+          StabilizerOptions::ReportPath::kDeferredAggregated &&
+      !agg_self_ && my_aggregator_ != kInvalidNode) {
+    agg = usable_aggregator();
+    if (agg == kInvalidNode) STAB_OBS(ctr_.agg_fallback_direct.inc());
+  }
+
+  if (agg != kInvalidNode) {
+    Bytes enc = data::encode(frame);
+    STAB_OBS({
+      ctr_.report_batches_sent.inc();
+      ctr_.report_bytes_sent.inc(enc.size());
+    });
+    transport_.send(agg, std::move(enc));
+  } else if (options_.broadcast_acks) {
+    // One encode, refcounted fan-out — same zero-copy shape as flush_acks.
+    auto encoded = std::make_shared<const Bytes>(data::encode(frame));
+    for (NodeId peer = 0; peer < options_.topology.num_nodes(); ++peer) {
+      if (peer == options_.self || excluded_[peer]) continue;
+      transport_.send_shared(peer, encoded);
+      STAB_OBS({
+        ++ctr_.pending_shared_sends;
+        ctr_.report_batches_sent.inc();
+        ctr_.report_bytes_sent.inc(encoded->size());
+      });
+    }
+  } else {
+    // Origin-scoped: each origin receives only the blocks' entries about
+    // its own stream (mirrors flush-to-aggregator still sends the full
+    // vector above; it is the direct fan-out that scopes).
+    for (NodeId about = 0; about < options_.topology.num_nodes(); ++about) {
+      if (about == options_.self || excluded_[about]) continue;
+      data::ReportBatchFrame scoped;
+      scoped.forwarder = options_.self;
+      for (const data::ReportBlock& b : frame.blocks) {
+        data::ReportBlock nb;
+        nb.reporter = b.reporter;
+        nb.primary_epoch = b.primary_epoch;
+        for (const data::ReportEntry& e : b.entries)
+          if (e.about_origin == about) nb.entries.push_back(e);
+        if (!nb.entries.empty()) scoped.blocks.push_back(std::move(nb));
+      }
+      if (scoped.blocks.empty()) continue;
+      Bytes enc = data::encode(scoped);
+      STAB_OBS({
+        ctr_.report_batches_sent.inc();
+        ctr_.report_bytes_sent.inc(enc.size());
+      });
+      transport_.send(about, std::move(enc));
+    }
+  }
   STAB_OBS(ctr_.flush_pending());
 }
 
@@ -1621,6 +1841,12 @@ StabilizerStats Stabilizer::stats() const {
     s.messages_delivered = ctr_.messages_delivered.value();
     s.ack_batches_sent = ctr_.ack_batches_sent.value();
     s.ack_entries_applied = ctr_.ack_entries_applied.value();
+    s.report_batches_sent = ctr_.report_batches_sent.value();
+    s.report_entries_applied = ctr_.report_entries_applied.value();
+    s.deferred_flushes = ctr_.deferred_flushes.value();
+    s.agg_blocks_absorbed = ctr_.agg_blocks_absorbed.value();
+    s.agg_fallback_direct = ctr_.agg_fallback_direct.value();
+    s.report_blocks_fenced = ctr_.report_blocks_fenced.value();
     s.duplicates_dropped = ctr_.duplicates_dropped.value();
     s.gaps_detected = ctr_.gaps_detected.value();
     s.retransmits_sent = ctr_.retransmits_sent.value();

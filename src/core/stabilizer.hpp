@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "config/topology.hpp"
+#include "control/deferred_reporter.hpp"
 #include "control/frontier_engine.hpp"
 #include "core/pipeline.hpp"
 #include "data/out_buffer.hpp"
@@ -92,6 +93,35 @@ struct StabilizerOptions {
   /// message's origin — sufficient when only senders track stability, and
   /// what the large trace benches use.
   bool broadcast_acks = true;
+
+  /// Control-plane propagation strategy (DESIGN.md §10, docs/TUNING.md).
+  ///   kImmediate          — the seed behaviour: every plain report rides
+  ///                         the next ack_interval ACKBATCH flush.
+  ///   kDeferred           — plain (extra-free) reports accumulate in a
+  ///                         DeferredReporter and flush as one REPORTBATCH
+  ///                         per deferred_flush_interval (or earlier when
+  ///                         deferred_delta_threshold trips).
+  ///   kDeferredAggregated — as kDeferred, but mirrors flush only to their
+  ///                         AZ's aggregator (Topology::set_az_aggregator);
+  ///                         the aggregator max-merges its members' vectors
+  ///                         and forwards one merged frame long-haul. A dead
+  ///                         aggregator (excluded / stalled / deposed) is
+  ///                         bypassed: mirrors fall back to direct fan-out.
+  /// Reports carrying extra bytes always use the immediate ACKBATCH path —
+  /// extra payloads are not merged. Stability semantics are unchanged in
+  /// every mode (reports stay cumulative monotonic maxima; only their
+  /// propagation latency changes, bounded by the flush interval per hop).
+  /// With retransmit_timeout enabled, keep it above deferred_flush_interval
+  /// so the heartbeat re-issue does not race the ordinary flush.
+  enum class ReportPath { kImmediate, kDeferred, kDeferredAggregated };
+  ReportPath report_path = ReportPath::kImmediate;
+  /// Deferred-mode flush period (the frontier-lag price of the bandwidth
+  /// saving; see bench_stability_propagation).
+  Duration deferred_flush_interval = millis(50);
+  /// When > 0, a flush is also triggered as soon as the accumulated
+  /// seq-advance units since the last flush reach this value (bounds
+  /// staleness under bursts without shortening the idle-time period).
+  uint64_t deferred_delta_threshold = 0;
 
   /// Large writes are split into messages of at most this size (§VI-B:
   /// "Stabilizer splits big writes into smaller packets whose upper bound is
@@ -186,6 +216,15 @@ struct StabilizerStats {
   uint64_t messages_delivered = 0;  // remote messages upcalled
   uint64_t ack_batches_sent = 0;
   uint64_t ack_entries_applied = 0;
+  // Deferred propagation (DESIGN.md §10). report_batches_sent counts
+  // REPORTBATCH frames put on the wire (flushes × destinations);
+  // deferred_flushes counts take_flush() drains (timer or delta-triggered).
+  uint64_t report_batches_sent = 0;
+  uint64_t report_entries_applied = 0;
+  uint64_t deferred_flushes = 0;
+  uint64_t agg_blocks_absorbed = 0;    // member blocks merged by an aggregator
+  uint64_t agg_fallback_direct = 0;    // flushes that bypassed a dead aggregator
+  uint64_t report_blocks_fenced = 0;   // blocks dropped: deposed reporter
   uint64_t duplicates_dropped = 0;
   uint64_t gaps_detected = 0;
   uint64_t retransmits_sent = 0;  // DATA frames re-sent by the go-back-N probe
@@ -470,12 +509,32 @@ class Stabilizer {
                    uint64_t wire_size);
   void handle_data_batch(NodeId src, const data::DataBatchFrame& batch);
   void handle_ack_batch(const data::AckBatchFrame& frame);
+  void handle_report_batch(NodeId src, const data::ReportBatchFrame& frame);
   void handle_resume(NodeId src, const data::ResumeFrame& frame);
   void send_resume(NodeId peer, bool reply = false);
   void mark_peer_recovered(NodeId peer);
   void mark_dirty(NodeId about, StabilityTypeId type, SeqNum seq, Bytes extra);
   void flush_acks();
   void schedule_ack_timer();
+  // --- deferred propagation (DESIGN.md §10) ----------------------------------
+  bool deferred_mode() const {
+    return options_.report_path != StabilizerOptions::ReportPath::kImmediate;
+  }
+  /// True when this node is the designated aggregator of its own AZ (only
+  /// meaningful in kDeferredAggregated mode).
+  bool is_aggregator() const { return agg_self_; }
+  /// The AZ aggregator this mirror should flush through, or kInvalidNode
+  /// when none is usable right now (unset, self, excluded, stalled, or
+  /// deposed) — the caller then falls back to direct fan-out.
+  NodeId usable_aggregator() const;
+  /// Parks one plain report in the deferred accumulator and arms the flush
+  /// timer (or flushes immediately on a delta-threshold trip).
+  void note_deferred(NodeId about, StabilityTypeId type, SeqNum seq);
+  /// Drains the accumulator into one REPORTBATCH and routes it: aggregator
+  /// or direct broadcast (kDeferred / fallback), origin-scoped when
+  /// broadcast_acks is off.
+  void flush_deferred();
+  void schedule_deferred_timer();
   void schedule_retransmit_timer();
   void retransmit_check();
   void schedule_stall_timer();
@@ -565,6 +624,16 @@ class Stabilizer {
   bool any_dirty_ = false;
   bool ack_timer_armed_ = false;
   TimerId ack_timer_ = kInvalidTimer;
+  // Deferred propagation (null in kImmediate mode). deferred_ accumulates
+  // our own plain reports plus, on an aggregator, absorbed member blocks.
+  // agg_self_ / my_aggregator_ / same_az_ are derived from the topology at
+  // construction (same_az_[n] = n shares our AZ: the absorb admission set).
+  std::unique_ptr<control::DeferredReporter> deferred_;
+  bool deferred_timer_armed_ = false;
+  TimerId deferred_timer_ = kInvalidTimer;
+  bool agg_self_ = false;
+  NodeId my_aggregator_ = kInvalidNode;
+  std::vector<bool> same_az_;
   // Last encoded DATABATCH, keyed by (first_seq, count). Sequence numbers
   // are never reused and slots are immutable until reclaim, so a hit is
   // always valid — a broadcast encodes each batch once and every peer's
@@ -642,7 +711,16 @@ class Stabilizer {
     obs::Counter& frames_coalesced;
     obs::Counter& fanout_bytes_copied;
     obs::Counter& ack_batches_sent;
+    obs::Counter& ack_bytes_sent;
     obs::Counter& ack_entries_applied;
+    obs::Counter& report_batches_sent;
+    obs::Counter& report_bytes_sent;
+    obs::Counter& report_entries_applied;
+    obs::Counter& deferred_flushes;
+    obs::Counter& deferred_delta_flushes;
+    obs::Counter& agg_blocks_absorbed;
+    obs::Counter& agg_fallback_direct;
+    obs::Counter& report_blocks_fenced;
     obs::Counter& fenced_frames;
     obs::Counter& epoch_ahead_drops;
     obs::Counter& takeovers_observed;
@@ -651,6 +729,7 @@ class Stabilizer {
     obs::Counter& waiters_fenced;
     obs::Histogram& batch_frames;       // messages per encoded DATABATCH
     obs::Histogram& ack_flush_entries;  // entries per flushed ACKBATCH
+    obs::Histogram& report_flush_entries;  // entries per flushed REPORTBATCH
 
     // Per-frame transmit accounting is batched to keep atomic RMWs off the
     // hot path: transmit()/transmit_batch() bump these plain members (all

@@ -35,10 +35,12 @@ enum WireSite : size_t {
   kDataEnc,
   kBatchEnc,
   kAckEnc,
+  kReportEnc,
   kResumeEnc,
   kDataDec,
   kBatchDec,
   kAckDec,
+  kReportDec,
   kResumeDec,
   kNumWireSites,
 };
@@ -60,6 +62,8 @@ std::array<WireSiteCounters, kNumWireSites>& site_counters() {
                     &g.counter("wire.batch_encode_bytes")};
     t[kAckEnc] = {&g.counter("wire.ack_encodes"),
                   &g.counter("wire.ack_encode_bytes")};
+    t[kReportEnc] = {&g.counter("wire.report_encodes"),
+                     &g.counter("wire.report_encode_bytes")};
     t[kResumeEnc] = {&g.counter("wire.resume_encodes"),
                      &g.counter("wire.resume_encode_bytes")};
     t[kDataDec] = {&g.counter("wire.data_decodes"),
@@ -68,6 +72,8 @@ std::array<WireSiteCounters, kNumWireSites>& site_counters() {
                     &g.counter("wire.batch_decode_bytes")};
     t[kAckDec] = {&g.counter("wire.ack_decodes"),
                   &g.counter("wire.ack_decode_bytes")};
+    t[kReportDec] = {&g.counter("wire.report_decodes"),
+                     &g.counter("wire.report_decode_bytes")};
     t[kResumeDec] = {&g.counter("wire.resume_decodes"),
                      &g.counter("wire.resume_decode_bytes")};
     return t;
@@ -170,6 +176,11 @@ void flush_wire_counters() {}
 //             | count x { u32 origin | u32 type | i64 seq | blob extra }
 //   RESUME    u8 kind | u32 sender | u32 epoch_p | u64 epoch
 //             | i64 receive_through | u8 reply
+//   REPORTBATCH u8 kind | u32 forwarder | u32 nblocks
+//             | nblocks x { u32 reporter | u32 epoch | u32 nentries
+//               | nentries x { u32 origin | u32 type | i64 seq } }
+// REPORTBATCH carries the block reporters' epochs (not the forwarder's):
+// an aggregator relays vectors it did not produce, so fencing is per block.
 
 Bytes encode_data(NodeId origin, SeqNum seq, BytesView payload,
                   uint64_t virtual_size, PrimaryEpoch primary_epoch) {
@@ -230,6 +241,31 @@ Bytes encode(const AckBatchFrame& frame) {
   return out;
 }
 
+Bytes encode(const ReportBatchFrame& frame) {
+  if (frame.blocks.empty())
+    throw std::invalid_argument("REPORTBATCH must carry at least one block");
+  size_t body = 0;
+  for (const ReportBlock& b : frame.blocks)
+    body += 4 + 4 + 4 + b.entries.size() * (4 + 4 + 8);
+  Writer w(1 + 4 + 4 + body);
+  w.u8(static_cast<uint8_t>(FrameKind::kReportBatch));
+  w.u32(frame.forwarder);
+  w.u32(static_cast<uint32_t>(frame.blocks.size()));
+  for (const ReportBlock& b : frame.blocks) {
+    w.u32(b.reporter);
+    w.u32(b.primary_epoch);
+    w.u32(static_cast<uint32_t>(b.entries.size()));
+    for (const ReportEntry& e : b.entries) {
+      w.u32(e.about_origin);
+      w.u32(e.type);
+      w.i64(e.seq);
+    }
+  }
+  Bytes out = std::move(w).take();
+  WIRE_COUNT(kReportEnc, out.size());
+  return out;
+}
+
 Bytes encode(const ResumeFrame& frame) {
   Writer w(1 + 4 + 4 + 8 + 8 + 1);
   w.u8(static_cast<uint8_t>(FrameKind::kResume));
@@ -279,6 +315,8 @@ std::optional<FrameKind> peek_kind(BytesView frame) {
   if (k == static_cast<uint8_t>(FrameKind::kResume)) return FrameKind::kResume;
   if (k == static_cast<uint8_t>(FrameKind::kDataBatch))
     return FrameKind::kDataBatch;
+  if (k == static_cast<uint8_t>(FrameKind::kReportBatch))
+    return FrameKind::kReportBatch;
   return std::nullopt;
 }
 
@@ -347,6 +385,34 @@ AckBatchFrame decode_ack_batch(BytesView frame) {
     e.seq = r.i64();
     e.extra = r.blob();
     out.entries.push_back(std::move(e));
+  }
+  return out;
+}
+
+ReportBatchFrame decode_report_batch(BytesView frame) {
+  WIRE_COUNT(kReportDec, frame.size());
+  Reader r(frame);
+  if (r.u8() != static_cast<uint8_t>(FrameKind::kReportBatch))
+    throw CodecError("not a REPORTBATCH frame");
+  ReportBatchFrame out;
+  out.forwarder = r.u32();
+  uint32_t nblocks = r.u32();
+  if (nblocks == 0) throw CodecError("empty REPORTBATCH");
+  out.blocks.reserve(nblocks);
+  for (uint32_t i = 0; i < nblocks; ++i) {
+    ReportBlock b;
+    b.reporter = r.u32();
+    b.primary_epoch = r.u32();
+    uint32_t n = r.u32();
+    b.entries.reserve(n);
+    for (uint32_t j = 0; j < n; ++j) {
+      ReportEntry e;
+      e.about_origin = r.u32();
+      e.type = r.u32();
+      e.seq = r.i64();
+      b.entries.push_back(e);
+    }
+    out.blocks.push_back(std::move(b));
   }
   return out;
 }

@@ -1,6 +1,6 @@
 // Wire protocol of the Stabilizer data and control planes.
 //
-// Four frame families share each transport link:
+// Five frame families share each transport link:
 //   * DATA     — sequenced payload of one origin's stream (data plane),
 //   * DATABATCH— several consecutive small DATA frames of one stream packed
 //     into a single transport frame (the data-plane fast path's small-frame
@@ -9,7 +9,13 @@
 //   * ACKBATCH — batched monotonic stability reports (control plane),
 //   * RESUME   — a restarted node's session announcement: "I am epoch E and
 //     hold your stream through seq S"; the receiver rewinds go-back-N to
-//     S+1 and re-issues its cumulative reports (crash–restart rejoin).
+//     S+1 and re-issues its cumulative reports (crash–restart rejoin),
+//   * REPORTBATCH — deferred control plane: the merged cumulative report
+//     vectors of one or more reporters in a single frame. A mirror running
+//     deferred propagation flushes its own vector on a timer/delta
+//     threshold; an AZ aggregator max-merges its members' vectors and
+//     forwards them long-haul as one frame. Entries are plain (extra-free)
+//     monotonic reports — reports carrying extra bytes stay on ACKBATCH.
 // Control frames are tiny and sent continuously; data frames stream as fast
 // as the link allows — the paper's control/data separation means neither
 // ever blocks waiting for the other.
@@ -34,6 +40,7 @@ enum class FrameKind : uint8_t {
   kAckBatch = 2,
   kResume = 3,
   kDataBatch = 4,
+  kReportBatch = 5,
 };
 
 struct DataFrame {
@@ -96,6 +103,38 @@ struct AckBatchFrame {
   std::vector<AckEntry> entries;
 };
 
+/// One plain monotonic report: "reporter's `type` frontier on `about_origin`'s
+/// stream has reached `seq`". The extra-free subset of AckEntry — anything
+/// carrying application bytes travels on ACKBATCH even in deferred mode.
+struct ReportEntry {
+  NodeId about_origin = kInvalidNode;
+  StabilityTypeId type = 0;
+  SeqNum seq = kNoSeq;
+};
+
+/// One reporter's flushed cumulative vector inside a REPORTBATCH. The epoch
+/// is the *reporter's* own-stream primary epoch (not the forwarder's): an
+/// aggregator relays vectors it did not produce, and fencing must judge the
+/// node whose receipts these are.
+struct ReportBlock {
+  NodeId reporter = kInvalidNode;
+  PrimaryEpoch primary_epoch = 0;
+  std::vector<ReportEntry> entries;
+};
+
+/// Deferred-mode control frame: the merged report vectors of `blocks.size()`
+/// reporters. A mirror's flush carries one block (its own); an aggregator's
+/// long-haul flush carries one block per AZ member it has absorbed since its
+/// last flush. Receivers apply every block exactly as if it had arrived as
+/// that reporter's own ACKBATCH — merging is associative because reports are
+/// cumulative maxima.
+struct ReportBatchFrame {
+  /// The node that encoded and sent this frame (mirror or aggregator). Used
+  /// for aggregator loop prevention, not for fencing — fencing is per block.
+  NodeId forwarder = kInvalidNode;
+  std::vector<ReportBlock> blocks;
+};
+
 /// Session announcement from a restarted peer, tailored per destination.
 /// Duplicate delivery is harmless: receivers ignore epochs they have
 /// already processed, so the sender re-announces (from the retransmit
@@ -150,6 +189,10 @@ Bytes encode(const ResumeFrame& frame);
 /// Throws std::invalid_argument on an empty batch (an empty batch is never
 /// a valid wire frame, so producing one is a programming error).
 Bytes encode(const DataBatchFrame& frame);
+/// Throws std::invalid_argument when the frame has no blocks (a flush with
+/// nothing to say must simply not be sent). Empty *blocks* are allowed on
+/// the wire but the Stabilizer never produces them.
+Bytes encode(const ReportBatchFrame& frame);
 
 /// Encode a DATA frame straight from a payload view (the encode-once path:
 /// no intermediate DataFrame copy of the payload).
@@ -169,6 +212,7 @@ DataView decode_data_view(BytesView frame);
 /// empty batch (the encoder never produces one).
 DataBatchFrame decode_data_batch(BytesView frame);
 AckBatchFrame decode_ack_batch(BytesView frame);
+ReportBatchFrame decode_report_batch(BytesView frame);
 ResumeFrame decode_resume(BytesView frame);
 
 /// Fold every live thread's batched wire.* accumulator residue into the

@@ -428,6 +428,97 @@ TEST(ChaosCampaign, PipelinedAgreesWithLockedPostHeal) {
   EXPECT_EQ(pipelined->core_digest(), again->core_digest());
 }
 
+// --- deferred stability propagation (DESIGN.md §10) ---------------------------
+//
+// Deferred mode trades propagation latency for control bandwidth: mirrors
+// accumulate cumulative report vectors and flush them as merged REPORTBATCH
+// frames on a timer. The batching must be invisible to the application —
+// the same campaign (loss + crash/restart rejoin + partition) lands on the
+// same post-heal core digest as the immediate ACKBATCH path, per seed.
+TEST(ChaosCampaign, DeferredAgreesWithImmediatePostHeal) {
+  StabilizerOptions deferred = chaos_base_options();
+  deferred.report_path = StabilizerOptions::ReportPath::kDeferred;
+  deferred.deferred_flush_interval = millis(20);
+  auto d = run_scripted(0xC0FFEE, DispatchMode::kIndexed, deferred);
+  auto imm = run_scripted(0xC0FFEE, DispatchMode::kIndexed);
+  d->check_converged();
+  imm->check_converged();
+  EXPECT_EQ(d->core_digest(), imm->core_digest());
+
+  // Deferred campaigns replay deterministically per seed.
+  auto again = run_scripted(0xC0FFEE, DispatchMode::kIndexed, deferred);
+  EXPECT_EQ(d->core_digest(), again->core_digest());
+
+#if STAB_OBS_ENABLED
+  // The campaign genuinely ran on the deferred path: flush timers fired and
+  // REPORTBATCH frames moved (surviving nodes only — a restart resets stats).
+  uint64_t flushes = 0, batches = 0;
+  for (NodeId o = 0; o < d->num_nodes(); ++o) {
+    flushes += d->node(o).stats().deferred_flushes;
+    batches += d->node(o).stats().report_batches_sent;
+  }
+  EXPECT_GT(flushes, 0u);
+  EXPECT_GT(batches, 0u);
+#endif
+}
+
+// The delta threshold flushes early when enough cumulative seq-advance has
+// accumulated; semantics must stay byte-identical to timer-only flushing.
+TEST(ChaosCampaign, DeferredDeltaThresholdAgreesPostHeal) {
+  StabilizerOptions deferred = chaos_base_options();
+  deferred.report_path = StabilizerOptions::ReportPath::kDeferred;
+  deferred.deferred_flush_interval = millis(20);
+  deferred.deferred_delta_threshold = 8;
+  auto d = run_scripted(0xC0FFEE, DispatchMode::kIndexed, deferred);
+  auto imm = run_scripted(0xC0FFEE, DispatchMode::kIndexed);
+  d->check_converged();
+  imm->check_converged();
+  EXPECT_EQ(d->core_digest(), imm->core_digest());
+}
+
+// Aggregated mesh: r0={n0,n1} with n0 aggregating, r1={n2,n3} with n2
+// aggregating. The scripted campaign crashes n2 — n3's aggregator — so the
+// campaign covers both the AZ merge (n1 -> n0) and the fallback path (n3
+// flushes directly while its aggregator is down or partitioned away).
+std::unique_ptr<ChaosCluster> run_agg_scripted(uint64_t seed,
+                                               StabilizerOptions base) {
+  Topology topo = chaos_mesh(4, {"r0", "r0", "r1", "r1"});
+  topo.set_az_aggregator("r0", 0);
+  topo.set_az_aggregator("r1", 2);
+  auto c = std::make_unique<ChaosCluster>(std::move(topo), std::move(base),
+                                          seed, DispatchMode::kIndexed,
+                                          chaos_predicates());
+  c->chaos->arm(scripted_campaign());
+  c->start_traffic(millis(100), seconds(24));
+  c->sim.run_until(seconds(40));
+  return c;
+}
+
+TEST(ChaosCampaign, DeferredAggregatedAgreesAndBypassesDeadAggregator) {
+  StabilizerOptions agg = chaos_base_options();
+  agg.report_path = StabilizerOptions::ReportPath::kDeferredAggregated;
+  agg.deferred_flush_interval = millis(20);
+  auto aggregated = run_agg_scripted(0xC0FFEE, agg);
+  auto immediate = run_agg_scripted(0xC0FFEE, chaos_base_options());
+  aggregated->check_converged();
+  immediate->check_converged();
+  EXPECT_EQ(aggregated->core_digest(), immediate->core_digest());
+
+  auto again = run_agg_scripted(0xC0FFEE, agg);
+  EXPECT_EQ(aggregated->core_digest(), again->core_digest());
+
+#if STAB_OBS_ENABLED
+  // n0 merged its member's (n1's) vectors into long-haul flushes.
+  EXPECT_GT(aggregated->node(0).stats().agg_blocks_absorbed, 0u);
+  // n3 kept reporting while its aggregator n2 was crashed (t=5s..20s) by
+  // falling back to direct fan-out — reports bypass a dead aggregator.
+  EXPECT_GT(aggregated->node(3).stats().agg_fallback_direct, 0u);
+  // After n2's rejoin the AZ merge resumed: n2's post-restart stats count
+  // fresh absorbed blocks from n3 (traffic runs until t=24s).
+  EXPECT_GT(aggregated->node(2).stats().agg_blocks_absorbed, 0u);
+#endif
+}
+
 // Small-frame coalescing changes the wire-level framing (kDataBatch) and the
 // flush timing (deferred pump) but must not change what the application
 // observes: lossless FIFO logs, frontier convergence, and the

@@ -116,6 +116,93 @@ TEST(TopologyParser, MalformedLink) {
   EXPECT_FALSE(res.is_ok());
 }
 
+// --- AZ aggregators ---------------------------------------------------------
+
+TEST(Topology, SetAzAggregatorValidation) {
+  Topology t;
+  NodeId a = t.add_node("A", "east");
+  NodeId b = t.add_node("B", "west");
+  EXPECT_FALSE(t.az_aggregator("east").has_value());
+  EXPECT_THROW(t.set_az_aggregator("north", a), std::invalid_argument);
+  EXPECT_THROW(t.set_az_aggregator("east", 99), std::out_of_range);
+  // The designated aggregator must be a member of the AZ it serves.
+  EXPECT_THROW(t.set_az_aggregator("east", b), std::invalid_argument);
+  t.set_az_aggregator("east", a);
+  EXPECT_EQ(t.az_aggregator("east"), a);
+  EXPECT_EQ(t.aggregator_for(a), a);
+  EXPECT_FALSE(t.aggregator_for(b).has_value());
+  // Re-designation overwrites rather than duplicating.
+  NodeId c = t.add_node("C", "east");
+  t.set_az_aggregator("east", c);
+  EXPECT_EQ(t.az_aggregator("east"), c);
+  EXPECT_EQ(t.aggregator_for(a), c);
+}
+
+TEST(TopologyParser, AggregatorDirective) {
+  // Forward references are allowed, like links.
+  auto res = parse_topology(R"(
+aggregator east A
+node A az east
+node B az east
+node C az west
+aggregator west C
+)");
+  ASSERT_TRUE(res.is_ok()) << res.message();
+  Topology& t = res.value();
+  EXPECT_EQ(t.az_aggregator("east"), t.find_node("A"));
+  EXPECT_EQ(t.az_aggregator("west"), t.find_node("C"));
+  EXPECT_NE(t.describe().find("(aggregator A)"), std::string::npos);
+}
+
+TEST(TopologyParser, AggregatorErrors) {
+  // Unknown node name.
+  auto res = parse_topology("node A az x\naggregator x Z\n");
+  ASSERT_FALSE(res.is_ok());
+  EXPECT_NE(res.message().find("unknown aggregator node"), std::string::npos);
+  EXPECT_NE(res.message().find("line 2"), std::string::npos);
+  // Known node, but not a member of the named AZ.
+  res = parse_topology("node A az x\nnode B az y\naggregator x B\n");
+  ASSERT_FALSE(res.is_ok());
+  EXPECT_NE(res.message().find("not a member"), std::string::npos);
+  // Unknown AZ entirely (no node ever declared it).
+  res = parse_topology("node A az x\naggregator nowhere A\n");
+  ASSERT_FALSE(res.is_ok());
+  // Missing operands.
+  res = parse_topology("aggregator x\n");
+  ASSERT_FALSE(res.is_ok());
+  EXPECT_NE(res.message().find("aggregator <az-name> <node-name>"),
+            std::string::npos);
+}
+
+TEST(TopologyParser, NodeMembershipEdgeCases) {
+  // A node with no AZ (zero regions) is a parse error.
+  auto res = parse_topology("node A\n");
+  ASSERT_FALSE(res.is_ok());
+  EXPECT_NE(res.message().find("node <name> az <az-name>"), std::string::npos);
+  // Declaring the same node in two AZs is rejected — membership is exclusive.
+  res = parse_topology("node A az east\nnode A az west\n");
+  ASSERT_FALSE(res.is_ok());
+  EXPECT_NE(res.message().find("duplicate node name"), std::string::npos);
+  EXPECT_NE(res.message().find("line 2"), std::string::npos);
+}
+
+TEST(FleetTopology, StructureAndAggregators) {
+  Topology t = fleet_topology(3, 4, 1.0, 10.0, 100.0);
+  EXPECT_EQ(t.num_nodes(), 12u);
+  ASSERT_EQ(t.az_names().size(), 3u);
+  EXPECT_EQ(t.nodes_in_az("az1"), (std::vector<NodeId>{4, 5, 6, 7}));
+  // First node of each AZ is its aggregator.
+  EXPECT_EQ(t.az_aggregator("az0"), NodeId{0});
+  EXPECT_EQ(t.az_aggregator("az2"), NodeId{8});
+  EXPECT_EQ(t.aggregator_for(6), NodeId{4});
+  // Full mesh; intra-AZ links are fast, inter-AZ links slow.
+  EXPECT_NEAR(to_ms(t.link(4, 5)->latency), 1.0, 1e-9);
+  EXPECT_NEAR(to_ms(t.link(4, 8)->latency), 10.0, 1e-9);
+  EXPECT_NEAR(t.link(0, 11)->bandwidth_bps / 1e6, 100.0, 1e-9);
+  EXPECT_NE(t.link(11, 0), nullptr);  // bidirectional
+  EXPECT_THROW(fleet_topology(0, 4), std::invalid_argument);
+}
+
 // --- paper presets ----------------------------------------------------------
 
 TEST(Ec2Topology, MatchesPaperStructure) {

@@ -131,7 +131,66 @@ TEST(Wire, PeekTreatsApplicationRangeAsUnknown) {
   // The Stabilizer kinds themselves are recognized.
   EXPECT_TRUE(peek_kind(Bytes{0x01}).has_value());
   EXPECT_TRUE(peek_kind(Bytes{0x04}).has_value());
-  EXPECT_FALSE(peek_kind(Bytes{0x05}).has_value());  // unassigned gap
+  EXPECT_EQ(peek_kind(Bytes{0x05}), FrameKind::kReportBatch);
+  EXPECT_FALSE(peek_kind(Bytes{0x06}).has_value());  // unassigned gap
+}
+
+TEST(Wire, ReportBatchRoundTrip) {
+  ReportBatchFrame in;
+  in.forwarder = 9;
+  ReportBlock b0;
+  b0.reporter = 3;
+  b0.primary_epoch = 2;
+  b0.entries.push_back(ReportEntry{0, 0, 41});
+  b0.entries.push_back(ReportEntry{1, 7, kNoSeq});
+  ReportBlock b1;
+  b1.reporter = 4;
+  b1.primary_epoch = 0;
+  b1.entries.push_back(ReportEntry{0, 1, 1234567890123LL});
+  in.blocks.push_back(b0);
+  in.blocks.push_back(b1);
+
+  Bytes enc = encode(in);
+  EXPECT_EQ(peek_kind(enc), FrameKind::kReportBatch);
+  EXPECT_EQ(enc.capacity(), enc.size());  // single-allocation encoder
+  ReportBatchFrame out = decode_report_batch(enc);
+  EXPECT_EQ(out.forwarder, 9u);
+  ASSERT_EQ(out.blocks.size(), 2u);
+  EXPECT_EQ(out.blocks[0].reporter, 3u);
+  EXPECT_EQ(out.blocks[0].primary_epoch, 2u);
+  ASSERT_EQ(out.blocks[0].entries.size(), 2u);
+  EXPECT_EQ(out.blocks[0].entries[0].about_origin, 0u);
+  EXPECT_EQ(out.blocks[0].entries[0].seq, 41);
+  EXPECT_EQ(out.blocks[0].entries[1].type, 7u);
+  EXPECT_EQ(out.blocks[0].entries[1].seq, kNoSeq);
+  EXPECT_EQ(out.blocks[1].reporter, 4u);
+  ASSERT_EQ(out.blocks[1].entries.size(), 1u);
+  EXPECT_EQ(out.blocks[1].entries[0].seq, 1234567890123LL);
+}
+
+TEST(Wire, ReportBatchRejectsEmptyAndMalformed) {
+  ReportBatchFrame empty;
+  empty.forwarder = 1;
+  EXPECT_THROW(encode(empty), std::invalid_argument);
+
+  // A block with zero entries is legal on the wire (an aggregator may relay
+  // an epoch-only block), but a zero-block frame is not.
+  Writer w;
+  w.u8(5);  // kReportBatch
+  w.u32(1);
+  w.u32(0);  // nblocks = 0
+  EXPECT_THROW(decode_report_batch(std::move(w).take()), CodecError);
+
+  ReportBatchFrame in;
+  in.forwarder = 2;
+  ReportBlock b;
+  b.reporter = 0;
+  b.entries.push_back(ReportEntry{1, 0, 5});
+  in.blocks.push_back(b);
+  Bytes enc = encode(in);
+  Bytes truncated(enc.begin(), enc.end() - 3);
+  EXPECT_THROW(decode_report_batch(truncated), CodecError);
+  EXPECT_THROW(decode_report_batch(encode(DataFrame{})), CodecError);
 }
 
 TEST(Wire, DataBatchRoundTripProperty) {
